@@ -1,0 +1,218 @@
+// Package repro_test holds the top-level benchmark harness: one
+// testing.B benchmark per table and figure of the paper, plus ablation
+// benchmarks for the design choices DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks whose paper counterpart depends on storage costs (the
+// OPUS figures) use the full-cost suite; matrix-style benchmarks use
+// the fast suite so an iteration stays in the hundreds of milliseconds.
+package repro_test
+
+import (
+	"testing"
+
+	"provmark/internal/bench"
+	"provmark/internal/benchprog"
+	"provmark/internal/capture/camflow"
+	"provmark/internal/capture/spade"
+	"provmark/internal/graph"
+	"provmark/internal/match"
+	"provmark/internal/neo4jsim"
+	"provmark/internal/provmark"
+)
+
+// BenchmarkTable2Validation regenerates the full 44x3 validation matrix
+// (Table 2).
+func BenchmarkTable2Validation(b *testing.B) {
+	s := bench.NewSuite(true)
+	for i := 0; i < b.N; i++ {
+		res, err := s.RunTable2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Mismatches != 0 {
+			b.Fatalf("%d cells disagree with the paper", res.Mismatches)
+		}
+	}
+}
+
+// BenchmarkTable3ExampleGraphs regenerates the example graph shapes
+// (Table 3).
+func BenchmarkTable3ExampleGraphs(b *testing.B) {
+	s := bench.NewSuite(true)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunTable3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1Rename regenerates the three rename representations
+// (Figure 1).
+func BenchmarkFig1Rename(b *testing.B) {
+	s := bench.NewSuite(true)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunFig1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func timingBenchmark(b *testing.B, tool string, fast bool) {
+	b.Helper()
+	s := bench.NewSuite(fast)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunTiming(tool); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5SpadeStages regenerates the SPADE per-stage timing runs
+// (Figure 5).
+func BenchmarkFig5SpadeStages(b *testing.B) { timingBenchmark(b, "spade", false) }
+
+// BenchmarkFig6OpusStages regenerates the OPUS per-stage timing runs
+// (Figure 6); the Neo4j warm-up cost dominates, as in the paper.
+func BenchmarkFig6OpusStages(b *testing.B) { timingBenchmark(b, "opus", false) }
+
+// BenchmarkFig7CamflowStages regenerates the CamFlow per-stage timing
+// runs (Figure 7).
+func BenchmarkFig7CamflowStages(b *testing.B) { timingBenchmark(b, "camflow", false) }
+
+func scaleBenchmark(b *testing.B, tool string, fast bool) {
+	b.Helper()
+	s := bench.NewSuite(fast)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunScalability(tool); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8SpadeScale regenerates the SPADE scalability sweep
+// (Figure 8, scale1..scale8).
+func BenchmarkFig8SpadeScale(b *testing.B) { scaleBenchmark(b, "spade", false) }
+
+// BenchmarkFig9OpusScale regenerates the OPUS scalability sweep
+// (Figure 9).
+func BenchmarkFig9OpusScale(b *testing.B) { scaleBenchmark(b, "opus", false) }
+
+// BenchmarkFig10CamflowScale regenerates the CamFlow scalability sweep
+// (Figure 10).
+func BenchmarkFig10CamflowScale(b *testing.B) { scaleBenchmark(b, "camflow", false) }
+
+// BenchmarkTable4ModuleSizes regenerates the module line counts
+// (Table 4).
+func BenchmarkTable4ModuleSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table4ModuleSizes("."); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// scalePair produces two generalizable CamFlow foreground graphs of the
+// scale4 benchmark, the ablation workload for the matcher engines.
+func scalePair(b *testing.B) (*graph.Graph, *graph.Graph) {
+	b.Helper()
+	rec := camflow.New(camflow.DefaultConfig())
+	prog := benchprog.ScaleProgram(4)
+	var graphs []*graph.Graph
+	for trial := 0; trial < 2; trial++ {
+		n, err := rec.Record(prog, benchprog.Foreground, trial)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := rec.Transform(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+	return graphs[0], graphs[1]
+}
+
+// BenchmarkAblationMatcherASP measures similarity checking via the
+// ASP-encoded solver path.
+func BenchmarkAblationMatcherASP(b *testing.B) {
+	g1, g2 := scalePair(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := match.Similar(g1, g2); !ok {
+			b.Fatal("scale4 trial graphs should be similar")
+		}
+	}
+}
+
+// BenchmarkAblationMatcherDirect measures the same check via the
+// hand-rolled VF2-style backtracking engine.
+func BenchmarkAblationMatcherDirect(b *testing.B) {
+	g1, g2 := scalePair(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := match.SimilarDirect(g1, g2); !ok {
+			b.Fatal("scale4 trial graphs should be similar")
+		}
+	}
+}
+
+// BenchmarkAblationCostMinimization measures the comparison stage's
+// optimizing embed against first-solution search, quantifying what the
+// #minimize objective costs.
+func BenchmarkAblationCostMinimization(b *testing.B) {
+	s := bench.NewSuite(true)
+	res, err := s.Run("camflow", "rename")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("minimize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := match.SubgraphEmbed(res.BG, res.FG); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSpadeStorage compares SPADE's two storage backends:
+// the Graphviz profile (spg) against the Neo4j profile (spn). The
+// backend alone recreates the OPUS-like transformation bottleneck.
+func BenchmarkAblationSpadeStorage(b *testing.B) {
+	prog, _ := benchprog.ByName("rename")
+	run := func(b *testing.B, cfg spade.Config) {
+		rec := spade.New(cfg)
+		for i := 0; i < b.N; i++ {
+			n, err := rec.Record(prog, benchprog.Foreground, i)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rec.Transform(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("spg-dot", func(b *testing.B) { run(b, spade.DefaultConfig()) })
+	b.Run("spn-neo4j", func(b *testing.B) {
+		run(b, spade.DefaultConfig().WithNeo4jStorage(neo4jsim.Options{}))
+	})
+}
+
+// BenchmarkPipelineEndToEnd measures one full pipeline run (rename
+// under SPADE), the unit of work every experiment repeats.
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	s := bench.NewSuite(true)
+	rec, err := s.Recorder("spade")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, _ := benchprog.ByName("rename")
+	runner := provmark.NewRunner(rec, provmark.Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation. Run with no arguments for the full set, or
+// -run <id> for one experiment (table1, table2, table3, table4, fig1,
+// fig5, fig6, fig7, fig8, fig9, fig10).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"provmark/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	only := fs.String("run", "", "run a single experiment (table1..4, fig1, fig5..10, failures, spc)")
+	fast := fs.Bool("fast", false, "use cheap storage costs (distorts OPUS timing shapes)")
+	root := fs.String("root", ".", "repository root (for table4 line counts)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite := bench.NewSuite(*fast)
+	experiments := []struct {
+		id  string
+		run func() error
+	}{
+		{"table1", func() error {
+			fmt.Println(bench.RenderTable1())
+			return nil
+		}},
+		{"fig1", func() error {
+			f, err := suite.RunFig1()
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderFig1(f))
+			return nil
+		}},
+		{"table2", func() error {
+			t, err := suite.RunTable2()
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderTable2(t))
+			return nil
+		}},
+		{"table3", func() error {
+			t, err := suite.RunTable3()
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderTable3(t))
+			return nil
+		}},
+		{"fig5", timingExp(suite, "spade", "Figure 5. Timing results: SPADE+Graphviz")},
+		{"fig6", timingExp(suite, "opus", "Figure 6. Timing results: OPUS+Neo4j")},
+		{"fig7", timingExp(suite, "camflow", "Figure 7. Timing results: CamFlow+ProvJSON")},
+		{"fig8", scaleExp(suite, "spade", "Figure 8. Scalability results: SPADE+Graphviz")},
+		{"fig9", scaleExp(suite, "opus", "Figure 9. Scalability results: OPUS+Neo4j")},
+		{"fig10", scaleExp(suite, "camflow", "Figure 10. Scalability results: CamFlow+ProvJSON")},
+		{"failures", func() error {
+			res, err := suite.RunFailureMatrix()
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderFailureMatrix(res))
+			return nil
+		}},
+		{"spc", func() error {
+			res, err := suite.RunSpcColumn()
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderSpcColumn(res))
+			return nil
+		}},
+		{"table4", func() error {
+			sizes, err := bench.Table4ModuleSizes(*root)
+			if err != nil {
+				return err
+			}
+			fmt.Println(bench.RenderTable4(sizes))
+			return nil
+		}},
+	}
+	ran := false
+	for _, e := range experiments {
+		if *only != "" && e.id != *only {
+			continue
+		}
+		ran = true
+		fmt.Printf("== %s ==\n", e.id)
+		if err := e.run(); err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *only)
+	}
+	return nil
+}
+
+func timingExp(suite *bench.Suite, tool, title string) func() error {
+	return func() error {
+		rows, err := suite.RunTiming(tool)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderTiming(title, rows))
+		return nil
+	}
+}
+
+func scaleExp(suite *bench.Suite, tool, title string) func() error {
+	return func() error {
+		rows, err := suite.RunScalability(tool)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderTiming(title, rows))
+		return nil
+	}
+}

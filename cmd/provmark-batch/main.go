@@ -1,0 +1,115 @@
+// Command provmark-batch runs the whole Table 1 benchmark suite under
+// one tool and prints the per-syscall results — the equivalent of the
+// paper's runTests.sh. With -store it also saves every benchmark graph
+// into a regression store and reports differences from stored
+// baselines (the Charlie use case).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"provmark/internal/bench"
+	"provmark/internal/benchprog"
+	"provmark/internal/graph"
+	"provmark/internal/provmark"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "provmark-batch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("provmark-batch", flag.ContinueOnError)
+	tool := fs.String("tool", "spade", "capture tool: spade, opus, camflow, spn")
+	trials := fs.Int("trials", 0, "trials per variant (0 = tool default)")
+	storeDir := fs.String("store", "", "regression store directory (enables save/compare)")
+	htmlDir := fs.String("html", "", "write per-benchmark HTML pages and an index to this directory")
+	timeLog := fs.String("timelog", "", "append per-benchmark stage timings to this file (A.6.4 format)")
+	fast := fs.Bool("fast", true, "use cheap storage costs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite := bench.NewSuite(*fast)
+	rec, err := suite.Recorder(*tool)
+	if err != nil {
+		return err
+	}
+	var store *provmark.Store
+	if *storeDir != "" {
+		store, err = provmark.NewStore(*storeDir)
+		if err != nil {
+			return err
+		}
+	}
+	var index *provmark.IndexWriter
+	if *htmlDir != "" {
+		index, err = provmark.NewIndexWriter(*htmlDir, *tool)
+		if err != nil {
+			return err
+		}
+	}
+	var timeLogFile *os.File
+	if *timeLog != "" {
+		timeLogFile, err = os.OpenFile(*timeLog, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer timeLogFile.Close()
+	}
+	runner := provmark.NewRunner(rec, provmark.Config{Trials: *trials})
+	fmt.Printf("batch run: %s\n", *tool)
+	for _, name := range benchprog.Names() {
+		prog, _ := benchprog.ByName(name)
+		res, err := runner.Run(prog)
+		if err != nil {
+			fmt.Printf("%-12s ERROR %v\n", name, err)
+			continue
+		}
+		status := "empty"
+		if !res.Empty {
+			status = graph.Summarize(res.Target).String()
+		}
+		if index != nil {
+			if err := index.Add(res); err != nil {
+				return err
+			}
+		}
+		if timeLogFile != nil {
+			if _, err := fmt.Fprintln(timeLogFile, provmark.TimingLogLine(res)); err != nil {
+				return err
+			}
+		}
+		regression := ""
+		if store != nil && !res.Empty {
+			diff, err := store.Check(*tool, name, res.Target)
+			switch {
+			case errors.Is(err, provmark.ErrNoBaseline):
+				if err := store.Save(*tool, name, res.Target); err != nil {
+					return err
+				}
+				regression = "baseline saved"
+			case err != nil:
+				return err
+			case diff.Changed:
+				regression = "REGRESSION: " + diff.Detail
+			default:
+				regression = "matches baseline"
+			}
+		}
+		fmt.Printf("%-12s %-14s %s\n", name, status, regression)
+	}
+	if index != nil {
+		path, err := index.Flush()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("html report: %s\n", path)
+	}
+	return nil
+}

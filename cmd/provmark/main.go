@@ -1,0 +1,137 @@
+// Command provmark benchmarks a single syscall under one provenance
+// capture tool — the equivalent of the paper's fullAutomation.py.
+//
+// Usage:
+//
+//	provmark -tool spade -bench rename [-trials 2] [-result rb|rg|rh]
+//
+// Tools: spade (DOT output), opus (Neo4j-sim output), camflow
+// (PROV-JSON output). Benchmarks: any Table 1 syscall name, or one of
+// the extra programs rename-failed, privesc, scale1..scale8.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"provmark/internal/bench"
+	"provmark/internal/benchprog"
+	"provmark/internal/capture"
+	"provmark/internal/profile"
+	"provmark/internal/provmark"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "provmark:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("provmark", flag.ContinueOnError)
+	tool := fs.String("tool", "spade", "capture tool (spade, opus, camflow, spn) or profile name (spg, opu, cam)")
+	configPath := fs.String("config", "", "profile configuration file (INI, Appendix A.4 format)")
+	benchName := fs.String("bench", "", "benchmark name (see -list)")
+	trials := fs.Int("trials", 0, "trials per variant (0 = tool default)")
+	resultType := fs.String("result", "rb", "result type: rb (benchmark), rg (with generalized graphs), rh (html), rd (styled Graphviz figure)")
+	list := fs.Bool("list", false, "list available benchmarks and exit")
+	fast := fs.Bool("fast", false, "use cheap storage costs (skip Neo4j warm-up simulation)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, name := range benchprog.Names() {
+			prog, _ := benchprog.ByName(name)
+			fmt.Printf("%d %-12s %s\n", prog.Group, name, prog.Desc)
+		}
+		fmt.Println("extra: rename-failed, privesc, reads8, scale1, scale2, scale4, scale8")
+		for _, p := range benchprog.FailureCases() {
+			fmt.Printf("%d %-16s %s\n", p.Group, p.Name, p.Desc)
+		}
+		return nil
+	}
+	if *benchName == "" {
+		return fmt.Errorf("missing -bench (try -list)")
+	}
+	prog, err := lookupProgram(*benchName)
+	if err != nil {
+		return err
+	}
+	rec, err := resolveRecorder(*tool, *configPath, *fast)
+	if err != nil {
+		return err
+	}
+	res, err := provmark.NewRunner(rec, provmark.Config{Trials: *trials}).Run(prog)
+	if err != nil {
+		return err
+	}
+	rt := provmark.BenchmarkOnly
+	switch *resultType {
+	case "rb":
+	case "rg":
+		rt = provmark.WithGeneralized
+	case "rh":
+		rt = provmark.HTMLPage
+	case "rd":
+		fmt.Print(provmark.RenderFigureDOT(res))
+		return nil
+	default:
+		return fmt.Errorf("unknown result type %q", *resultType)
+	}
+	fmt.Print(provmark.Render(res, rt))
+	return nil
+}
+
+// resolveRecorder maps a -tool argument to a recorder: profile names
+// (from -config or the built-in config.ini) take precedence, then the
+// plain tool names of the benchmark suite.
+func resolveRecorder(tool, configPath string, fast bool) (capture.Recorder, error) {
+	profiles := profile.Default()
+	if configPath != "" {
+		f, err := os.Open(configPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		profiles, err = profile.Parse(f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, ok := profiles.Profile(tool); ok {
+		return profiles.Build(tool)
+	}
+	return bench.NewSuite(fast).Recorder(tool)
+}
+
+func lookupProgram(name string) (benchprog.Program, error) {
+	if prog, ok := benchprog.ByName(name); ok {
+		return prog, nil
+	}
+	if prog, ok := benchprog.FailureCaseByName(name); ok {
+		return prog, nil
+	}
+	switch {
+	case name == "rename-failed":
+		return benchprog.FailedRename(), nil
+	case name == "privesc":
+		return benchprog.PrivilegeEscalation(), nil
+	case strings.HasPrefix(name, "reads"):
+		n, err := strconv.Atoi(name[len("reads"):])
+		if err != nil || n < 1 {
+			return benchprog.Program{}, fmt.Errorf("bad reads count in %q", name)
+		}
+		return benchprog.RepeatedReads(n), nil
+	case strings.HasPrefix(name, "scale"):
+		n, err := strconv.Atoi(name[len("scale"):])
+		if err != nil || n < 1 {
+			return benchprog.Program{}, fmt.Errorf("bad scale factor in %q", name)
+		}
+		return benchprog.ScaleProgram(n), nil
+	}
+	return benchprog.Program{}, fmt.Errorf("unknown benchmark %q (try -list)", name)
+}

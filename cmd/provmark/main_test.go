@@ -1,0 +1,85 @@
+package main
+
+import "testing"
+
+func TestLookupProgram(t *testing.T) {
+	cases := []struct {
+		name    string
+		ok      bool
+		group   int
+		hasName string
+	}{
+		{"rename", true, 1, "rename"},
+		{"scale4", true, 1, "scale4"},
+		{"reads8", true, 1, "reads8"},
+		{"rename-failed", true, 1, "rename-failed"},
+		{"open-eacces", true, 1, "open-eacces"},
+		{"privesc", true, 3, "privesc"},
+		{"scaleX", false, 0, ""},
+		{"reads0", false, 0, ""},
+		{"nonsense", false, 0, ""},
+	}
+	for _, tc := range cases {
+		prog, err := lookupProgram(tc.name)
+		if tc.ok && err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("%s: accepted", tc.name)
+			}
+			continue
+		}
+		if prog.Name != tc.hasName {
+			t.Errorf("%s resolved to %s", tc.name, prog.Name)
+		}
+	}
+}
+
+func TestResolveRecorder(t *testing.T) {
+	for tool, wantName := range map[string]string{
+		"spade": "spade", "opus": "opus", "camflow": "camflow",
+		"spn": "spade", "spg": "spade", "spc": "spade", "opu": "opus", "cam": "camflow",
+	} {
+		rec, err := resolveRecorder(tool, "", true)
+		if err != nil {
+			t.Errorf("%s: %v", tool, err)
+			continue
+		}
+		if rec.Name() != wantName {
+			t.Errorf("%s resolved to %s", tool, rec.Name())
+		}
+	}
+	if _, err := resolveRecorder("nope", "", true); err == nil {
+		t.Error("unknown tool accepted")
+	}
+	if _, err := resolveRecorder("spade", "/no/such/config.ini", true); err == nil {
+		t.Error("missing config accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if err := run([]string{"-tool", "spade", "-bench", "creat", "-fast"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]string{
+		{"-tool", "spade"}, // no bench
+		{"-tool", "spade", "-bench", "creat", "-result", "xx"}, // bad result type
+		{"-tool", "wat", "-bench", "creat"},                    // bad tool
+	} {
+		if err := run(bad); err == nil {
+			t.Errorf("accepted %v", bad)
+		}
+	}
+}
+
+func TestRunHTMLResult(t *testing.T) {
+	// Smoke check the rh flavour goes through (output on stdout).
+	if err := run([]string{"-tool", "camflow", "-bench", "open", "-result", "rh", "-fast"}); err != nil {
+		t.Fatal(err)
+	}
+}

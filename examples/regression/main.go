@@ -1,0 +1,102 @@
+// Regression reproduces the paper's "Charlie" use case (Section 3.1):
+// using ProvMark for regression testing of a provenance recorder. The
+// first batch run stores every benchmark graph (as Datalog) as the
+// baseline; later runs are compared against the store with the same
+// graph-isomorphism machinery the pipeline uses. The example then
+// simulates a tool change (SPADE with versioning enabled) and shows the
+// detected regressions.
+//
+//	go run ./examples/regression
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"provmark/internal/benchprog"
+	"provmark/internal/capture/spade"
+	"provmark/internal/provmark"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "regression:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "provmark-regression-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store, err := provmark.NewStore(dir)
+	if err != nil {
+		return err
+	}
+	benchmarks := []string{"creat", "open", "rename", "write", "fork"}
+
+	fmt.Println("== baseline run (SPADE, default configuration) ==")
+	if err := batch(store, spade.DefaultConfig(), benchmarks, true); err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Println("== re-run with the same configuration (expect no regressions) ==")
+	if err := batch(store, spade.DefaultConfig(), benchmarks, false); err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Println("== re-run after a tool change: versioning enabled ==")
+	cfg := spade.DefaultConfig()
+	cfg.Versioning = true
+	if err := batch(store, cfg, benchmarks, false); err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Println("write now versions its artifact, so its benchmark graph changed")
+	fmt.Println("shape — expected changes would replace the baseline; unexpected")
+	fmt.Println("ones are investigated as potential bugs.")
+	return nil
+}
+
+func batch(store *provmark.Store, cfg spade.Config, benchmarks []string, saveBaseline bool) error {
+	runner := provmark.NewRunner(spade.New(cfg), provmark.Config{})
+	for _, name := range benchmarks {
+		prog, ok := benchprog.ByName(name)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %s", name)
+		}
+		res, err := runner.Run(prog)
+		if err != nil {
+			return err
+		}
+		if res.Empty {
+			fmt.Printf("%-8s empty (%s)\n", name, res.Reason)
+			continue
+		}
+		if saveBaseline {
+			if err := store.Save("spade", name, res.Target); err != nil {
+				return err
+			}
+			fmt.Printf("%-8s baseline stored (%d nodes, %d edges)\n",
+				name, res.Target.NumNodes(), res.Target.NumEdges())
+			continue
+		}
+		diff, err := store.Check("spade", name, res.Target)
+		switch {
+		case errors.Is(err, provmark.ErrNoBaseline):
+			fmt.Printf("%-8s no baseline\n", name)
+		case err != nil:
+			return err
+		case diff.Changed:
+			fmt.Printf("%-8s REGRESSION: %s\n", name, diff.Detail)
+		default:
+			fmt.Printf("%-8s matches baseline\n", name)
+		}
+	}
+	return nil
+}

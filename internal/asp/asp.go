@@ -1,0 +1,434 @@
+// Package asp implements the answer-set-programming fragment ProvMark
+// needs to solve its two graph-matching listings (Listing 3, graph
+// similarity; Listing 4, approximate subgraph isomorphism with a
+// #minimize objective). The paper uses the clingo solver; this package
+// is a self-contained replacement covering the same program class:
+//
+//   - cardinality-1 choice rules  {h(X,Y) : ...} = 1 :- item(X)
+//     become selection groups: exactly one atom per group is true;
+//   - integrity constraints between two atoms (the injectivity rules
+//     :- X<>Y, h(X,Z), h(Y,Z)) become conflict pairs;
+//   - constraints of the form :- h(E1,E2), not h(X,Y) (edge endpoint
+//     preservation) become implications h(E1,E2) -> h(X,Y);
+//   - #minimize { PC,X,K : cost(X,K,PC) } becomes per-atom integer
+//     weights whose selected sum is minimized.
+//
+// Label-preservation constraints are handled at grounding time: atoms
+// whose labels disagree are simply never generated, exactly as a
+// grounder would delete rules with unsatisfiable bodies.
+//
+// The solver is a depth-first search with unit propagation over groups
+// (minimum-remaining-values ordering) and branch-and-bound pruning on
+// the weight objective. It is deterministic: given the same problem it
+// explores candidates in construction order.
+package asp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AtomID indexes an atom within a Problem.
+type AtomID int
+
+// Atom is one ground instance h(X, Y) of the matching relation, carrying
+// an optional weight contributed to the objective when selected.
+type Atom struct {
+	X, Y   string // element of G1, element of G2 (for rendering)
+	Group  int    // selection group this atom belongs to
+	Weight int    // objective contribution when selected
+}
+
+// Problem is a ground matching program.
+type Problem struct {
+	atoms     []Atom
+	groups    [][]AtomID // exactly one atom per group must hold
+	conflicts [][]AtomID // conflicts[a] = atoms that cannot hold with a
+	implies   [][]AtomID // implies[a] = atoms forced when a holds
+	groupName []string
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem {
+	return &Problem{}
+}
+
+// AddGroup creates a selection group (one X that must be matched) and
+// returns its index. name is used only for rendering.
+func (p *Problem) AddGroup(name string) int {
+	p.groups = append(p.groups, nil)
+	p.groupName = append(p.groupName, name)
+	return len(p.groups) - 1
+}
+
+// AddAtom adds a candidate atom to a group and returns its id.
+func (p *Problem) AddAtom(group int, x, y string, weight int) AtomID {
+	id := AtomID(len(p.atoms))
+	p.atoms = append(p.atoms, Atom{X: x, Y: y, Group: group, Weight: weight})
+	p.groups[group] = append(p.groups[group], id)
+	p.conflicts = append(p.conflicts, nil)
+	p.implies = append(p.implies, nil)
+	return id
+}
+
+// AddConflict forbids a and b from holding together.
+func (p *Problem) AddConflict(a, b AtomID) {
+	p.conflicts[a] = append(p.conflicts[a], b)
+	p.conflicts[b] = append(p.conflicts[b], a)
+}
+
+// AddImplication records that selecting a forces selecting b.
+func (p *Problem) AddImplication(a, b AtomID) {
+	p.implies[a] = append(p.implies[a], b)
+}
+
+// Atom returns the atom with the given id.
+func (p *Problem) Atom(id AtomID) Atom { return p.atoms[id] }
+
+// NumAtoms reports how many ground atoms the problem has.
+func (p *Problem) NumAtoms() int { return len(p.atoms) }
+
+// NumGroups reports how many selection groups the problem has.
+func (p *Problem) NumGroups() int { return len(p.groups) }
+
+// ErrUnsat is returned when no model exists.
+var ErrUnsat = errors.New("asp: unsatisfiable")
+
+// Solution maps each group index to the selected atom.
+type Solution struct {
+	Selected []AtomID // indexed by group
+	Cost     int
+}
+
+// Solve finds any model (ignoring weights). It is equivalent to
+// SolveMin with an immediate-accept bound, but skips bound bookkeeping.
+func (p *Problem) Solve() (*Solution, error) {
+	return p.solve(false)
+}
+
+// SolveMin finds a model of minimum total weight.
+func (p *Problem) SolveMin() (*Solution, error) {
+	return p.solve(true)
+}
+
+// SolveAll enumerates models, invoking fn for each (with weights
+// reported but not optimized). Enumeration stops when fn returns false
+// or after limit models (limit <= 0 means unbounded). It returns the
+// number of models visited.
+func (p *Problem) SolveAll(limit int, fn func(*Solution) bool) int {
+	s := &state{
+		p:        p,
+		alive:    make([]bool, len(p.atoms)),
+		chosen:   make([]AtomID, len(p.groups)),
+		bestCost: int(^uint(0) >> 1),
+	}
+	for i := range s.alive {
+		s.alive[i] = true
+	}
+	for i := range s.chosen {
+		s.chosen[i] = -1
+	}
+	for _, g := range p.groups {
+		if len(g) == 0 {
+			return 0
+		}
+	}
+	count := 0
+	stopped := false
+	var enumerate func()
+	enumerate = func() {
+		if stopped {
+			return
+		}
+		gi := s.pickGroup()
+		if gi < 0 {
+			count++
+			sol := &Solution{Selected: append([]AtomID(nil), s.chosen...), Cost: s.cost}
+			if !fn(sol) || (limit > 0 && count >= limit) {
+				stopped = true
+			}
+			return
+		}
+		var cands []AtomID
+		for _, a := range s.p.groups[gi] {
+			if s.alive[a] {
+				cands = append(cands, a)
+			}
+		}
+		for _, a := range cands {
+			if stopped {
+				return
+			}
+			if !s.alive[a] {
+				continue
+			}
+			if s.choose(a) {
+				enumerate()
+			}
+			s.undo()
+		}
+	}
+	enumerate()
+	return count
+}
+
+// state carries the mutable search data. Candidate sets are represented
+// as per-group slices of still-alive atom ids; removals are trailed for
+// backtracking.
+type state struct {
+	p         *Problem
+	alive     []bool   // per atom
+	chosen    []AtomID // per group, -1 if open
+	nChosen   int
+	cost      int
+	trail     []AtomID // atoms killed, for undo
+	trailMark []int
+	best      *Solution
+	bestCost  int
+	optimize  bool
+	minWeight []int // per group: min weight among alive atoms (recomputed lazily)
+}
+
+func (p *Problem) solve(optimize bool) (*Solution, error) {
+	s := &state{
+		p:        p,
+		alive:    make([]bool, len(p.atoms)),
+		chosen:   make([]AtomID, len(p.groups)),
+		optimize: optimize,
+		bestCost: int(^uint(0) >> 1),
+	}
+	for i := range s.alive {
+		s.alive[i] = true
+	}
+	for i := range s.chosen {
+		s.chosen[i] = -1
+	}
+	for gi, g := range p.groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("%w: group %s has no candidates", ErrUnsat, p.groupName[gi])
+		}
+	}
+	s.search()
+	if s.best == nil {
+		return nil, ErrUnsat
+	}
+	return s.best, nil
+}
+
+// lowerBound sums, over open groups, the minimum weight among alive
+// candidates. This is an admissible bound for branch-and-bound.
+func (s *state) lowerBound() int {
+	lb := s.cost
+	for gi, g := range s.p.groups {
+		if s.chosen[gi] >= 0 {
+			continue
+		}
+		minW := int(^uint(0) >> 1)
+		for _, a := range g {
+			if s.alive[a] && s.p.atoms[a].Weight < minW {
+				minW = s.p.atoms[a].Weight
+			}
+		}
+		lb += minW
+	}
+	return lb
+}
+
+// pickGroup returns the open group with the fewest alive candidates
+// (minimum remaining values), or -1 if all groups are decided.
+func (s *state) pickGroup() int {
+	best, bestN := -1, int(^uint(0)>>1)
+	for gi, g := range s.p.groups {
+		if s.chosen[gi] >= 0 {
+			continue
+		}
+		n := 0
+		for _, a := range g {
+			if s.alive[a] {
+				n++
+			}
+		}
+		if n < bestN {
+			best, bestN = gi, n
+			if n <= 1 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+func (s *state) search() {
+	if s.optimize && s.best != nil && s.lowerBound() >= s.bestCost {
+		return
+	}
+	gi := s.pickGroup()
+	if gi < 0 {
+		sol := &Solution{Selected: append([]AtomID(nil), s.chosen...), Cost: s.cost}
+		s.best = sol
+		s.bestCost = s.cost
+		return
+	}
+	// Copy the alive candidates for this group: selections mutate alive.
+	var cands []AtomID
+	for _, a := range s.p.groups[gi] {
+		if s.alive[a] {
+			cands = append(cands, a)
+		}
+	}
+	if s.optimize {
+		sort.SliceStable(cands, func(i, j int) bool {
+			return s.p.atoms[cands[i]].Weight < s.p.atoms[cands[j]].Weight
+		})
+	}
+	for _, a := range cands {
+		if !s.alive[a] {
+			continue
+		}
+		if s.choose(a) {
+			s.search()
+			if !s.optimize && s.best != nil {
+				s.undo()
+				return
+			}
+		}
+		s.undo()
+	}
+}
+
+// choose selects atom a and propagates: kill conflicting atoms, kill the
+// group's other candidates, and force implications (recursively). It
+// returns false if propagation wipes out some group or contradicts an
+// earlier choice; the caller must still undo.
+func (s *state) choose(a AtomID) bool {
+	s.trailMark = append(s.trailMark, len(s.trail))
+	return s.propagate(a)
+}
+
+func (s *state) propagate(a AtomID) bool {
+	at := s.p.atoms[a]
+	if s.chosen[at.Group] == a {
+		return true // already selected via an earlier implication
+	}
+	if s.chosen[at.Group] >= 0 || !s.alive[a] {
+		return false
+	}
+	s.chosen[at.Group] = a
+	s.nChosen++
+	s.cost += at.Weight
+	s.trail = append(s.trail, -a-1000000) // selection marker, see undo
+	for _, other := range s.p.groups[at.Group] {
+		if other != a && s.alive[other] {
+			s.kill(other)
+		}
+	}
+	for _, c := range s.p.conflicts[a] {
+		if s.alive[c] {
+			ca := s.p.atoms[c]
+			if s.chosen[ca.Group] == c {
+				return false // conflict with an earlier selection
+			}
+			s.kill(c)
+		} else if s.chosen[s.p.atoms[c].Group] == c {
+			return false
+		}
+	}
+	for _, imp := range s.p.implies[a] {
+		ia := s.p.atoms[imp]
+		if s.chosen[ia.Group] == imp {
+			continue
+		}
+		if !s.alive[imp] || s.chosen[ia.Group] >= 0 {
+			return false
+		}
+		if !s.propagate(imp) {
+			return false
+		}
+	}
+	// Fail fast if any open group lost all candidates.
+	for gi, g := range s.p.groups {
+		if s.chosen[gi] >= 0 {
+			continue
+		}
+		any := false
+		for _, x := range g {
+			if s.alive[x] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *state) kill(a AtomID) {
+	s.alive[a] = false
+	s.trail = append(s.trail, a)
+}
+
+func (s *state) undo() {
+	mark := s.trailMark[len(s.trailMark)-1]
+	s.trailMark = s.trailMark[:len(s.trailMark)-1]
+	for len(s.trail) > mark {
+		x := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		if x <= -1000000 {
+			a := AtomID(-(x + 1000000))
+			at := s.p.atoms[a]
+			s.chosen[at.Group] = -1
+			s.nChosen--
+			s.cost -= at.Weight
+		} else {
+			s.alive[x] = true
+		}
+	}
+}
+
+// Render prints the ground program in a clingo-like concrete syntax,
+// useful for debugging and for comparing against the paper's listings.
+func (p *Problem) Render() string {
+	var b strings.Builder
+	for gi, g := range p.groups {
+		names := make([]string, 0, len(g))
+		for _, a := range g {
+			names = append(names, fmt.Sprintf("h(%s,%s)", p.atoms[a].X, p.atoms[a].Y))
+		}
+		fmt.Fprintf(&b, "{ %s } = 1. %% group %s\n", strings.Join(names, "; "), p.groupName[gi])
+	}
+	seen := map[[2]AtomID]bool{}
+	for a, cs := range p.conflicts {
+		for _, c := range cs {
+			k := [2]AtomID{AtomID(a), c}
+			if k[0] > k[1] {
+				k[0], k[1] = k[1], k[0]
+			}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			fmt.Fprintf(&b, ":- h(%s,%s), h(%s,%s).\n",
+				p.atoms[k[0]].X, p.atoms[k[0]].Y, p.atoms[k[1]].X, p.atoms[k[1]].Y)
+		}
+	}
+	for a, imps := range p.implies {
+		for _, i := range imps {
+			fmt.Fprintf(&b, ":- h(%s,%s), not h(%s,%s).\n",
+				p.atoms[a].X, p.atoms[a].Y, p.atoms[i].X, p.atoms[i].Y)
+		}
+	}
+	var costs []string
+	for _, a := range p.atoms {
+		if a.Weight > 0 {
+			costs = append(costs, fmt.Sprintf("%d,%s,%s : h(%s,%s)", a.Weight, a.X, a.Y, a.X, a.Y))
+		}
+	}
+	if len(costs) > 0 {
+		fmt.Fprintf(&b, "#minimize { %s }.\n", strings.Join(costs, "; "))
+	}
+	return b.String()
+}

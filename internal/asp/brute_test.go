@@ -1,0 +1,131 @@
+package asp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteMin enumerates every complete selection (one atom per group) and
+// returns the minimum cost among those satisfying all conflicts and
+// implications, or -1 when unsatisfiable. Exponential — used only on
+// tiny random instances as an oracle for the solver.
+func bruteMin(p *Problem) int {
+	n := p.NumGroups()
+	selected := make([]AtomID, n)
+	best := -1
+	var rec func(g int)
+	rec = func(g int) {
+		if g == n {
+			cost := 0
+			chosen := map[AtomID]bool{}
+			for _, a := range selected {
+				chosen[a] = true
+				cost += p.Atom(a).Weight
+			}
+			for _, a := range selected {
+				for _, c := range p.conflicts[a] {
+					if chosen[c] {
+						return
+					}
+				}
+				for _, imp := range p.implies[a] {
+					if !chosen[imp] {
+						return
+					}
+				}
+			}
+			if best < 0 || cost < best {
+				best = cost
+			}
+			return
+		}
+		for _, a := range p.groups[g] {
+			selected[g] = a
+			rec(g + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+// randomProblem builds a small random instance with groups, shared-
+// target conflicts and a few implications.
+func randomProblem(rng *rand.Rand) *Problem {
+	p := NewProblem()
+	nGroups := 2 + rng.Intn(4)
+	nTargets := 2 + rng.Intn(4)
+	atomsByTarget := make([][]AtomID, nTargets)
+	var all []AtomID
+	for g := 0; g < nGroups; g++ {
+		gi := p.AddGroup("g")
+		nCands := 1 + rng.Intn(nTargets)
+		perm := rng.Perm(nTargets)
+		for c := 0; c < nCands; c++ {
+			y := perm[c]
+			a := p.AddAtom(gi, "x", "y", rng.Intn(4))
+			atomsByTarget[y] = append(atomsByTarget[y], a)
+			all = append(all, a)
+		}
+	}
+	// Injectivity over shared targets.
+	for _, atoms := range atomsByTarget {
+		for i := 0; i < len(atoms); i++ {
+			for j := i + 1; j < len(atoms); j++ {
+				if p.Atom(atoms[i]).Group != p.Atom(atoms[j]).Group {
+					p.AddConflict(atoms[i], atoms[j])
+				}
+			}
+		}
+	}
+	// A few random implications between atoms of different groups.
+	for i := 0; i < rng.Intn(3); i++ {
+		a := all[rng.Intn(len(all))]
+		b := all[rng.Intn(len(all))]
+		if p.Atom(a).Group != p.Atom(b).Group {
+			p.AddImplication(a, b)
+		}
+	}
+	return p
+}
+
+// TestSolverMatchesBruteForce: on random tiny instances, SolveMin must
+// agree with exhaustive enumeration on both satisfiability and optimum.
+func TestSolverMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng)
+		want := bruteMin(p)
+		sol, err := p.SolveMin()
+		if want < 0 {
+			return err != nil
+		}
+		if err != nil {
+			t.Logf("seed %d: solver unsat but brute force found cost %d", seed, want)
+			return false
+		}
+		if sol.Cost != want {
+			t.Logf("seed %d: solver cost %d, brute force %d", seed, sol.Cost, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolveAgreesWithSolveMinOnSatisfiability: the non-optimizing entry
+// point must find a model exactly when one exists.
+func TestSolveAgreesWithSolveMinOnSatisfiability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng)
+		_, err1 := p.Solve()
+		_, err2 := p.SolveMin()
+		return (err1 == nil) == (err2 == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

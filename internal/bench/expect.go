@@ -1,0 +1,105 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section 4 demonstration and Section 5 system evaluation)
+// on top of the pipeline and the three simulated recorders.
+package bench
+
+// Note annotates a Table 2 cell, matching the paper's legend.
+type Note string
+
+// Table 2 notes.
+const (
+	NoteNone Note = ""
+	// NoteNR: behaviour not recorded by the default configuration.
+	NoteNR Note = "NR"
+	// NoteSC: only state changes monitored.
+	NoteSC Note = "SC"
+	// NoteLP: limitation in ProvMark.
+	NoteLP Note = "LP"
+	// NoteDV: disconnected vforked process.
+	NoteDV Note = "DV"
+)
+
+// Cell is one entry of the validation matrix.
+type Cell struct {
+	OK   bool // true = "ok", false = "empty"
+	Note Note
+}
+
+func (c Cell) String() string {
+	s := "empty"
+	if c.OK {
+		s = "ok"
+	}
+	if c.Note != NoteNone {
+		s += " (" + string(c.Note) + ")"
+	}
+	return s
+}
+
+// Tools lists the benchmarked tools in the paper's column order.
+var Tools = []string{"spade", "opus", "camflow"}
+
+// ExpectedTable2 is the paper's Table 2, cell for cell: for every
+// benchmarked syscall, the expected ok/empty status and note under each
+// tool's baseline configuration.
+func ExpectedTable2() map[string]map[string]Cell {
+	ok := Cell{OK: true}
+	okDV := Cell{OK: true, Note: NoteDV}
+	okSC := Cell{OK: true, Note: NoteSC}
+	eNR := Cell{Note: NoteNR}
+	eSC := Cell{Note: NoteSC}
+	eLP := Cell{Note: NoteLP}
+	row := func(s, o, c Cell) map[string]Cell {
+		return map[string]Cell{"spade": s, "opus": o, "camflow": c}
+	}
+	return map[string]map[string]Cell{
+		// Group 1: files.
+		"close":     row(ok, ok, eLP),
+		"creat":     row(ok, ok, ok),
+		"dup":       row(eSC, ok, eNR),
+		"dup2":      row(eSC, ok, eNR),
+		"dup3":      row(eSC, ok, eNR),
+		"link":      row(ok, ok, ok),
+		"linkat":    row(ok, ok, ok),
+		"symlink":   row(ok, ok, eNR),
+		"symlinkat": row(ok, ok, eNR),
+		"mknod":     row(eNR, ok, eNR),
+		"mknodat":   row(eNR, eNR, eNR),
+		"open":      row(ok, ok, ok),
+		"openat":    row(ok, ok, ok),
+		"read":      row(ok, eNR, ok),
+		"pread":     row(ok, eNR, ok),
+		"rename":    row(ok, ok, ok),
+		"renameat":  row(ok, ok, ok),
+		"truncate":  row(ok, ok, ok),
+		"ftruncate": row(ok, ok, ok),
+		"unlink":    row(ok, ok, ok),
+		"unlinkat":  row(ok, ok, ok),
+		"write":     row(ok, eNR, ok),
+		"pwrite":    row(ok, eNR, ok),
+		// Group 2: processes.
+		"clone":  row(ok, eNR, ok),
+		"execve": row(ok, ok, ok),
+		"exit":   row(eLP, eLP, eLP),
+		"fork":   row(ok, ok, ok),
+		"kill":   row(eLP, eLP, eLP),
+		"vfork":  row(okDV, ok, ok),
+		// Group 3: permissions.
+		"chmod":     row(ok, ok, ok),
+		"fchmod":    row(ok, eNR, ok),
+		"fchmodat":  row(ok, ok, ok),
+		"chown":     row(eNR, ok, ok),
+		"fchown":    row(eNR, eNR, ok),
+		"fchownat":  row(eNR, ok, ok),
+		"setgid":    row(ok, ok, ok),
+		"setregid":  row(ok, ok, ok),
+		"setresgid": row(eSC, eNR, ok),
+		"setuid":    row(ok, ok, ok),
+		"setreuid":  row(ok, ok, ok),
+		"setresuid": row(okSC, eNR, ok),
+		// Group 4: pipes.
+		"pipe":  row(eNR, ok, eNR),
+		"pipe2": row(eNR, ok, eNR),
+		"tee":   row(eNR, eNR, ok),
+	}
+}

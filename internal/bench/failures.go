@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"provmark/internal/benchprog"
+	"provmark/internal/capture/camflow"
+	"provmark/internal/provmark"
+)
+
+// FailureTools are the columns of the failure matrix: the three
+// baseline tools plus CamFlow with denied-check recording enabled (the
+// configuration Alice would ask the CamFlow developers about).
+var FailureTools = []string{"spade", "opus", "camflow", "camflow+denied"}
+
+// ExpectedFailureMatrix encodes the Alice use-case findings,
+// generalized to ten failure scenarios:
+//
+//   - SPADE's default audit rules skip failed calls entirely;
+//   - OPUS records every attempted call with retval -1;
+//   - CamFlow records nothing by default; with denied-check recording
+//     it captures the permission-denied cases, but not failures that
+//     abort before any hook fires (ENOENT, EEXIST) nor hooks 0.4.5
+//     does not attach to (task_kill).
+func ExpectedFailureMatrix() map[string]map[string]bool {
+	row := func(spade, opus, cam, camDenied bool) map[string]bool {
+		return map[string]bool{
+			"spade": spade, "opus": opus,
+			"camflow": cam, "camflow+denied": camDenied,
+		}
+	}
+	// true = records the failed call (non-empty benchmark).
+	return map[string]map[string]bool{
+		"open-enoent":     row(false, true, false, false),
+		"open-eacces":     row(false, true, false, true),
+		"rename-eacces":   row(false, true, false, true),
+		"unlink-eacces":   row(false, true, false, true),
+		"link-eexist":     row(false, true, false, false),
+		"truncate-eacces": row(false, true, false, true),
+		"chmod-eperm":     row(false, true, false, true),
+		"chown-eperm":     row(false, true, false, true),
+		"setuid-eperm":    row(false, true, false, true),
+		"kill-eperm":      row(false, true, false, false),
+	}
+}
+
+// FailureMatrixResult is the measured matrix plus agreement summary.
+type FailureMatrixResult struct {
+	// Recorded[bench][tool] = the tool produced a non-empty benchmark.
+	Recorded   map[string]map[string]bool
+	Mismatches int
+	Total      int
+}
+
+// RunFailureMatrix benchmarks every failure case under every column.
+func (s *Suite) RunFailureMatrix() (*FailureMatrixResult, error) {
+	deniedCfg := camflow.DefaultConfig()
+	deniedCfg.RecordDenied = true
+	denied := camflow.New(deniedCfg)
+
+	expected := ExpectedFailureMatrix()
+	res := &FailureMatrixResult{Recorded: map[string]map[string]bool{}}
+	for _, prog := range benchprog.FailureCases() {
+		res.Recorded[prog.Name] = map[string]bool{}
+		for _, tool := range FailureTools {
+			var (
+				r   *provmark.Result
+				err error
+			)
+			if tool == "camflow+denied" {
+				r, err = provmark.NewRunner(denied, provmark.Config{}).Run(prog)
+			} else {
+				r, err = s.RunProgram(tool, prog)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("bench: failures %s/%s: %w", tool, prog.Name, err)
+			}
+			got := !r.Empty
+			res.Recorded[prog.Name][tool] = got
+			res.Total++
+			if expected[prog.Name][tool] != got {
+				res.Mismatches++
+			}
+		}
+	}
+	return res, nil
+}
+
+// RenderFailureMatrix prints the matrix with expectations.
+func RenderFailureMatrix(res *FailureMatrixResult) string {
+	var b strings.Builder
+	b.WriteString("Failure-case matrix (extension of the Alice use case)\n")
+	fmt.Fprintf(&b, "%-16s %-8s %-8s %-10s %-16s\n", "scenario", "SPADE", "OPUS", "CamFlow", "CamFlow+denied")
+	expected := ExpectedFailureMatrix()
+	for _, prog := range benchprog.FailureCases() {
+		row := res.Recorded[prog.Name]
+		cell := func(tool string) string {
+			s := "-"
+			if row[tool] {
+				s = "recorded"
+			}
+			if expected[prog.Name][tool] != row[tool] {
+				s += "(!)"
+			}
+			return s
+		}
+		fmt.Fprintf(&b, "%-16s %-8s %-8s %-10s %-16s\n", prog.Name,
+			cell("spade"), cell("opus"), cell("camflow"), cell("camflow+denied"))
+	}
+	fmt.Fprintf(&b, "agreement with expectations: %d/%d\n", res.Total-res.Mismatches, res.Total)
+	return b.String()
+}

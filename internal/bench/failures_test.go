@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"provmark/internal/benchprog"
+	"provmark/internal/oskernel"
+)
+
+// TestFailureMatrixAgreement: every failure scenario behaves as the
+// Alice use-case analysis predicts across all four tool columns.
+func TestFailureMatrixAgreement(t *testing.T) {
+	s := NewSuite(true)
+	res, err := s.RunFailureMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 10*4 {
+		t.Errorf("cells = %d, want 40", res.Total)
+	}
+	expected := ExpectedFailureMatrix()
+	for benchName, row := range res.Recorded {
+		for tool, got := range row {
+			if expected[benchName][tool] != got {
+				t.Errorf("%s/%s: recorded=%v, expected %v", tool, benchName, got, expected[benchName][tool])
+			}
+		}
+	}
+}
+
+// TestFailureCasesActuallyFail: each failure benchmark's target call
+// must fail (and leave the system unchanged).
+func TestFailureCasesActuallyFail(t *testing.T) {
+	for _, prog := range benchprog.FailureCases() {
+		k := oskernel.New()
+		if err := benchprog.Run(k, prog, benchprog.Foreground); err != nil {
+			t.Errorf("%s: %v", prog.Name, err)
+		}
+		if ino, ok := k.Lookup("/etc/passwd"); !ok || ino.UID != 0 || ino.Mode != 0o644 {
+			t.Errorf("%s: /etc/passwd was modified", prog.Name)
+		}
+	}
+}
+
+func TestRenderFailureMatrix(t *testing.T) {
+	s := NewSuite(true)
+	res, err := s.RunFailureMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderFailureMatrix(res)
+	for _, want := range []string{"open-eacces", "CamFlow+denied", "agreement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q", want)
+		}
+	}
+	if strings.Contains(out, "(!)") {
+		t.Errorf("rendering flags mismatches:\n%s", out)
+	}
+}

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"provmark/internal/graph"
+)
+
+// RenderTable1 prints the benchmarked-syscall groups.
+func RenderTable1() string {
+	var b strings.Builder
+	b.WriteString("Table 1. Benchmarked syscalls\n")
+	groups := Table1Groups()
+	for g := 1; g <= 4; g++ {
+		fmt.Fprintf(&b, "%d  %-11s %s\n", g, GroupTitles[g], strings.Join(groups[g], ", "))
+	}
+	return b.String()
+}
+
+// RenderTable2 prints the validation matrix with per-cell agreement
+// against the paper.
+func RenderTable2(t *Table2Result) string {
+	var b strings.Builder
+	b.WriteString("Table 2. Summary of validation results (paper vs reproduction)\n")
+	fmt.Fprintf(&b, "%-5s %-10s | %-12s %-12s %-12s | agree\n", "Group", "syscall", "SPADE", "OPUS", "CamFlow")
+	for _, row := range t.Rows {
+		agree := "yes"
+		for _, tool := range Tools {
+			if !row.Match[tool] {
+				agree = "NO"
+			}
+		}
+		fmt.Fprintf(&b, "%-5d %-10s | %-12s %-12s %-12s | %s\n",
+			row.Group, row.Syscall,
+			row.Actual["spade"], row.Actual["opus"], row.Actual["camflow"], agree)
+	}
+	fmt.Fprintf(&b, "agreement: %d/%d cells match the paper\n", t.Total-t.Mismatches, t.Total)
+	return b.String()
+}
+
+// RenderTable3 prints the example benchmark graph shapes.
+func RenderTable3(t map[string]map[string]Table3Cell) string {
+	var b strings.Builder
+	b.WriteString("Table 3. Example benchmark results (graph shapes)\n")
+	syscalls := []string{"open", "read", "write", "dup", "setuid", "setresuid"}
+	fmt.Fprintf(&b, "%-8s", "")
+	for _, sc := range syscalls {
+		fmt.Fprintf(&b, " %-12s", sc)
+	}
+	b.WriteString("\n")
+	for _, tool := range Tools {
+		fmt.Fprintf(&b, "%-8s", tool)
+		for _, sc := range syscalls {
+			cell := t[sc][tool]
+			if cell.Empty {
+				fmt.Fprintf(&b, " %-12s", "Empty")
+			} else {
+				fmt.Fprintf(&b, " %-12s", cell.Stats)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFig1 prints the rename graphs of Figure 1.
+func RenderFig1(f Fig1Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 1. A rename system call as recorded by three recorders\n")
+	for _, tool := range Tools {
+		r := f[tool]
+		if r.Empty {
+			fmt.Fprintf(&b, "-- %s: empty (%s)\n", tool, r.Reason)
+			continue
+		}
+		fmt.Fprintf(&b, "-- %s (%s):\n%s", tool, graph.Summarize(r.Target), r.Target.String())
+	}
+	return b.String()
+}
+
+// RenderTiming prints one of Figures 5–10 as an ASCII bar chart of the
+// transformation / generalization / comparison stages.
+func RenderTiming(title string, rows []TimingRow) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	var maxTotal time.Duration
+	for _, r := range rows {
+		total := r.Times.Transformation + r.Times.Generalization + r.Times.Comparison
+		if total > maxTotal {
+			maxTotal = total
+		}
+	}
+	if maxTotal == 0 {
+		maxTotal = time.Nanosecond
+	}
+	const width = 48
+	for _, r := range rows {
+		tr := r.Times.Transformation
+		ge := r.Times.Generalization
+		co := r.Times.Comparison
+		bar := strings.Repeat("T", scaleBar(tr, maxTotal, width)) +
+			strings.Repeat("G", scaleBar(ge, maxTotal, width)) +
+			strings.Repeat("C", scaleBar(co, maxTotal, width))
+		fmt.Fprintf(&b, "%-8s |%-*s| T=%-10v G=%-10v C=%-10v\n",
+			r.Label, width, bar, tr.Round(time.Microsecond),
+			ge.Round(time.Microsecond), co.Round(time.Microsecond))
+	}
+	b.WriteString("(T=transformation, G=generalization, C=comparison)\n")
+	return b.String()
+}
+
+func scaleBar(d, max time.Duration, width int) int {
+	n := int(int64(d) * int64(width) / int64(max))
+	if n < 1 && d > 0 {
+		n = 1
+	}
+	return n
+}
+
+// ModuleSize is one Table 4 row: lines of code of a recorder's
+// recording and transformation modules.
+type ModuleSize struct {
+	Tool           string
+	Format         string
+	Recording      int
+	Transformation int
+}
+
+// Table4ModuleSizes reproduces Table 4 by counting the source lines of
+// this repository's per-tool recording and transformation modules. root
+// is the repository root; the paper's numbers are Python, ours are Go.
+func Table4ModuleSizes(root string) ([]ModuleSize, error) {
+	entries := []struct {
+		tool, format, recDir, xfmDir string
+	}{
+		{"spade", "DOT", "internal/capture/spade", "internal/dot"},
+		{"opus", "Neo4j", "internal/capture/opus", "internal/neo4jsim"},
+		{"camflow", "PROV-JSON", "internal/capture/camflow", "internal/provjson"},
+	}
+	var out []ModuleSize
+	for _, e := range entries {
+		rec, err := countGoLines(filepath.Join(root, e.recDir))
+		if err != nil {
+			return nil, err
+		}
+		xfm, err := countGoLines(filepath.Join(root, e.xfmDir))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ModuleSize{Tool: e.tool, Format: e.format, Recording: rec, Transformation: xfm})
+	}
+	return out, nil
+}
+
+func countGoLines(dir string) (int, error) {
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("bench: table4: %w", err)
+	}
+	names := make([]string, 0, len(files))
+	for _, f := range files {
+		name := f.Name()
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	total := 0
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return 0, fmt.Errorf("bench: table4: %w", err)
+		}
+		total += strings.Count(string(data), "\n")
+	}
+	return total, nil
+}
+
+// RenderTable4 prints the module-size table.
+func RenderTable4(sizes []ModuleSize) string {
+	var b strings.Builder
+	b.WriteString("Table 4. Module sizes (Go lines of code)\n")
+	fmt.Fprintf(&b, "%-16s %-10s %-10s %-10s\n", "Module", "SPADE", "OPUS", "CamFlow")
+	byTool := map[string]ModuleSize{}
+	for _, s := range sizes {
+		byTool[s.Tool] = s
+	}
+	fmt.Fprintf(&b, "%-16s %-10s %-10s %-10s\n", "(Format)",
+		"("+byTool["spade"].Format+")", "("+byTool["opus"].Format+")", "("+byTool["camflow"].Format+")")
+	fmt.Fprintf(&b, "%-16s %-10d %-10d %-10d\n", "Recording",
+		byTool["spade"].Recording, byTool["opus"].Recording, byTool["camflow"].Recording)
+	fmt.Fprintf(&b, "%-16s %-10d %-10d %-10d\n", "Transformation",
+		byTool["spade"].Transformation, byTool["opus"].Transformation, byTool["camflow"].Transformation)
+	return b.String()
+}

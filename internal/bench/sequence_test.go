@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"testing"
+
+	"provmark/internal/benchprog"
+)
+
+// TestSequenceOfTwentySyscalls verifies the Section 5.2 claim that
+// ProvMark "can currently handle short sequences of 10-20 syscalls
+// without problems": a scale10 target is 20 syscalls (10 creats + 10
+// unlinks), and every tool must produce a clean, correctly-sized
+// benchmark for it.
+func TestSequenceOfTwentySyscalls(t *testing.T) {
+	s := NewSuite(true)
+	prog := benchprog.ScaleProgram(10)
+	for _, tool := range Tools {
+		res, err := s.RunProgram(tool, prog)
+		if err != nil {
+			t.Fatalf("%s: %v", tool, err)
+		}
+		if res.Empty {
+			t.Errorf("%s: scale10 empty (%s)", tool, res.Reason)
+			continue
+		}
+		// Each create+unlink pair must contribute structure: at least
+		// one node per created file.
+		if res.Target.NumNodes() < 10 {
+			t.Errorf("%s: scale10 target has only %d nodes", tool, res.Target.NumNodes())
+		}
+	}
+}
+
+// TestSequenceResultGrowsLinearly: the benchmark graph for scaleN grows
+// proportionally to N — no events are silently dropped or merged under
+// baseline configurations.
+func TestSequenceResultGrowsLinearly(t *testing.T) {
+	s := NewSuite(true)
+	sizes := map[int]int{}
+	for _, n := range []int{2, 4, 8} {
+		res, err := s.RunProgram("spade", benchprog.ScaleProgram(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Empty {
+			t.Fatalf("scale%d empty", n)
+		}
+		sizes[n] = res.Target.Size()
+	}
+	if sizes[4] <= sizes[2] || sizes[8] <= sizes[4] {
+		t.Errorf("sizes not increasing: %v", sizes)
+	}
+	// Doubling the target should roughly double the result.
+	if sizes[8] < sizes[4]*2-4 || sizes[8] > sizes[4]*2+4 {
+		t.Errorf("scale8 (%d) not ~2x scale4 (%d)", sizes[8], sizes[4])
+	}
+}

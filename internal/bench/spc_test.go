@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpcColumnAgreement: the measured spc column matches the
+// first-principles expectation matrix across all 44 benchmarks.
+func TestSpcColumnAgreement(t *testing.T) {
+	s := NewSuite(true)
+	res, err := s.RunSpcColumn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 44 {
+		t.Errorf("cells = %d", res.Total)
+	}
+	expected := ExpectedSpcColumn()
+	for name, cell := range res.Cells {
+		if expected[name].OK != cell.OK {
+			t.Errorf("spc/%s: got %s, derived expectation %s", name, cell, expected[name])
+		}
+	}
+}
+
+// TestSpcGainsOverAuditReporter: the reporter swap must strictly gain
+// the kernel-level-only syscalls and lose the audit-only ones.
+func TestSpcGainsOverAuditReporter(t *testing.T) {
+	audit := ExpectedTable2()
+	spc := ExpectedSpcColumn()
+	gains, losses := []string{}, []string{}
+	for name := range spc {
+		switch {
+		case spc[name].OK && !audit[name]["spade"].OK:
+			gains = append(gains, name)
+		case !spc[name].OK && audit[name]["spade"].OK:
+			losses = append(losses, name)
+		}
+	}
+	for _, want := range []string{"chown", "fchown", "fchownat", "setresgid", "tee"} {
+		if !containsName(gains, want) {
+			t.Errorf("expected %s among spc gains %v", want, gains)
+		}
+	}
+	// Losses: close (no LSM hook) and the symlink family (0.4.5 gap).
+	for _, want := range []string{"close", "symlink", "symlinkat"} {
+		if !containsName(losses, want) {
+			t.Errorf("expected %s among spc losses %v", want, losses)
+		}
+	}
+}
+
+func containsName(list []string, want string) bool {
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRenderSpcColumn(t *testing.T) {
+	s := NewSuite(true)
+	res, err := s.RunSpcColumn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderSpcColumn(res)
+	for _, want := range []string{"SPADE/camflow", "gained vs audit reporter", "agreement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"provmark/internal/benchprog"
+	"provmark/internal/capture"
+	"provmark/internal/capture/camflow"
+	"provmark/internal/capture/opus"
+	"provmark/internal/capture/spade"
+	"provmark/internal/graph"
+	"provmark/internal/neo4jsim"
+	"provmark/internal/provmark"
+)
+
+// Suite bundles the three recorders under their baseline configurations
+// and runs the paper's experiments against them.
+type Suite struct {
+	recorders map[string]capture.Recorder
+}
+
+// NewSuite builds the baseline suite. fast substitutes cheap storage
+// costs for the Neo4j simulation so unit tests stay quick; experiments
+// and benchmarks use fast=false to reproduce the timing shapes of
+// Figures 5–10.
+func NewSuite(fast bool) *Suite {
+	opusCfg := opus.DefaultConfig()
+	dbOpts := neo4jsim.Options{}
+	if fast {
+		dbOpts = neo4jsim.Options{WarmupPages: 1, ScanRoundsPerRow: 1}
+		opusCfg.DB = dbOpts
+	}
+	return &Suite{recorders: map[string]capture.Recorder{
+		"spade":   spade.New(spade.DefaultConfig()),
+		"opus":    opus.New(opusCfg),
+		"camflow": camflow.New(camflow.DefaultConfig()),
+		// spn: SPADE with Neo4j storage, the paper CLI's second SPADE
+		// profile. Not part of the Table 2 tool columns.
+		"spn": spade.New(spade.DefaultConfig().WithNeo4jStorage(dbOpts)),
+	}}
+}
+
+// Recorder returns the named tool.
+func (s *Suite) Recorder(tool string) (capture.Recorder, error) {
+	rec, ok := s.recorders[tool]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown tool %q", tool)
+	}
+	return rec, nil
+}
+
+// Run benchmarks one named syscall under one tool.
+func (s *Suite) Run(tool, benchName string) (*provmark.Result, error) {
+	rec, err := s.Recorder(tool)
+	if err != nil {
+		return nil, err
+	}
+	prog, ok := benchprog.ByName(benchName)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown benchmark %q", benchName)
+	}
+	return provmark.NewRunner(rec, provmark.Config{}).Run(prog)
+}
+
+// RunProgram benchmarks an arbitrary program (scalability, failure
+// cases) under one tool.
+func (s *Suite) RunProgram(tool string, prog benchprog.Program) (*provmark.Result, error) {
+	rec, err := s.Recorder(tool)
+	if err != nil {
+		return nil, err
+	}
+	return provmark.NewRunner(rec, provmark.Config{}).Run(prog)
+}
+
+// Table2Row is the outcome of one syscall across all tools.
+type Table2Row struct {
+	Group    int
+	Syscall  string
+	Actual   map[string]Cell // note copied from expectation when status agrees
+	Expected map[string]Cell
+	Match    map[string]bool
+}
+
+// Table2Result is the full validation matrix plus agreement summary.
+type Table2Result struct {
+	Rows       []Table2Row
+	Mismatches int
+	Total      int
+}
+
+// RunTable2 reproduces Table 2: every benchmark under every tool,
+// compared cell-by-cell against the paper's published matrix.
+func (s *Suite) RunTable2() (*Table2Result, error) {
+	expected := ExpectedTable2()
+	res := &Table2Result{}
+	for _, name := range benchprog.Names() {
+		prog, _ := benchprog.ByName(name)
+		row := Table2Row{
+			Group:    prog.Group,
+			Syscall:  name,
+			Actual:   map[string]Cell{},
+			Expected: expected[name],
+			Match:    map[string]bool{},
+		}
+		for _, tool := range Tools {
+			r, err := s.Run(tool, name)
+			if err != nil {
+				return nil, fmt.Errorf("bench: table2 %s/%s: %w", tool, name, err)
+			}
+			cell := Cell{OK: !r.Empty}
+			if exp, ok := expected[name][tool]; ok && exp.OK == cell.OK {
+				cell.Note = exp.Note
+			}
+			row.Actual[tool] = cell
+			match := expected[name][tool].OK == cell.OK
+			row.Match[tool] = match
+			res.Total++
+			if !match {
+				res.Mismatches++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table3Cell summarizes one example benchmark graph for Table 3.
+type Table3Cell struct {
+	Empty bool
+	Stats graph.Stats
+}
+
+// RunTable3 reproduces Table 3: the example benchmark results for
+// open, read, write, dup, setuid and setresuid across the three tools,
+// reported as graph shapes (node/edge counts).
+func (s *Suite) RunTable3() (map[string]map[string]Table3Cell, error) {
+	syscalls := []string{"open", "read", "write", "dup", "setuid", "setresuid"}
+	out := make(map[string]map[string]Table3Cell, len(syscalls))
+	for _, sc := range syscalls {
+		out[sc] = map[string]Table3Cell{}
+		for _, tool := range Tools {
+			r, err := s.Run(tool, sc)
+			if err != nil {
+				return nil, fmt.Errorf("bench: table3 %s/%s: %w", tool, sc, err)
+			}
+			cell := Table3Cell{Empty: r.Empty}
+			if !r.Empty {
+				cell.Stats = graph.Summarize(r.Target)
+			}
+			out[sc][tool] = cell
+		}
+	}
+	return out, nil
+}
+
+// Fig1Result holds the rename benchmark graphs of Figure 1.
+type Fig1Result map[string]*provmark.Result
+
+// RunFig1 reproduces Figure 1: how the three tools represent a rename.
+func (s *Suite) RunFig1() (Fig1Result, error) {
+	out := Fig1Result{}
+	for _, tool := range Tools {
+		r, err := s.Run(tool, "rename")
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig1 %s: %w", tool, err)
+		}
+		out[tool] = r
+	}
+	return out, nil
+}
+
+// TimingRow is one bar of Figures 5–10.
+type TimingRow struct {
+	Label string
+	Times provmark.StageTimes
+}
+
+// TimingSyscalls is the representative set of Figures 5–7.
+var TimingSyscalls = []string{"open", "execve", "fork", "setuid", "rename"}
+
+// RunTiming reproduces Figures 5–7: per-stage processing times for the
+// representative syscalls under one tool.
+func (s *Suite) RunTiming(tool string) ([]TimingRow, error) {
+	out := make([]TimingRow, 0, len(TimingSyscalls))
+	for _, sc := range TimingSyscalls {
+		r, err := s.Run(tool, sc)
+		if err != nil {
+			return nil, fmt.Errorf("bench: timing %s/%s: %w", tool, sc, err)
+		}
+		out = append(out, TimingRow{Label: sc, Times: r.Times})
+	}
+	return out, nil
+}
+
+// Scales is the Figures 8–10 parameter sweep.
+var Scales = []int{1, 2, 4, 8}
+
+// RunScalability reproduces Figures 8–10: per-stage times as the target
+// action (create+unlink) is repeated 1, 2, 4 and 8 times.
+func (s *Suite) RunScalability(tool string) ([]TimingRow, error) {
+	out := make([]TimingRow, 0, len(Scales))
+	for _, n := range Scales {
+		r, err := s.RunProgram(tool, benchprog.ScaleProgram(n))
+		if err != nil {
+			return nil, fmt.Errorf("bench: scalability %s/scale%d: %w", tool, n, err)
+		}
+		out = append(out, TimingRow{Label: fmt.Sprintf("scale%d", n), Times: r.Times})
+	}
+	return out, nil
+}
+
+// Table1Groups reproduces Table 1: the benchmarked syscall families by
+// group.
+func Table1Groups() map[int][]string {
+	out := map[int][]string{}
+	for _, name := range benchprog.Names() {
+		prog, _ := benchprog.ByName(name)
+		out[prog.Group] = append(out[prog.Group], name)
+	}
+	for g := range out {
+		sort.Strings(out[g])
+	}
+	return out
+}
+
+// GroupTitles names the Table 1 groups.
+var GroupTitles = map[int]string{
+	1: "Files",
+	2: "Processes",
+	3: "Permissions",
+	4: "Pipes",
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTable1GroupsComplete(t *testing.T) {
+	groups := Table1Groups()
+	if len(groups[1]) != 23 || len(groups[2]) != 6 || len(groups[3]) != 12 || len(groups[4]) != 3 {
+		t.Errorf("group sizes: %d/%d/%d/%d", len(groups[1]), len(groups[2]), len(groups[3]), len(groups[4]))
+	}
+	out := RenderTable1()
+	for _, want := range []string{"Files", "Processes", "Permissions", "Pipes", "rename", "tee"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 missing %q", want)
+		}
+	}
+}
+
+func TestFig1RenameShapes(t *testing.T) {
+	s := NewSuite(true)
+	f, err := s.RunFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tool := range Tools {
+		if f[tool].Empty {
+			t.Errorf("%s: rename empty", tool)
+		}
+	}
+	// The paper's qualitative observations about Figure 1:
+	// SPADE: two artifacts linked to each other and the process.
+	spadeArtifacts := 0
+	for _, n := range f["spade"].Target.Nodes() {
+		if n.Label == "Artifact" {
+			spadeArtifacts++
+		}
+	}
+	if spadeArtifacts != 2 {
+		t.Errorf("spade rename has %d artifacts, want 2", spadeArtifacts)
+	}
+	// OPUS: around a dozen elements including the call event itself.
+	if f["opus"].Target.Size() < 8 {
+		t.Errorf("opus rename graph too small: %d elements", f["opus"].Target.Size())
+	}
+	// CamFlow: a new path node; the old path absent.
+	oldPath, newPath := false, false
+	for _, n := range f["camflow"].Target.Nodes() {
+		switch n.Props["cf:pathname"] {
+		case "/stage/test.txt":
+			oldPath = true
+		case "/stage/renamed.txt":
+			newPath = true
+		}
+	}
+	if oldPath || !newPath {
+		t.Errorf("camflow rename paths: old=%v new=%v, want only new", oldPath, newPath)
+	}
+	out := RenderFig1(f)
+	if !strings.Contains(out, "spade") || !strings.Contains(out, "Figure 1") {
+		t.Error("fig1 rendering incomplete")
+	}
+}
+
+func TestTable3Cells(t *testing.T) {
+	s := NewSuite(true)
+	res, err := s.RunTable3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Empty cells of Table 3 in the paper.
+	wantEmpty := map[[2]string]bool{
+		{"dup", "spade"}:      true,
+		{"read", "opus"}:      true,
+		{"write", "opus"}:     true,
+		{"setresuid", "opus"}: true,
+		{"dup", "camflow"}:    true,
+	}
+	for sc, row := range res {
+		for tool, cell := range row {
+			want := wantEmpty[[2]string{sc, tool}]
+			if cell.Empty != want {
+				t.Errorf("table3 %s/%s: empty=%v want %v", tool, sc, cell.Empty, want)
+			}
+		}
+	}
+	out := RenderTable3(res)
+	if !strings.Contains(out, "setresuid") || !strings.Contains(out, "Empty") {
+		t.Error("table3 rendering incomplete")
+	}
+}
+
+func TestTimingRows(t *testing.T) {
+	s := NewSuite(true)
+	rows, err := s.RunTiming("spade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(TimingSyscalls) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Times.Generalization <= 0 || r.Times.Comparison <= 0 {
+			t.Errorf("%s: missing stage times %+v", r.Label, r.Times)
+		}
+	}
+	out := RenderTiming("Figure 5 test", rows)
+	if !strings.Contains(out, "execve") || !strings.Contains(out, "T=") {
+		t.Error("timing rendering incomplete")
+	}
+}
+
+func TestScalabilityRows(t *testing.T) {
+	s := NewSuite(true)
+	rows, err := s.RunScalability("camflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[0].Label != "scale1" || rows[3].Label != "scale8" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// Shape check: scale8 must be slower than scale1 on the solver
+	// stages (generalization+comparison).
+	s1 := rows[0].Times.Generalization + rows[0].Times.Comparison
+	s8 := rows[3].Times.Generalization + rows[3].Times.Comparison
+	if s8 <= s1 {
+		t.Errorf("scale8 (%v) not slower than scale1 (%v)", s8, s1)
+	}
+}
+
+func TestTable4CountsThisRepo(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes, err := Table4ModuleSizes(root)
+	if err != nil {
+		t.Skipf("source tree not available: %v", err)
+	}
+	if len(sizes) != 3 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	for _, s := range sizes {
+		if s.Recording < 100 || s.Transformation < 50 {
+			t.Errorf("%s: implausible line counts %+v", s.Tool, s)
+		}
+	}
+	out := RenderTable4(sizes)
+	if !strings.Contains(out, "Recording") || !strings.Contains(out, "PROV-JSON") {
+		t.Error("table4 rendering incomplete")
+	}
+}
+
+func TestSuiteUnknownTool(t *testing.T) {
+	s := NewSuite(true)
+	if _, err := s.Recorder("pass"); err == nil {
+		t.Error("unknown tool accepted")
+	}
+	if _, err := s.Run("spade", "nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable2FullAgreement is the headline reproduction check: every
+// cell of Table 2 (44 syscalls x 3 tools) must match the paper's
+// published ok/empty status.
+func TestTable2FullAgreement(t *testing.T) {
+	s := NewSuite(true)
+	res, err := s.RunTable2()
+	if err != nil {
+		t.Fatalf("table2: %v", err)
+	}
+	if res.Total != 44*3 {
+		t.Errorf("expected %d cells, got %d", 44*3, res.Total)
+	}
+	for _, row := range res.Rows {
+		for _, tool := range Tools {
+			if !row.Match[tool] {
+				t.Errorf("%s/%s: got %s, paper says %s",
+					tool, row.Syscall, row.Actual[tool], row.Expected[tool])
+			}
+		}
+	}
+}
+
+func TestExpectedTable2CoversAllBenchmarks(t *testing.T) {
+	expected := ExpectedTable2()
+	if len(expected) != 44 {
+		t.Errorf("expected matrix should have 44 rows, has %d", len(expected))
+	}
+	for name, row := range expected {
+		for _, tool := range Tools {
+			if _, ok := row[tool]; !ok {
+				t.Errorf("row %s lacks tool %s", name, tool)
+			}
+		}
+	}
+}
+
+func TestRenderTable2(t *testing.T) {
+	s := NewSuite(true)
+	res, err := s.RunTable2()
+	if err != nil {
+		t.Fatalf("table2: %v", err)
+	}
+	out := RenderTable2(res)
+	for _, want := range []string{"rename", "SPADE", "agreement:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package benchprog
+
+import (
+	"testing"
+
+	"provmark/internal/oskernel"
+)
+
+// TestAllProgramsRunBothVariants: every registered benchmark must
+// execute successfully as foreground and background in a fresh kernel.
+func TestAllProgramsRunBothVariants(t *testing.T) {
+	for _, name := range Names() {
+		prog, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%s) failed", name)
+		}
+		for _, v := range []Variant{Background, Foreground} {
+			k := oskernel.New()
+			if err := Run(k, prog, v); err != nil {
+				t.Errorf("%s/%s: %v", name, v, err)
+			}
+		}
+	}
+}
+
+func TestBenchmarkCountMatchesTable2(t *testing.T) {
+	if got := len(Names()); got != 44 {
+		t.Errorf("registered %d benchmarks, Table 2 has 44", got)
+	}
+}
+
+func TestGroupsMatchTable1(t *testing.T) {
+	counts := map[int]int{}
+	for _, name := range Names() {
+		prog, _ := ByName(name)
+		counts[prog.Group]++
+	}
+	want := map[int]int{1: 23, 2: 6, 3: 12, 4: 3}
+	for g, n := range want {
+		if counts[g] != n {
+			t.Errorf("group %d has %d benchmarks, want %d", g, counts[g], n)
+		}
+	}
+}
+
+// TestBackgroundSkipsTargetSteps: the background variant of close must
+// leave the descriptor open (the close step is the target).
+func TestBackgroundSkipsTargetSteps(t *testing.T) {
+	prog, _ := ByName("close")
+	k := oskernel.New()
+	tap := &oskernel.TapBuffer{}
+	k.Register(tap)
+	if err := Run(k, prog, Background); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range tap.AuditEvents {
+		if ev.Syscall == "close" {
+			t.Error("background run performed the target close")
+		}
+	}
+	// Foreground performs it.
+	k2 := oskernel.New()
+	tap2 := &oskernel.TapBuffer{}
+	k2.Register(tap2)
+	if err := Run(k2, prog, Foreground); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range tap2.AuditEvents {
+		if ev.Syscall == "close" && ev.Success {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("foreground run did not perform the target close")
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Background.String() != "bg" || Foreground.String() != "fg" {
+		t.Error("variant names wrong")
+	}
+}
+
+func TestScaleProgram(t *testing.T) {
+	prog := ScaleProgram(4)
+	if prog.Name != "scale4" || len(prog.Steps) != 4 {
+		t.Fatalf("scale program: %s with %d steps", prog.Name, len(prog.Steps))
+	}
+	k := oskernel.New()
+	tap := &oskernel.TapBuffer{}
+	k.Register(tap)
+	if err := Run(k, prog, Foreground); err != nil {
+		t.Fatal(err)
+	}
+	creats, unlinks := 0, 0
+	for _, ev := range tap.AuditEvents {
+		switch ev.Syscall {
+		case "creat":
+			creats++
+		case "unlink":
+			unlinks++
+		}
+	}
+	if creats != 4 || unlinks != 4 {
+		t.Errorf("creats=%d unlinks=%d, want 4/4", creats, unlinks)
+	}
+}
+
+func TestFailedRenameActuallyFails(t *testing.T) {
+	prog := FailedRename()
+	k := oskernel.New()
+	tap := &oskernel.TapBuffer{}
+	k.Register(tap)
+	if err := Run(k, prog, Foreground); err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for _, ev := range tap.AuditEvents {
+		if ev.Syscall == "rename" {
+			seen = true
+			if ev.Success {
+				t.Error("rename unexpectedly succeeded")
+			}
+		}
+	}
+	if !seen {
+		t.Error("rename never attempted")
+	}
+	if ino, ok := k.Lookup("/etc/passwd"); !ok || ino.UID != 0 {
+		t.Error("/etc/passwd was replaced")
+	}
+}
+
+func TestRepeatedReads(t *testing.T) {
+	prog := RepeatedReads(5)
+	k := oskernel.New()
+	tap := &oskernel.TapBuffer{}
+	k.Register(tap)
+	if err := Run(k, prog, Foreground); err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	for _, ev := range tap.AuditEvents {
+		if ev.Syscall == "read" {
+			reads++
+		}
+	}
+	if reads != 5 {
+		t.Errorf("reads = %d, want 5", reads)
+	}
+}
+
+func TestPrivilegeEscalationProgram(t *testing.T) {
+	prog := PrivilegeEscalation()
+	k := oskernel.New()
+	tap := &oskernel.TapBuffer{}
+	k.Register(tap)
+	if err := Run(k, prog, Foreground); err != nil {
+		t.Fatal(err)
+	}
+	setuidSeen := false
+	for _, ev := range tap.AuditEvents {
+		if ev.Syscall == "setuid" && ev.Success {
+			setuidSeen = true
+		}
+	}
+	if !setuidSeen {
+		t.Error("privilege escalation target not executed")
+	}
+	// Background variant must skip only the setuid.
+	k2 := oskernel.New()
+	tap2 := &oskernel.TapBuffer{}
+	k2.Register(tap2)
+	if err := Run(k2, prog, Background); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range tap2.AuditEvents {
+		if ev.Syscall == "setuid" {
+			t.Error("background variant performed the target setuid")
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, ok := ByName("no-such-benchmark"); ok {
+		t.Error("unknown benchmark resolved")
+	}
+}

@@ -1,0 +1,118 @@
+package benchprog
+
+import (
+	"fmt"
+	"strconv"
+
+	"provmark/internal/oskernel"
+)
+
+// ScaleProgram builds the scalability benchmark of Section 5.2: the
+// target is a create-then-unlink pair repeated `repeat` times (scale1,
+// scale2, scale4, scale8 in Figures 8–10).
+func ScaleProgram(repeat int) Program {
+	steps := make([]Step, 0, repeat)
+	for i := 0; i < repeat; i++ {
+		path := "/stage/scale" + strconv.Itoa(i) + ".txt"
+		steps = append(steps, step(true, func(w *World) error {
+			ret, errno := w.K.Creat(w.Main, path)
+			if errno != oskernel.OK {
+				return expectOK(ret, errno)
+			}
+			ret, errno = w.K.Unlink(w.Main, path)
+			return expectOK(ret, errno)
+		}))
+	}
+	return Program{
+		Name:  "scale" + strconv.Itoa(repeat),
+		Group: 1,
+		Desc:  fmt.Sprintf("create+unlink repeated %d times", repeat),
+		Steps: steps,
+	}
+}
+
+// FailedRename is the Section 3.1 "Alice" benchmark: an unprivileged
+// user attempts to overwrite /etc/passwd by renaming another file. The
+// call fails with EACCES; which tools record the attempt is exactly
+// what the use case probes.
+func FailedRename() Program {
+	return Program{
+		Name:  "rename-failed",
+		Group: 1,
+		Desc:  "unprivileged rename onto /etc/passwd (EACCES expected)",
+		Setup: setupFile("/stage/evil.txt"),
+		Steps: []Step{
+			step(true, func(w *World) error {
+				ret, errno := w.K.Rename(w.Main, "/stage/evil.txt", "/etc/passwd")
+				if errno == oskernel.OK {
+					return fmt.Errorf("rename unexpectedly succeeded (ret=%d)", ret)
+				}
+				return nil // failure is the intended behaviour
+			}),
+		},
+	}
+}
+
+// RepeatedReads is the Section 3.1 "Bob" benchmark used to probe
+// SPADE's IORuns filter: the target performs `count` consecutive reads
+// of the same file, which the filter should coalesce into one edge.
+func RepeatedReads(count int) Program {
+	return Program{
+		Name:  "reads" + strconv.Itoa(count),
+		Group: 1,
+		Desc:  fmt.Sprintf("%d consecutive reads of one file", count),
+		Setup: setupFile("/stage/test.txt"),
+		Steps: []Step{
+			step(false, func(w *World) error {
+				ret, errno := w.K.Open(w.Main, "/stage/test.txt", oskernel.ORdwr)
+				w.FD["id"] = int(ret)
+				return expectOK(ret, errno)
+			}),
+			step(true, func(w *World) error {
+				for i := 0; i < count; i++ {
+					if ret, errno := w.K.Read(w.Main, w.FD["id"], 4); errno != oskernel.OK {
+						return expectOK(ret, errno)
+					}
+				}
+				return nil
+			}),
+		},
+	}
+}
+
+// PrivilegeEscalation is the Section 3.1 "Dora" benchmark: a process
+// reads a sensitive file, then escalates privilege (setuid 0) as the
+// target activity, then overwrites the file.
+func PrivilegeEscalation() Program {
+	return Program{
+		Name:  "privesc",
+		Group: 3,
+		Desc:  "privilege escalation step inside a larger activity",
+		Setup: func(k *oskernel.Kernel) { k.MkFile("/stage/secret.txt", 1000, 0o644) },
+		Cred:  &oskernel.Cred{}, // starts root-capable so setuid succeeds
+		Steps: []Step{
+			step(false, func(w *World) error {
+				ret, errno := w.K.Open(w.Main, "/stage/secret.txt", oskernel.ORdwr)
+				w.FD["id"] = int(ret)
+				if errno != oskernel.OK {
+					return expectOK(ret, errno)
+				}
+				n, rerr := w.K.Read(w.Main, w.FD["id"], 16)
+				return expectOK(n, rerr)
+			}),
+			// The escalation and the write it enables are both target
+			// activity: anything after a credential change hangs off a
+			// new task version, so leaving it in the background would
+			// break ProvMark's monotonic-containment assumption (the
+			// same limitation the paper notes for exit/kill).
+			step(true, func(w *World) error {
+				ret, errno := w.K.Setuid(w.Main, 0)
+				return expectOK(ret, errno)
+			}),
+			step(true, func(w *World) error {
+				n, errno := w.K.Write(w.Main, w.FD["id"], 16)
+				return expectOK(n, errno)
+			}),
+		},
+	}
+}

@@ -1,0 +1,115 @@
+package benchprog
+
+import (
+	"fmt"
+
+	"provmark/internal/oskernel"
+)
+
+// FailureCases returns the failure-scenario benchmark suite the Alice
+// use case sketches: for each case the target syscall is *expected to
+// fail*, and the interesting question is which recorders keep any
+// trace. Each program asserts the failure actually happened (a
+// benchmark whose "failed" call succeeds is a broken benchmark).
+func FailureCases() []Program {
+	mustFail := func(name string, call func(w *World) (int64, oskernel.Errno), want oskernel.Errno) Step {
+		return step(true, func(w *World) error {
+			ret, errno := call(w)
+			if errno == oskernel.OK {
+				return fmt.Errorf("%s unexpectedly succeeded (ret=%d)", name, ret)
+			}
+			if want != 0 && errno != want {
+				return fmt.Errorf("%s failed with %s, want %s", name, errno.Error(), want.Error())
+			}
+			return nil
+		})
+	}
+	return []Program{
+		{
+			Name: "open-enoent", Group: 1,
+			Desc: "open a nonexistent file (fails before any inode exists)",
+			Steps: []Step{mustFail("open", func(w *World) (int64, oskernel.Errno) {
+				return w.K.Open(w.Main, "/stage/does-not-exist", oskernel.ORdonly)
+			}, oskernel.ENOENT)},
+		},
+		{
+			Name: "open-eacces", Group: 1,
+			Desc: "open /etc/passwd for writing as an unprivileged user",
+			Steps: []Step{mustFail("open", func(w *World) (int64, oskernel.Errno) {
+				return w.K.Open(w.Main, "/etc/passwd", oskernel.OWronly)
+			}, oskernel.EACCES)},
+		},
+		{
+			Name: "rename-eacces", Group: 1,
+			Desc:  "rename onto /etc/passwd as an unprivileged user",
+			Setup: setupFile("/stage/evil.txt"),
+			Steps: []Step{mustFail("rename", func(w *World) (int64, oskernel.Errno) {
+				return w.K.Rename(w.Main, "/stage/evil.txt", "/etc/passwd")
+			}, oskernel.EACCES)},
+		},
+		{
+			Name: "unlink-eacces", Group: 1,
+			Desc: "unlink /etc/passwd as an unprivileged user",
+			Steps: []Step{mustFail("unlink", func(w *World) (int64, oskernel.Errno) {
+				return w.K.Unlink(w.Main, "/etc/passwd")
+			}, oskernel.EACCES)},
+		},
+		{
+			Name: "link-eexist", Group: 1,
+			Desc: "hard link onto an existing name (fails before any hook)",
+			Setup: func(k *oskernel.Kernel) {
+				k.MkFile("/stage/a.txt", 1000, 0o644)
+				k.MkFile("/stage/b.txt", 1000, 0o644)
+			},
+			Steps: []Step{mustFail("link", func(w *World) (int64, oskernel.Errno) {
+				return w.K.Link(w.Main, "/stage/a.txt", "/stage/b.txt")
+			}, oskernel.EEXIST)},
+		},
+		{
+			Name: "truncate-eacces", Group: 1,
+			Desc: "truncate /etc/passwd as an unprivileged user",
+			Steps: []Step{mustFail("truncate", func(w *World) (int64, oskernel.Errno) {
+				return w.K.Truncate(w.Main, "/etc/passwd", 0)
+			}, oskernel.EACCES)},
+		},
+		{
+			Name: "chmod-eperm", Group: 3,
+			Desc: "chmod a root-owned file as an unprivileged user",
+			Steps: []Step{mustFail("chmod", func(w *World) (int64, oskernel.Errno) {
+				return w.K.Chmod(w.Main, "/etc/passwd", 0o777)
+			}, oskernel.EPERM)},
+		},
+		{
+			Name: "chown-eperm", Group: 3,
+			Desc:  "chown as an unprivileged user",
+			Setup: setupFile("/stage/mine.txt"),
+			Steps: []Step{mustFail("chown", func(w *World) (int64, oskernel.Errno) {
+				return w.K.Chown(w.Main, "/stage/mine.txt", 0, 0)
+			}, oskernel.EPERM)},
+		},
+		{
+			Name: "setuid-eperm", Group: 3,
+			Desc: "setuid(0) as an unprivileged user",
+			Steps: []Step{mustFail("setuid", func(w *World) (int64, oskernel.Errno) {
+				return w.K.Setuid(w.Main, 0)
+			}, oskernel.EPERM)},
+		},
+		{
+			Name: "kill-eperm", Group: 2,
+			Desc: "signal init as an unprivileged user",
+			Steps: []Step{mustFail("kill", func(w *World) (int64, oskernel.Errno) {
+				return w.K.Kill(w.Main, 1, 9)
+			}, oskernel.EPERM)},
+		},
+	}
+}
+
+// FailureCaseByName looks up one failure benchmark.
+func FailureCaseByName(name string) (Program, bool) {
+	for _, p := range FailureCases() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Program{}, false
+}

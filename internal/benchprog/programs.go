@@ -1,0 +1,448 @@
+package benchprog
+
+import (
+	"provmark/internal/oskernel"
+)
+
+// All returns the full Table 2 benchmark suite. Programs are built
+// fresh on every call so steps can be run repeatedly without sharing
+// state between trials.
+func All() []Program {
+	return []Program{
+		// ---- Group 1: files ------------------------------------------------
+		{
+			Name: "close", Group: 1, Desc: "close an open descriptor",
+			Setup: setupFile("/stage/test.txt"),
+			Steps: []Step{
+				step(false, func(w *World) error {
+					ret, errno := w.K.Open(w.Main, "/stage/test.txt", oskernel.ORdwr)
+					w.FD["id"] = int(ret)
+					return expectOK(ret, errno)
+				}),
+				step(true, func(w *World) error {
+					ret, errno := w.K.Close(w.Main, w.FD["id"])
+					return expectOK(ret, errno)
+				}),
+			},
+		},
+		{
+			Name: "creat", Group: 1, Desc: "create a new file",
+			Steps: []Step{
+				step(true, func(w *World) error {
+					ret, errno := w.K.Creat(w.Main, "/stage/new.txt")
+					return expectOK(ret, errno)
+				}),
+			},
+		},
+		dupProgram("dup", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Dup(w.Main, w.FD["id"])
+		}),
+		dupProgram("dup2", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Dup2(w.Main, w.FD["id"], 9)
+		}),
+		dupProgram("dup3", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Dup3(w.Main, w.FD["id"], 9)
+		}),
+		linkProgram("link", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Link(w.Main, "/stage/test.txt", "/stage/hard.txt")
+		}),
+		linkProgram("linkat", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Linkat(w.Main, "/stage/test.txt", "/stage/hard.txt")
+		}),
+		linkProgram("symlink", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Symlink(w.Main, "/stage/test.txt", "/stage/soft.txt")
+		}),
+		linkProgram("symlinkat", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Symlinkat(w.Main, "/stage/test.txt", "/stage/soft.txt")
+		}),
+		{
+			Name: "mknod", Group: 1, Desc: "create a device node",
+			Steps: []Step{
+				step(true, func(w *World) error {
+					ret, errno := w.K.Mknod(w.Main, "/stage/node", 0o644)
+					return expectOK(ret, errno)
+				}),
+			},
+		},
+		{
+			Name: "mknodat", Group: 1, Desc: "create a device node (at)",
+			Steps: []Step{
+				step(true, func(w *World) error {
+					ret, errno := w.K.Mknodat(w.Main, "/stage/node", 0o644)
+					return expectOK(ret, errno)
+				}),
+			},
+		},
+		{
+			Name: "open", Group: 1, Desc: "open an existing file",
+			Setup: setupFile("/stage/test.txt"),
+			Steps: []Step{
+				step(true, func(w *World) error {
+					ret, errno := w.K.Open(w.Main, "/stage/test.txt", oskernel.ORdwr)
+					return expectOK(ret, errno)
+				}),
+			},
+		},
+		{
+			Name: "openat", Group: 1, Desc: "open an existing file (at)",
+			Setup: setupFile("/stage/test.txt"),
+			Steps: []Step{
+				step(true, func(w *World) error {
+					ret, errno := w.K.Openat(w.Main, 0, "/stage/test.txt", oskernel.ORdwr)
+					return expectOK(ret, errno)
+				}),
+			},
+		},
+		rwProgram("read", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Read(w.Main, w.FD["id"], 8)
+		}),
+		rwProgram("pread", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Pread(w.Main, w.FD["id"], 8, 0)
+		}),
+		rwProgram("write", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Write(w.Main, w.FD["id"], 8)
+		}),
+		rwProgram("pwrite", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Pwrite(w.Main, w.FD["id"], 8, 0)
+		}),
+		{
+			Name: "rename", Group: 1, Desc: "rename a file",
+			Setup: setupFile("/stage/test.txt"),
+			Steps: []Step{
+				step(true, func(w *World) error {
+					ret, errno := w.K.Rename(w.Main, "/stage/test.txt", "/stage/renamed.txt")
+					return expectOK(ret, errno)
+				}),
+			},
+		},
+		{
+			Name: "renameat", Group: 1, Desc: "rename a file (at)",
+			Setup: setupFile("/stage/test.txt"),
+			Steps: []Step{
+				step(true, func(w *World) error {
+					ret, errno := w.K.Renameat(w.Main, "/stage/test.txt", "/stage/renamed.txt")
+					return expectOK(ret, errno)
+				}),
+			},
+		},
+		{
+			Name: "truncate", Group: 1, Desc: "truncate by path",
+			Setup: setupFile("/stage/test.txt"),
+			Steps: []Step{
+				step(true, func(w *World) error {
+					ret, errno := w.K.Truncate(w.Main, "/stage/test.txt", 4)
+					return expectOK(ret, errno)
+				}),
+			},
+		},
+		{
+			Name: "ftruncate", Group: 1, Desc: "truncate by descriptor",
+			Setup: setupFile("/stage/test.txt"),
+			Steps: []Step{
+				step(false, func(w *World) error {
+					ret, errno := w.K.Open(w.Main, "/stage/test.txt", oskernel.ORdwr)
+					w.FD["id"] = int(ret)
+					return expectOK(ret, errno)
+				}),
+				step(true, func(w *World) error {
+					ret, errno := w.K.Ftruncate(w.Main, w.FD["id"], 4)
+					return expectOK(ret, errno)
+				}),
+			},
+		},
+		{
+			Name: "unlink", Group: 1, Desc: "remove a file",
+			Setup: setupFile("/stage/test.txt"),
+			Steps: []Step{
+				step(true, func(w *World) error {
+					ret, errno := w.K.Unlink(w.Main, "/stage/test.txt")
+					return expectOK(ret, errno)
+				}),
+			},
+		},
+		{
+			Name: "unlinkat", Group: 1, Desc: "remove a file (at)",
+			Setup: setupFile("/stage/test.txt"),
+			Steps: []Step{
+				step(true, func(w *World) error {
+					ret, errno := w.K.Unlinkat(w.Main, "/stage/test.txt")
+					return expectOK(ret, errno)
+				}),
+			},
+		},
+
+		// ---- Group 2: processes --------------------------------------------
+		{
+			Name: "clone", Group: 2, Desc: "spawn a thread-like child via raw clone",
+			Steps: []Step{
+				step(true, func(w *World) error {
+					child, ret, errno := w.K.Clone(w.Main)
+					w.Child = child
+					return expectOK(ret, errno)
+				}),
+			},
+		},
+		{
+			Name: "execve", Group: 2, Desc: "replace the process image",
+			Steps: []Step{
+				step(true, func(w *World) error {
+					ret, errno := w.K.Execve(w.Main, "/usr/bin/helper", []string{"helper"})
+					return expectOK(ret, errno)
+				}),
+			},
+		},
+		{
+			Name: "exit", Group: 2, Desc: "terminate normally (implicit in bg too)",
+			Steps: []Step{
+				step(true, func(w *World) error {
+					w.K.Exit(w.Main, 0)
+					return nil
+				}),
+			},
+		},
+		{
+			Name: "fork", Group: 2, Desc: "fork a child that exits",
+			Steps: []Step{
+				step(true, func(w *World) error {
+					child, ret, errno := w.K.Fork(w.Main)
+					if errno != oskernel.OK {
+						return expectOK(ret, errno)
+					}
+					w.K.Exit(child, 0)
+					return nil
+				}),
+			},
+		},
+		{
+			Name: "kill", Group: 2, Desc: "kill a forked child",
+			Steps: []Step{
+				step(false, func(w *World) error {
+					child, ret, errno := w.K.Fork(w.Main)
+					w.Child = child
+					return expectOK(ret, errno)
+				}),
+				step(true, func(w *World) error {
+					ret, errno := w.K.Kill(w.Main, w.Child.PID, 9)
+					return expectOK(ret, errno)
+				}),
+			},
+		},
+		{
+			Name: "vfork", Group: 2, Desc: "vfork a child; parent suspends until child exit",
+			Steps: []Step{
+				step(true, func(w *World) error {
+					child, ret, errno := w.K.Vfork(w.Main)
+					if errno != oskernel.OK {
+						return expectOK(ret, errno)
+					}
+					w.K.Exit(child, 0)
+					return nil
+				}),
+			},
+		},
+
+		// ---- Group 3: permissions ------------------------------------------
+		chmodProgram("chmod", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Chmod(w.Main, "/stage/test.txt", 0o600)
+		}),
+		{
+			Name: "fchmod", Group: 3, Desc: "chmod by descriptor",
+			Setup: setupFile("/stage/test.txt"),
+			Steps: []Step{
+				step(false, func(w *World) error {
+					ret, errno := w.K.Open(w.Main, "/stage/test.txt", oskernel.ORdwr)
+					w.FD["id"] = int(ret)
+					return expectOK(ret, errno)
+				}),
+				step(true, func(w *World) error {
+					ret, errno := w.K.Fchmod(w.Main, w.FD["id"], 0o600)
+					return expectOK(ret, errno)
+				}),
+			},
+		},
+		chmodProgram("fchmodat", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Fchmodat(w.Main, "/stage/test.txt", 0o600)
+		}),
+		chownProgram("chown", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Chown(w.Main, "/stage/test.txt", 1001, 1001)
+		}),
+		{
+			Name: "fchown", Group: 3, Desc: "chown by descriptor (run as root)",
+			Setup: setupFile("/stage/test.txt"),
+			Cred:  &oskernel.Cred{}, // root
+			Steps: []Step{
+				step(false, func(w *World) error {
+					ret, errno := w.K.Open(w.Main, "/stage/test.txt", oskernel.ORdwr)
+					w.FD["id"] = int(ret)
+					return expectOK(ret, errno)
+				}),
+				step(true, func(w *World) error {
+					ret, errno := w.K.Fchown(w.Main, w.FD["id"], 1001, 1001)
+					return expectOK(ret, errno)
+				}),
+			},
+		},
+		chownProgram("fchownat", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Fchownat(w.Main, "/stage/test.txt", 1001, 1001)
+		}),
+		setidProgram("setgid", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Setgid(w.Main, 1001)
+		}),
+		setidProgram("setregid", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Setregid(w.Main, 1001, 1001)
+		}),
+		// setresgid sets the group id to its *current* value: the kernel
+		// accepts it but nothing changes, so change-triggered recorders
+		// stay silent (the paper's SC observation for SPADE).
+		setidProgram("setresgid", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Setresgid(w.Main, 0, 0, 0)
+		}),
+		setidProgram("setuid", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Setuid(w.Main, 1001)
+		}),
+		setidProgram("setreuid", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Setreuid(w.Main, 1001, 1001)
+		}),
+		// setresuid performs an actual change of user id, so SPADE's
+		// attribute-change monitoring notices it (ok (SC) in Table 2).
+		setidProgram("setresuid", func(w *World) (int64, oskernel.Errno) {
+			return w.K.Setresuid(w.Main, 1001, 1001, 1001)
+		}),
+
+		// ---- Group 4: pipes --------------------------------------------------
+		{
+			Name: "pipe", Group: 4, Desc: "create a pipe",
+			Steps: []Step{
+				step(true, func(w *World) error {
+					_, _, errno := w.K.Pipe(w.Main)
+					return expectOK(0, errno)
+				}),
+			},
+		},
+		{
+			Name: "pipe2", Group: 4, Desc: "create a pipe with flags",
+			Steps: []Step{
+				step(true, func(w *World) error {
+					_, _, errno := w.K.Pipe2(w.Main)
+					return expectOK(0, errno)
+				}),
+			},
+		},
+		{
+			Name: "tee", Group: 4, Desc: "duplicate data between two pipes",
+			Steps: []Step{
+				step(false, func(w *World) error {
+					rd, wr, errno := w.K.Pipe(w.Main)
+					if errno != oskernel.OK {
+						return expectOK(0, errno)
+					}
+					w.FD["in_r"], w.FD["in_w"] = int(rd), int(wr)
+					rd2, wr2, errno := w.K.Pipe(w.Main)
+					w.FD["out_r"], w.FD["out_w"] = int(rd2), int(wr2)
+					if errno != oskernel.OK {
+						return expectOK(0, errno)
+					}
+					n, werr := w.K.Write(w.Main, w.FD["in_w"], 8)
+					return expectOK(n, werr)
+				}),
+				step(true, func(w *World) error {
+					ret, errno := w.K.Tee(w.Main, w.FD["in_r"], w.FD["out_w"], 8)
+					return expectOK(ret, errno)
+				}),
+			},
+		},
+	}
+}
+
+func step(target bool, do func(w *World) error) Step {
+	return Step{Target: target, Do: do}
+}
+
+func dupProgram(name string, call func(w *World) (int64, oskernel.Errno)) Program {
+	return Program{
+		Name: name, Group: 1, Desc: "duplicate a file descriptor",
+		Setup: setupFile("/stage/test.txt"),
+		Steps: []Step{
+			step(false, func(w *World) error {
+				ret, errno := w.K.Open(w.Main, "/stage/test.txt", oskernel.ORdwr)
+				w.FD["id"] = int(ret)
+				return expectOK(ret, errno)
+			}),
+			step(true, func(w *World) error {
+				ret, errno := call(w)
+				return expectOK(ret, errno)
+			}),
+		},
+	}
+}
+
+func linkProgram(name string, call func(w *World) (int64, oskernel.Errno)) Program {
+	return Program{
+		Name: name, Group: 1, Desc: "create a link to an existing file",
+		Setup: setupFile("/stage/test.txt"),
+		Steps: []Step{
+			step(true, func(w *World) error {
+				ret, errno := call(w)
+				return expectOK(ret, errno)
+			}),
+		},
+	}
+}
+
+func rwProgram(name string, call func(w *World) (int64, oskernel.Errno)) Program {
+	return Program{
+		Name: name, Group: 1, Desc: "read or write an open file",
+		Setup: setupFile("/stage/test.txt"),
+		Steps: []Step{
+			step(false, func(w *World) error {
+				ret, errno := w.K.Open(w.Main, "/stage/test.txt", oskernel.ORdwr)
+				w.FD["id"] = int(ret)
+				return expectOK(ret, errno)
+			}),
+			step(true, func(w *World) error {
+				ret, errno := call(w)
+				return expectOK(ret, errno)
+			}),
+		},
+	}
+}
+
+func chmodProgram(name string, call func(w *World) (int64, oskernel.Errno)) Program {
+	return Program{
+		Name: name, Group: 3, Desc: "change file mode",
+		Setup: setupFile("/stage/test.txt"),
+		Steps: []Step{
+			step(true, func(w *World) error {
+				ret, errno := call(w)
+				return expectOK(ret, errno)
+			}),
+		},
+	}
+}
+
+func chownProgram(name string, call func(w *World) (int64, oskernel.Errno)) Program {
+	return Program{
+		Name: name, Group: 3, Desc: "change file ownership (run as root)",
+		Setup: setupFile("/stage/test.txt"),
+		Cred:  &oskernel.Cred{}, // root: chown requires privilege
+		Steps: []Step{
+			step(true, func(w *World) error {
+				ret, errno := call(w)
+				return expectOK(ret, errno)
+			}),
+		},
+	}
+}
+
+func setidProgram(name string, call func(w *World) (int64, oskernel.Errno)) Program {
+	return Program{
+		Name: name, Group: 3, Desc: "change process credentials (run as root)",
+		Cred: &oskernel.Cred{}, // root may set arbitrary ids
+		Steps: []Step{
+			step(true, func(w *World) error {
+				ret, errno := call(w)
+				return expectOK(ret, errno)
+			}),
+		},
+	}
+}

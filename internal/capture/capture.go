@@ -1,0 +1,47 @@
+// Package capture defines the recorder abstraction ProvMark drives: a
+// provenance capture tool that can record one run of a benchmark
+// program into its native output format, plus a transformation from
+// that native format into the common property-graph model. The three
+// tools the paper studies live in the spade, opus and camflow
+// subpackages.
+package capture
+
+import (
+	"provmark/internal/benchprog"
+	"provmark/internal/graph"
+)
+
+// Native is a tool-specific recording artifact (DOT text, a Neo4j-sim
+// database, PROV-JSON bytes). The transformation stage converts it to
+// the common format.
+type Native interface {
+	// Format names the concrete serialization, e.g. "dot", "neo4j",
+	// "prov-json".
+	Format() string
+}
+
+// Recorder is one provenance capture tool under benchmark.
+type Recorder interface {
+	// Name identifies the tool ("spade", "opus", "camflow").
+	Name() string
+	// DefaultTrials is how many runs per variant the recording stage
+	// performs by default; tools with run-to-run variation need more.
+	DefaultTrials() int
+	// FilterGraphs reports whether obviously incomplete trial graphs
+	// should be dropped before similarity grouping (the config.ini
+	// filtergraphs flag; default true only for CamFlow).
+	FilterGraphs() bool
+	// Record executes one trial of the given benchmark variant in a
+	// fresh kernel and returns the tool's native output. trial seeds
+	// the tool's volatile data (timestamps, identifiers).
+	Record(prog benchprog.Program, v benchprog.Variant, trial int) (Native, error)
+	// Transform converts a native recording to the common model.
+	Transform(n Native) (*graph.Graph, error)
+}
+
+// Complete is an optional interface a Recorder implements when it can
+// judge whether a trial graph is obviously incomplete (used by the
+// graph-filtering mechanism).
+type Complete interface {
+	CompleteGraph(g *graph.Graph) bool
+}

@@ -1,0 +1,75 @@
+package spade
+
+import (
+	"fmt"
+
+	"provmark/internal/capture"
+	"provmark/internal/graph"
+	"provmark/internal/neo4jsim"
+)
+
+// Storage selects SPADE's output backend. The paper's CLI exposes both:
+// spg (SPADE with Graphviz storage) and spn (SPADE with Neo4j storage).
+type Storage int
+
+// SPADE storage backends.
+const (
+	// StorageDOT is the Graphviz backend (spg), the default.
+	StorageDOT Storage = iota + 1
+	// StorageNeo4j is the Neo4j backend (spn); transformation then pays
+	// the same database-extraction costs as OPUS.
+	StorageNeo4j
+)
+
+// WithNeo4jStorage returns a copy of the configuration using the Neo4j
+// backend with the given storage-cost options.
+func (c Config) WithNeo4jStorage(opts neo4jsim.Options) Config {
+	c.Storage = StorageNeo4j
+	c.DB = opts
+	return c
+}
+
+// storeToNeo4j writes a built SPADE graph into a fresh Neo4j-sim
+// database, as SPADE's Neo4j storage plugin would.
+func storeToNeo4j(g *graph.Graph, opts neo4jsim.Options) (*neo4jsim.DB, error) {
+	db := neo4jsim.New(opts)
+	ids := make(map[graph.ElemID]neo4jsim.NodeID, g.NumNodes())
+	for _, n := range g.Nodes() {
+		props := make(map[string]string, len(n.Props))
+		for k, v := range n.Props {
+			props[k] = v
+		}
+		ids[n.ID] = db.CreateNode(n.Label, props)
+	}
+	for _, e := range g.Edges() {
+		props := make(map[string]string, len(e.Props))
+		for k, v := range e.Props {
+			props[k] = v
+		}
+		if _, err := db.CreateRel(ids[e.Src], ids[e.Tgt], e.Label, props); err != nil {
+			return nil, fmt.Errorf("spade: neo4j store: %w", err)
+		}
+	}
+	return db, nil
+}
+
+// transformNative converts either backend's artifact to the common
+// model; the Neo4j path performs the bulk extraction.
+func transformNative(n capture.Native) (*graph.Graph, error) {
+	out, ok := n.(Output)
+	if !ok {
+		return nil, fmt.Errorf("spade: transform: unexpected native type %T", n)
+	}
+	if out.DB != nil {
+		g, err := out.DB.Export()
+		if err != nil {
+			return nil, fmt.Errorf("spade: transform: %w", err)
+		}
+		return g, nil
+	}
+	g, err := parseDOT(out.DOT)
+	if err != nil {
+		return nil, fmt.Errorf("spade: transform: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,204 @@
+package datalog
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"provmark/internal/graph"
+)
+
+func sampleGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	a := g.AddNode("File", graph.Properties{"Userid": "1", "Name": "text"})
+	b := g.AddNode("Process", nil)
+	if _, err := g.AddEdge(a, b, "Used", graph.Properties{"op": "read"}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestPrintMatchesListingFormat checks the Listing 1/2 fact syntax.
+func TestPrintMatchesListingFormat(t *testing.T) {
+	g := sampleGraph(t)
+	out := Print(g, "g2")
+	for _, want := range []string{
+		`ng2(n1,"File").`,
+		`ng2(n2,"Process").`,
+		`eg2(e1,n1,n2,"Used").`,
+		`pg2(n1,"Userid","1").`,
+		`pg2(n1,"Name","text").`,
+		`pg2(e1,"op","read").`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing fact %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestRoundTripPreservesGraph(t *testing.T) {
+	g := sampleGraph(t)
+	text := Print(g, "x")
+	h, gid, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gid != "x" {
+		t.Errorf("gid = %q, want x", gid)
+	}
+	if !graph.Equal(g, h) {
+		t.Errorf("round trip changed graph:\n%s\nvs\n%s", g, h)
+	}
+}
+
+func TestRoundTripEscaping(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode(`la"bel\with`, graph.Properties{
+		"key\"q": "value with, comma and \"quotes\" and \\backslash",
+		"multi":  "line1\nline2",
+	})
+	b := g.AddNode("plain", nil)
+	if _, err := g.AddEdge(a, b, "e,dge", nil); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := ParseString(Print(g, "esc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Equal(g, h) {
+		t.Errorf("escaping round trip failed:\n%s\nvs\n%s", g, h)
+	}
+}
+
+// TestRoundTripProperty: Print->Parse is the identity on random graphs.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New()
+		n := 1 + rng.Intn(10)
+		var ids []graph.ElemID
+		for i := 0; i < n; i++ {
+			props := graph.Properties{}
+			for p := 0; p < rng.Intn(4); p++ {
+				props["k"+strconv.Itoa(p)] = "v" + strconv.Itoa(rng.Intn(100))
+			}
+			ids = append(ids, g.AddNode("L"+strconv.Itoa(rng.Intn(3)), props))
+		}
+		for i := 0; i < rng.Intn(15); i++ {
+			if _, err := g.AddEdge(ids[rng.Intn(n)], ids[rng.Intn(n)], "E"+strconv.Itoa(rng.Intn(2)), nil); err != nil {
+				return false
+			}
+		}
+		h, _, err := ParseString(Print(g, "q"))
+		if err != nil {
+			return false
+		}
+		return graph.Equal(g, h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 75}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRejectsMalformedInput(t *testing.T) {
+	cases := []struct {
+		name, input string
+	}{
+		{"no dot", `ng(n1,"X")`},
+		{"bad predicate", `xg(n1,"X").`},
+		{"no gid", `n(n1,"X").`},
+		{"wrong arity node", `ng(n1).`},
+		{"wrong arity edge", `eg(e1,n1,"X").`},
+		{"unterminated string", `ng(n1,"X).`},
+		{"mixed gids", "ng1(n1,\"X\").\nng2(n2,\"Y\")."},
+		{"prop for unknown element", `pg(n9,"k","v").`},
+		{"edge endpoint missing", `eg(e1,n1,n2,"E").`},
+	}
+	for _, tc := range cases {
+		if _, _, err := ParseString(tc.input); err == nil {
+			t.Errorf("%s: accepted %q", tc.name, tc.input)
+		}
+	}
+}
+
+func TestParseSkipsCommentsAndBlanks(t *testing.T) {
+	input := "% comment\n\nng(n1,\"X\").\n"
+	g, _, err := ParseString(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1 {
+		t.Errorf("got %d nodes", g.NumNodes())
+	}
+}
+
+func TestParseOutOfOrderFacts(t *testing.T) {
+	// Properties and edges before the nodes they reference.
+	input := `pg(e1,"k","v").
+eg(e1,n1,n2,"E").
+ng(n2,"Y").
+ng(n1,"X").`
+	g, _, err := ParseString(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("parsed %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if g.Edge("e1").Props["k"] != "v" {
+		t.Error("edge property lost")
+	}
+}
+
+func TestNormalizeGivesCanonicalIDs(t *testing.T) {
+	g := sampleGraph(t)
+	n := Normalize(g)
+	var ids []string
+	for _, node := range n.Nodes() {
+		ids = append(ids, string(node.ID))
+	}
+	if len(ids) != 2 || ids[0] != "n1" || ids[1] != "n2" {
+		t.Errorf("ids not canonical: %v", ids)
+	}
+}
+
+// TestNormalizeIsomorphismInvariant: renaming elements must not change
+// the normalized graph.
+func TestNormalizeIsomorphismInvariant(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode("X", graph.Properties{"p": "1"})
+	b := g.AddNode("Y", nil)
+	c := g.AddNode("X", graph.Properties{"p": "2"})
+	if _, err := g.AddEdge(a, b, "E", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(c, b, "E", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Same graph, inserted in a different order with different ids.
+	h := graph.New()
+	hc := graph.ElemID("zz3")
+	hb := graph.ElemID("zz2")
+	ha := graph.ElemID("zz1")
+	if err := h.InsertNode(hc, "X", graph.Properties{"p": "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.InsertNode(hb, "Y", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.InsertNode(ha, "X", graph.Properties{"p": "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.InsertEdge("ee2", hc, hb, "E", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.InsertEdge("ee1", ha, hb, "E", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Equal(Normalize(g), Normalize(h)) {
+		t.Errorf("normalization not invariant:\n%s\nvs\n%s", Normalize(g), Normalize(h))
+	}
+}

@@ -1,0 +1,143 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"provmark/internal/graph"
+)
+
+func negSample(t *testing.T) *Database {
+	t.Helper()
+	g := graph.New()
+	p1 := g.AddNode("Process", graph.Properties{"pid": "1"})
+	p2 := g.AddNode("Process", graph.Properties{"pid": "2"})
+	f := g.AddNode("Artifact", graph.Properties{"path": "/secret"})
+	if _, err := g.AddEdge(p1, f, "Used", nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = p2 // p2 never touches the file
+	db := NewDatabase()
+	db.LoadGraph(g)
+	return db
+}
+
+// TestNegationAsFailure: find processes that never used any artifact.
+func TestNegationAsFailure(t *testing.T) {
+	db := negSample(t)
+	rules, err := ParseRules(`
+proc(P) :- node(P, "Process").
+idle(P) :- proc(P), not edge(_, P, _, "Used").
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "idle" negates a base predicate (edge), "proc" is positive: this
+	// is within the semipositive fragment... but edge has a wildcard
+	// under negation, which is allowed (wildcards match anything).
+	if err := db.Run(rules); err != nil {
+		t.Fatal(err)
+	}
+	res := db.Query(Atom{Pred: "idle", Terms: []Term{V("P")}})
+	if len(res) != 1 || res[0]["P"] != "n2" {
+		t.Errorf("idle = %v, want [n2]", res)
+	}
+}
+
+func TestNegationParsing(t *testing.T) {
+	r, err := ParseRule(`lonely(X) :- node(X, _), not edge(_, X, _, _).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Body[1].Negated {
+		t.Error("negation not parsed")
+	}
+	if !strings.Contains(r.String(), "not edge") {
+		t.Errorf("rendering lost negation: %s", r)
+	}
+	// Round trip.
+	r2, err := ParseRule(r.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.String() != r.String() {
+		t.Errorf("%s vs %s", r, r2)
+	}
+}
+
+// TestUnstratifiedNegationRejected: negating a derived predicate is
+// outside the supported fragment and must be rejected loudly.
+func TestUnstratifiedNegationRejected(t *testing.T) {
+	db := negSample(t)
+	rules, err := ParseRules(`
+p(X) :- node(X, _), not q(X).
+q(X) :- node(X, _), not p(X).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Run(rules); err == nil {
+		t.Error("unstratified negation accepted")
+	}
+}
+
+// TestUnboundNegationRejected: negated atoms must be range-restricted.
+func TestUnboundNegationRejected(t *testing.T) {
+	db := negSample(t)
+	rules, err := ParseRules(`
+bad(X) :- not node(X, "Process").
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Run(rules); err == nil {
+		t.Error("unbound variable under negation accepted")
+	}
+}
+
+// TestNegationDetectionUseCase: the Dora pattern refined with negation —
+// escalations that were never followed by a privilege drop.
+func TestNegationDetectionUseCase(t *testing.T) {
+	g := graph.New()
+	v1 := g.AddNode("activity", graph.Properties{"cf:setid": "uid=0", "cf:uid": "0"})
+	v0 := g.AddNode("activity", nil)
+	v2 := g.AddNode("activity", graph.Properties{"cf:setid": "uid=1000", "cf:uid": "1000"})
+	if _, err := g.AddEdge(v1, v0, "wasInformedBy", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(v2, v1, "wasInformedBy", nil); err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase()
+	db.LoadGraph(g)
+	rules, err := ParseRules(`
+escalated(X) :- prop(X, "cf:setid", "uid=0").
+undropped(X) :- escalated(X), not edge(_, _, X, "wasInformedBy").
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Run(rules); err != nil {
+		t.Fatal(err)
+	}
+	// v1 escalated but v2 (the drop) descends from it, so nothing is
+	// "undropped" here.
+	if res := db.Query(Atom{Pred: "undropped", Terms: []Term{V("X")}}); len(res) != 0 {
+		t.Errorf("undropped = %v, want none", res)
+	}
+	// Remove the drop edge: now the escalation is unmitigated.
+	g2 := graph.New()
+	w1 := g2.AddNode("activity", graph.Properties{"cf:setid": "uid=0", "cf:uid": "0"})
+	w0 := g2.AddNode("activity", nil)
+	if _, err := g2.AddEdge(w1, w0, "wasInformedBy", nil); err != nil {
+		t.Fatal(err)
+	}
+	db2 := NewDatabase()
+	db2.LoadGraph(g2)
+	if err := db2.Run(rules); err != nil {
+		t.Fatal(err)
+	}
+	if res := db2.Query(Atom{Pred: "undropped", Terms: []Term{V("X")}}); len(res) != 1 {
+		t.Errorf("undropped = %v, want one", res)
+	}
+}

@@ -1,0 +1,509 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"provmark/internal/graph"
+)
+
+// This file implements a small Datalog evaluator over the n/e/p fact
+// representation of provenance graphs. The paper stores benchmark
+// results as Datalog precisely so that they can be queried; the Dora
+// use case (Section 3.1, suspicious-activity detection) writes attack
+// patterns as rules and matches them against recorded provenance.
+//
+// The supported language is positive Datalog with stratified-free
+// recursion: facts n(gid)/e(gid)/p(gid) are loaded from a graph, rules
+// have a single head atom and a conjunctive body over the three fact
+// predicates and previously derived predicates. Terms are variables
+// (capitalized), string constants ("..."), or the wildcard _.
+// Evaluation is semi-naive to a fixed point.
+
+// Term is a variable, constant, or wildcard in a rule atom.
+type Term struct {
+	// Var holds the variable name when the term is a variable.
+	Var string
+	// Const holds the constant value when the term is a constant.
+	Const string
+	// Wild marks the wildcard term.
+	Wild bool
+}
+
+// V makes a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C makes a constant term.
+func C(value string) Term { return Term{Const: value} }
+
+// W makes the wildcard term.
+func W() Term { return Term{Wild: true} }
+
+func (t Term) String() string {
+	switch {
+	case t.Wild:
+		return "_"
+	case t.Var != "":
+		return t.Var
+	default:
+		return `"` + t.Const + `"`
+	}
+}
+
+// Atom is a predicate applied to terms, possibly negated (negation as
+// failure: "not p(...)" holds when no matching fact is derivable).
+// Negated atoms must have all their variables bound by earlier positive
+// body atoms, and a program using negation on a predicate must not
+// also derive that predicate from it (the evaluator runs rules to a
+// fixed point, so unstratified negation would be unsound; Run rejects
+// rules whose head predicate appears negated in any body).
+type Atom struct {
+	Pred    string
+	Terms   []Term
+	Negated bool
+}
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.String()
+	}
+	s := a.Pred + "(" + strings.Join(parts, ",") + ")"
+	if a.Negated {
+		return "not " + s
+	}
+	return s
+}
+
+// Rule derives head facts from a conjunction of body atoms.
+type Rule struct {
+	Head Atom
+	Body []Atom
+}
+
+func (r Rule) String() string {
+	parts := make([]string, len(r.Body))
+	for i, a := range r.Body {
+		parts[i] = a.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ") + "."
+}
+
+// Fact is a derived or base tuple.
+type Fact struct {
+	Pred string
+	Args []string
+}
+
+func (f Fact) String() string {
+	quoted := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		quoted[i] = `"` + a + `"`
+	}
+	return f.Pred + "(" + strings.Join(quoted, ",") + ")."
+}
+
+func (f Fact) key() string {
+	return f.Pred + "\x00" + strings.Join(f.Args, "\x00")
+}
+
+// Database holds base and derived facts indexed by predicate.
+type Database struct {
+	facts map[string][]Fact // pred -> tuples
+	seen  map[string]bool
+}
+
+// NewDatabase creates an empty fact database.
+func NewDatabase() *Database {
+	return &Database{facts: map[string][]Fact{}, seen: map[string]bool{}}
+}
+
+// Assert adds a fact if not already present; it reports whether the
+// fact was new.
+func (db *Database) Assert(f Fact) bool {
+	k := f.key()
+	if db.seen[k] {
+		return false
+	}
+	db.seen[k] = true
+	db.facts[f.Pred] = append(db.facts[f.Pred], f)
+	return true
+}
+
+// Facts returns the tuples of a predicate in assertion order.
+func (db *Database) Facts(pred string) []Fact {
+	return append([]Fact(nil), db.facts[pred]...)
+}
+
+// LoadGraph asserts a property graph as base facts under the standard
+// predicates node/2 (id, label), edge/4 (id, src, tgt, label) and
+// prop/3 (elem, key, value).
+func (db *Database) LoadGraph(g *graph.Graph) {
+	for _, n := range g.Nodes() {
+		db.Assert(Fact{Pred: "node", Args: []string{string(n.ID), n.Label}})
+		for _, k := range graph.PropKeys(n.Props) {
+			db.Assert(Fact{Pred: "prop", Args: []string{string(n.ID), k, n.Props[k]}})
+		}
+	}
+	for _, e := range g.Edges() {
+		db.Assert(Fact{Pred: "edge", Args: []string{string(e.ID), string(e.Src), string(e.Tgt), e.Label}})
+		for _, k := range graph.PropKeys(e.Props) {
+			db.Assert(Fact{Pred: "prop", Args: []string{string(e.ID), k, e.Props[k]}})
+		}
+	}
+}
+
+// binding maps variable names to values.
+type binding map[string]string
+
+func (b binding) clone() binding {
+	out := make(binding, len(b)+1)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// unify extends a binding by matching an atom's terms against a fact.
+func unify(a Atom, f Fact, b binding) (binding, bool) {
+	if a.Pred != f.Pred || len(a.Terms) != len(f.Args) {
+		return nil, false
+	}
+	out := b
+	copied := false
+	for i, t := range a.Terms {
+		val := f.Args[i]
+		switch {
+		case t.Wild:
+		case t.Const != "" || (t.Var == "" && t.Const == ""):
+			if t.Const != val {
+				return nil, false
+			}
+		default:
+			if bound, ok := out[t.Var]; ok {
+				if bound != val {
+					return nil, false
+				}
+			} else {
+				if !copied {
+					out = out.clone()
+					copied = true
+				}
+				out[t.Var] = val
+			}
+		}
+	}
+	return out, true
+}
+
+// substitute instantiates the head atom under a binding.
+func substitute(head Atom, b binding) (Fact, error) {
+	args := make([]string, len(head.Terms))
+	for i, t := range head.Terms {
+		switch {
+		case t.Wild:
+			return Fact{}, fmt.Errorf("datalog: wildcard in rule head %s", head)
+		case t.Var != "":
+			v, ok := b[t.Var]
+			if !ok {
+				return Fact{}, fmt.Errorf("datalog: unbound head variable %s in %s", t.Var, head)
+			}
+			args[i] = v
+		default:
+			args[i] = t.Const
+		}
+	}
+	return Fact{Pred: head.Pred, Args: args}, nil
+}
+
+// Run evaluates the rules over the database to a fixed point
+// (semi-naive: each iteration only re-joins when the previous one
+// derived something new). Negated body atoms are evaluated by negation
+// as failure against the current fact set; to keep that sound, Run
+// rejects programs where a predicate derived by some rule head appears
+// negated in any rule body (the supported fragment is semipositive
+// Datalog: negation only over base or already-final predicates).
+func (db *Database) Run(rules []Rule) error {
+	heads := map[string]bool{}
+	for _, r := range rules {
+		heads[r.Head.Pred] = true
+	}
+	for _, r := range rules {
+		for _, a := range r.Body {
+			if a.Negated && heads[a.Pred] {
+				return fmt.Errorf("datalog: unstratified negation of derived predicate %s in %s", a.Pred, r)
+			}
+		}
+	}
+	for {
+		derived := false
+		for _, r := range rules {
+			bindings := []binding{{}}
+			for _, atom := range r.Body {
+				var next []binding
+				if atom.Negated {
+					for _, b := range bindings {
+						if err := checkNegBound(atom, b); err != nil {
+							return err
+						}
+						matched := false
+						for _, f := range db.facts[atom.Pred] {
+							if _, ok := unify(Atom{Pred: atom.Pred, Terms: atom.Terms}, f, b); ok {
+								matched = true
+								break
+							}
+						}
+						if !matched {
+							next = append(next, b)
+						}
+					}
+					bindings = next
+					if len(bindings) == 0 {
+						break
+					}
+					continue
+				}
+				for _, b := range bindings {
+					for _, f := range db.facts[atom.Pred] {
+						if nb, ok := unify(atom, f, b); ok {
+							next = append(next, nb)
+						}
+					}
+				}
+				bindings = next
+				if len(bindings) == 0 {
+					break
+				}
+			}
+			for _, b := range bindings {
+				f, err := substitute(r.Head, b)
+				if err != nil {
+					return err
+				}
+				if db.Assert(f) {
+					derived = true
+				}
+			}
+		}
+		if !derived {
+			return nil
+		}
+	}
+}
+
+// Query evaluates a single goal atom against the database and returns
+// the matching bindings, sorted for determinism.
+func (db *Database) Query(goal Atom) []map[string]string {
+	var out []map[string]string
+	for _, f := range db.facts[goal.Pred] {
+		if b, ok := unify(goal, f, binding{}); ok {
+			m := make(map[string]string, len(b))
+			for k, v := range b {
+				m[k] = v
+			}
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return bindingKey(out[i]) < bindingKey(out[j])
+	})
+	return out
+}
+
+// checkNegBound rejects negated atoms with unbound variables: negation
+// as failure is only safe on ground (range-restricted) atoms.
+func checkNegBound(a Atom, b binding) error {
+	for _, t := range a.Terms {
+		if t.Var != "" {
+			if _, ok := b[t.Var]; !ok {
+				return fmt.Errorf("datalog: unbound variable %s under negation in %s", t.Var, a)
+			}
+		}
+	}
+	return nil
+}
+
+func bindingKey(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(m[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// ParseRule parses the concrete syntax "head(...) :- a(...), b(...)."
+// with quoted-string constants, capitalized variables, and _ wildcards.
+func ParseRule(s string) (Rule, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimSuffix(s, ".")
+	parts := strings.SplitN(s, ":-", 2)
+	head, err := parseAtom(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return Rule{}, err
+	}
+	var body []Atom
+	if len(parts) == 2 {
+		bodyAtoms, err := splitAtoms(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return Rule{}, err
+		}
+		for _, ba := range bodyAtoms {
+			a, err := parseAtom(ba)
+			if err != nil {
+				return Rule{}, err
+			}
+			body = append(body, a)
+		}
+	}
+	return Rule{Head: head, Body: body}, nil
+}
+
+// ParseRules parses one rule per non-empty, non-comment line.
+func ParseRules(text string) ([]Rule, error) {
+	var out []Rule
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		r, err := ParseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// splitAtoms splits "a(...), b(...)" on top-level commas.
+func splitAtoms(s string) ([]string, error) {
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case inStr:
+			if c == '"' && s[i-1] != '\\' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("datalog: unbalanced parens in %q", s)
+			}
+		case c == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	if depth != 0 || inStr {
+		return nil, fmt.Errorf("datalog: unterminated body in %q", s)
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out, nil
+}
+
+func parseAtom(s string) (Atom, error) {
+	s = strings.TrimSpace(s)
+	negated := false
+	if strings.HasPrefix(s, "not ") {
+		negated = true
+		s = strings.TrimSpace(s[len("not "):])
+	}
+	a, err := parsePositiveAtom(s)
+	if err != nil {
+		return Atom{}, err
+	}
+	a.Negated = negated
+	return a, nil
+}
+
+func parsePositiveAtom(s string) (Atom, error) {
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return Atom{}, fmt.Errorf("datalog: malformed atom %q", s)
+	}
+	pred := strings.TrimSpace(s[:open])
+	argsText := s[open+1 : len(s)-1]
+	args, err := splitRawArgs(argsText)
+	if err != nil {
+		return Atom{}, err
+	}
+	terms := make([]Term, 0, len(args))
+	for _, raw := range args {
+		t, err := parseTerm(raw)
+		if err != nil {
+			return Atom{}, err
+		}
+		terms = append(terms, t)
+	}
+	return Atom{Pred: pred, Terms: terms}, nil
+}
+
+// splitRawArgs splits a comma-separated argument list WITHOUT
+// unquoting, so parseTerm can tell quoted constants from variables.
+func splitRawArgs(s string) ([]string, error) {
+	var out []string
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == ',':
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	if inStr {
+		return nil, fmt.Errorf("datalog: unterminated string in %q", s)
+	}
+	if last := strings.TrimSpace(s[start:]); last != "" || len(out) > 0 {
+		out = append(out, last)
+	}
+	return out, nil
+}
+
+func parseTerm(raw string) (Term, error) {
+	raw = strings.TrimSpace(raw)
+	switch {
+	case raw == "_":
+		return W(), nil
+	case strings.HasPrefix(raw, `"`):
+		val, rest, err := scanQuoted(raw)
+		if err != nil {
+			return Term{}, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return Term{}, fmt.Errorf("datalog: trailing input after constant in %q", raw)
+		}
+		return C(val), nil
+	case len(raw) > 0 && raw[0] >= 'A' && raw[0] <= 'Z':
+		return V(raw), nil
+	case raw == "":
+		return Term{}, fmt.Errorf("datalog: empty term")
+	default:
+		// Lowercase bare atoms are treated as constants (Prolog style).
+		return C(raw), nil
+	}
+}

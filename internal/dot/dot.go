@@ -1,0 +1,243 @@
+// Package dot reads and writes the Graphviz DOT dialect that the SPADE
+// simulator emits (SPADE's Graphviz storage is one of its standard
+// output backends). The subset covers digraphs whose node and edge
+// attributes carry provenance properties in the label attribute as
+// newline-separated key:value pairs, with the element's type under the
+// reserved key "type".
+package dot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"provmark/internal/graph"
+)
+
+// Write renders a property graph as a DOT digraph. The graph label of
+// each element is emitted as a leading "type:<label>" pair; property
+// keys follow in sorted order.
+func Write(w io.Writer, g *graph.Graph, name string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %s {\n", sanitizeName(name))
+	fmt.Fprintf(bw, "graph [rankdir=\"TB\"];\n")
+	for _, n := range g.Nodes() {
+		shape := "ellipse"
+		if n.Label == "Process" || n.Label == "Activity" {
+			shape = "box"
+		}
+		fmt.Fprintf(bw, "%q [label=%q shape=%q];\n", string(n.ID), labelFor(n.Label, n.Props), shape)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "%q -> %q [label=%q];\n", string(e.Src), string(e.Tgt), labelFor(e.Label, e.Props))
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+// WriteString is Write into a string.
+func WriteString(g *graph.Graph, name string) string {
+	var b strings.Builder
+	if err := Write(&b, g, name); err != nil {
+		return "" // strings.Builder cannot fail
+	}
+	return b.String()
+}
+
+func labelFor(typ string, props graph.Properties) string {
+	parts := []string{"type:" + typ}
+	for _, k := range graph.PropKeys(props) {
+		parts = append(parts, k+":"+props[k])
+	}
+	return strings.Join(parts, "\n")
+}
+
+func sanitizeName(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' {
+			out = append(out, c)
+		} else {
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "g"
+	}
+	return string(out)
+}
+
+// Parse reads a DOT digraph written by Write (or by a compatible tool)
+// back into a property graph.
+func Parse(r io.Reader) (*graph.Graph, error) {
+	g := graph.New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "digraph") || line == "}" ||
+			strings.HasPrefix(line, "graph ") || strings.HasPrefix(line, "//"):
+			continue
+		}
+		if err := parseLine(g, line); err != nil {
+			return nil, fmt.Errorf("dot: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dot: read: %w", err)
+	}
+	return g, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*graph.Graph, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parseLine(g *graph.Graph, line string) error {
+	line = strings.TrimSuffix(line, ";")
+	id1, rest, err := readQuoted(line)
+	if err != nil {
+		return err
+	}
+	rest = strings.TrimSpace(rest)
+	if strings.HasPrefix(rest, "->") {
+		id2, attrPart, err := readQuoted(strings.TrimSpace(rest[2:]))
+		if err != nil {
+			return err
+		}
+		label, props, err := parseAttrs(attrPart)
+		if err != nil {
+			return err
+		}
+		_ = ensureNode(g, graph.ElemID(id1))
+		_ = ensureNode(g, graph.ElemID(id2))
+		if _, err := g.AddEdge(graph.ElemID(id1), graph.ElemID(id2), label, props); err != nil {
+			return err
+		}
+		return nil
+	}
+	label, props, err := parseAttrs(rest)
+	if err != nil {
+		return err
+	}
+	if n := g.Node(graph.ElemID(id1)); n != nil {
+		// Node was auto-created by an earlier edge line: fill it in.
+		n.Label = label
+		for k, v := range props {
+			if err := g.SetProp(n.ID, k, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return g.InsertNode(graph.ElemID(id1), label, props)
+}
+
+func ensureNode(g *graph.Graph, id graph.ElemID) *graph.Node {
+	if n := g.Node(id); n != nil {
+		return n
+	}
+	if err := g.InsertNode(id, "unknown", nil); err != nil {
+		return nil
+	}
+	return g.Node(id)
+}
+
+// readQuoted consumes a leading quoted identifier and returns it plus
+// the remainder.
+func readQuoted(s string) (string, string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) == 0 || s[0] != '"' {
+		return "", "", fmt.Errorf("expected quoted identifier at %q", s)
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		switch s[i] {
+		case '\\':
+			if i+1 < len(s) {
+				// DOT label escapes: \n is a line break (Write emits it
+				// via %q); everything else unescapes to itself.
+				if s[i+1] == 'n' {
+					b.WriteByte('\n')
+				} else {
+					b.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			return "", "", fmt.Errorf("dangling escape in %q", s)
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+			i++
+		}
+	}
+	return "", "", fmt.Errorf("unterminated identifier in %q", s)
+}
+
+// parseAttrs reads the [key=value ...] attribute block, extracting the
+// label attribute and splitting it into the type and properties.
+func parseAttrs(s string) (string, graph.Properties, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return "", nil, fmt.Errorf("expected attribute block, got %q", s)
+	}
+	s = s[1 : len(s)-1]
+	var labelVal string
+	for len(s) > 0 {
+		s = strings.TrimSpace(s)
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			break
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = strings.TrimSpace(s[eq+1:])
+		var val string
+		if strings.HasPrefix(s, "\"") {
+			v, rest, err := readQuoted(s)
+			if err != nil {
+				return "", nil, err
+			}
+			val, s = v, rest
+		} else {
+			sp := strings.IndexAny(s, " \t")
+			if sp < 0 {
+				val, s = s, ""
+			} else {
+				val, s = s[:sp], s[sp+1:]
+			}
+		}
+		if key == "label" {
+			labelVal = val
+		}
+	}
+	typ := "unknown"
+	props := graph.Properties{}
+	for _, pair := range strings.Split(labelVal, "\n") {
+		if pair == "" {
+			continue
+		}
+		colon := strings.IndexByte(pair, ':')
+		if colon < 0 {
+			continue
+		}
+		k, v := pair[:colon], pair[colon+1:]
+		if k == "type" {
+			typ = v
+		} else {
+			props[k] = v
+		}
+	}
+	if len(props) == 0 {
+		props = nil
+	}
+	return typ, props, nil
+}

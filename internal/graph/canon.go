@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ShapeFingerprint returns a hash that is invariant under renaming of
+// node and edge identifiers and under property values, but sensitive to
+// labels and to the multiset of (srcLabel, edgeLabel, tgtLabel) triples
+// refined by iterated neighbourhood colouring (a Weisfeiler–Leman style
+// refinement). Two graphs with different fingerprints are guaranteed not
+// to be similar in the sense of Section 3.4; equal fingerprints are a
+// fast necessary condition checked before running the full solver.
+func ShapeFingerprint(g *Graph) string {
+	colors := wlColors(g, 3)
+	items := make([]string, 0, g.NumNodes()+g.NumEdges())
+	for _, n := range g.Nodes() {
+		items = append(items, "N:"+colors[n.ID])
+	}
+	for _, e := range g.Edges() {
+		items = append(items, "E:"+colors[e.Src]+"|"+e.Label+"|"+colors[e.Tgt])
+	}
+	sort.Strings(items)
+	sum := sha256.Sum256([]byte(strings.Join(items, "\n")))
+	return hex.EncodeToString(sum[:8])
+}
+
+// wlColors runs `rounds` of Weisfeiler–Leman colour refinement over the
+// node set, seeding each node with its label. The returned map assigns a
+// colour string to every node id.
+func wlColors(g *Graph, rounds int) map[ElemID]string {
+	colors := make(map[ElemID]string, g.NumNodes())
+	for _, n := range g.Nodes() {
+		colors[n.ID] = n.Label
+	}
+	for r := 0; r < rounds; r++ {
+		next := make(map[ElemID]string, len(colors))
+		for _, n := range g.Nodes() {
+			var in, out []string
+			for _, e := range g.Edges() {
+				if e.Tgt == n.ID {
+					in = append(in, e.Label+"<"+colors[e.Src])
+				}
+				if e.Src == n.ID {
+					out = append(out, e.Label+">"+colors[e.Tgt])
+				}
+			}
+			sort.Strings(in)
+			sort.Strings(out)
+			raw := colors[n.ID] + "#" + strings.Join(in, ",") + "#" + strings.Join(out, ",")
+			sum := sha256.Sum256([]byte(raw))
+			next[n.ID] = hex.EncodeToString(sum[:6])
+		}
+		colors = next
+	}
+	return colors
+}
+
+// WLColors exposes the refinement used by ShapeFingerprint so that
+// matching engines can prune candidate pairs: nodes mapped to each other
+// by any label-preserving isomorphism necessarily share a WL colour.
+func WLColors(g *Graph, rounds int) map[ElemID]string { return wlColors(g, rounds) }
+
+// LabelCounts returns the multiset of node and edge labels, a cheap
+// invariant used to discard non-similar trial pairs before solving.
+func LabelCounts(g *Graph) map[string]int {
+	out := make(map[string]int)
+	for _, n := range g.Nodes() {
+		out["n:"+n.Label]++
+	}
+	for _, e := range g.Edges() {
+		out["e:"+e.Label]++
+	}
+	return out
+}
+
+// SameLabelCounts reports whether two graphs have identical label multisets.
+func SameLabelCounts(a, b *Graph) bool {
+	ca, cb := LabelCounts(a), LabelCounts(b)
+	if len(ca) != len(cb) {
+		return false
+	}
+	for k, v := range ca {
+		if cb[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two graphs are identical including identifiers,
+// labels, endpoints and all properties. This is stricter than
+// isomorphism and is what the regression store uses after normalizing
+// identifiers via the Datalog round trip.
+func Equal(a, b *Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for _, n := range a.Nodes() {
+		m := b.Node(n.ID)
+		if m == nil || m.Label != n.Label || !propsEqual(n.Props, m.Props) {
+			return false
+		}
+	}
+	for _, e := range a.Edges() {
+		f := b.Edge(e.ID)
+		if f == nil || f.Label != e.Label || f.Src != e.Src || f.Tgt != e.Tgt || !propsEqual(e.Props, f.Props) {
+			return false
+		}
+	}
+	return true
+}
+
+func propsEqual(a, b Properties) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats summarizes a graph for table rendering.
+type Stats struct {
+	Nodes int
+	Edges int
+	Props int
+}
+
+// Summarize computes element and property counts.
+func Summarize(g *Graph) Stats {
+	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	for _, n := range g.Nodes() {
+		s.Props += len(n.Props)
+	}
+	for _, e := range g.Edges() {
+		s.Props += len(e.Props)
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%dn/%de/%dp", s.Nodes, s.Edges, s.Props)
+}

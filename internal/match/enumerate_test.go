@@ -1,0 +1,90 @@
+package match
+
+import (
+	"testing"
+
+	"provmark/internal/graph"
+)
+
+// star builds one hub with n identical leaves.
+func star(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	hub := g.AddNode("Hub", nil)
+	for i := 0; i < n; i++ {
+		leaf := g.AddNode("Leaf", nil)
+		if _, err := g.AddEdge(hub, leaf, "E", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestCountAutomorphismsStar(t *testing.T) {
+	// n identical leaves: n! automorphisms.
+	for n, want := range map[int]int{1: 1, 2: 2, 3: 6, 4: 24} {
+		if got := CountAutomorphisms(star(t, n), 0); got != want {
+			t.Errorf("star(%d): %d automorphisms, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCountAutomorphismsCycle(t *testing.T) {
+	// Directed cycle of n identical nodes: n rotations.
+	g := graph.New()
+	var ids []graph.ElemID
+	const n = 5
+	for i := 0; i < n; i++ {
+		ids = append(ids, g.AddNode("N", nil))
+	}
+	for i := 0; i < n; i++ {
+		if _, err := g.AddEdge(ids[i], ids[(i+1)%n], "E", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := CountAutomorphisms(g, 0); got != n {
+		t.Errorf("cycle(%d): %d automorphisms, want %d", n, got, n)
+	}
+}
+
+func TestCountAutomorphismsRigidPath(t *testing.T) {
+	g := chain(t, "A", "B", "C")
+	if got := CountAutomorphisms(g, 0); got != 1 {
+		t.Errorf("path: %d automorphisms, want 1", got)
+	}
+}
+
+func TestEnumerateRespectsLimit(t *testing.T) {
+	g := star(t, 4) // 24 automorphisms
+	if got := CountAutomorphisms(g, 5); got != 5 {
+		t.Errorf("limited count = %d, want 5", got)
+	}
+	calls := 0
+	EnumerateIsomorphisms(g, g, 0, func(Mapping) bool {
+		calls++
+		return calls < 3 // early stop via callback
+	})
+	if calls != 3 {
+		t.Errorf("callback stop: %d calls, want 3", calls)
+	}
+}
+
+func TestEnumerateValidatesEveryMapping(t *testing.T) {
+	g := star(t, 3)
+	h := star(t, 3)
+	n := EnumerateIsomorphisms(g, h, 0, func(m Mapping) bool {
+		if !VerifyMapping(g, h, m) {
+			t.Error("invalid mapping enumerated")
+		}
+		return true
+	})
+	if n != 6 {
+		t.Errorf("enumerated %d isomorphisms, want 6", n)
+	}
+}
+
+func TestEnumerateDissimilar(t *testing.T) {
+	if n := EnumerateIsomorphisms(star(t, 2), star(t, 3), 0, func(Mapping) bool { return true }); n != 0 {
+		t.Errorf("dissimilar graphs enumerated %d isomorphisms", n)
+	}
+}

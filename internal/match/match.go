@@ -1,0 +1,381 @@
+// Package match implements the graph-matching operations of ProvMark's
+// generalization and comparison stages by grounding them into the asp
+// package's program class:
+//
+//   - Similar: property-graph similarity (Listing 3 without properties) —
+//     an exact isomorphism on structure and labels;
+//   - GeneralizePair: similarity plus #minimize over property mismatches;
+//     the result keeps only properties whose values agree across the
+//     matched pair (volatile data such as timestamps is discarded);
+//   - SubgraphEmbed: approximate subgraph isomorphism (Listing 4) —
+//     an injective label/endpoint-preserving embedding of the background
+//     graph into the foreground graph minimizing mismatched properties;
+//   - Subtract: removes the embedded background from the foreground,
+//     retaining dummy nodes for pre-existing endpoints of result edges.
+package match
+
+import (
+	"errors"
+	"fmt"
+
+	"provmark/internal/asp"
+	"provmark/internal/graph"
+)
+
+// Mapping maps elements of G1 (nodes and edges) to elements of G2.
+type Mapping map[graph.ElemID]graph.ElemID
+
+// ErrNotSimilar is returned when no structure/label isomorphism exists.
+var ErrNotSimilar = errors.New("match: graphs are not similar")
+
+// ErrNoEmbedding is returned when the background graph cannot be
+// embedded in the foreground graph. The paper assumes provenance
+// recording is monotonic so this indicates a failed/garbled trial.
+var ErrNoEmbedding = errors.New("match: no subgraph embedding exists")
+
+// encoding records, for each asp group, which G1 element it stands for,
+// and for each atom, which G2 element its Y names.
+type encoding struct {
+	problem *asp.Problem
+	groupOf []graph.ElemID // group index -> G1 element
+	yOf     [][]graph.ElemID
+	atomIDs [][]asp.AtomID
+}
+
+func (enc *encoding) decode(sol *asp.Solution) Mapping {
+	m := make(Mapping, len(enc.groupOf))
+	for gi, a := range sol.Selected {
+		at := enc.problem.Atom(a)
+		m[enc.groupOf[gi]] = graph.ElemID(at.Y)
+	}
+	return m
+}
+
+// Similar reports whether g1 and g2 are similar (same shape and labels,
+// properties ignored) and returns a witnessing isomorphism.
+func Similar(g1, g2 *graph.Graph) (Mapping, bool) {
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+		return nil, false
+	}
+	if !graph.SameLabelCounts(g1, g2) {
+		return nil, false
+	}
+	if graph.ShapeFingerprint(g1) != graph.ShapeFingerprint(g2) {
+		return nil, false
+	}
+	enc, err := encodeIso(g1, g2, nil)
+	if err != nil {
+		return nil, false
+	}
+	sol, err := enc.problem.Solve()
+	if err != nil {
+		return nil, false
+	}
+	return enc.decode(sol), true
+}
+
+// GeneralizePair finds the structure isomorphism between two similar
+// graphs that minimizes property disagreements, then returns a copy of
+// g1 with every disagreeing property removed. This implements the
+// generalization stage: the surviving properties are those invariant
+// across trials.
+func GeneralizePair(g1, g2 *graph.Graph) (*graph.Graph, Mapping, error) {
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() || !graph.SameLabelCounts(g1, g2) {
+		return nil, nil, ErrNotSimilar
+	}
+	enc, err := encodeIso(g1, g2, propDiffWeight)
+	if err != nil {
+		return nil, nil, ErrNotSimilar
+	}
+	sol, err := enc.problem.SolveMin()
+	if err != nil {
+		return nil, nil, ErrNotSimilar
+	}
+	m := enc.decode(sol)
+	out := g1.Clone()
+	for _, n := range g1.Nodes() {
+		keepCommonProps(out, n.ID, n.Props, elemProps(g2, m[n.ID]))
+	}
+	for _, e := range g1.Edges() {
+		keepCommonProps(out, e.ID, e.Props, elemProps(g2, m[e.ID]))
+	}
+	return out, m, nil
+}
+
+// SubgraphEmbed finds a minimum-property-cost injective embedding of bg
+// into fg (Listing 4) and returns the mapping plus its cost.
+func SubgraphEmbed(bg, fg *graph.Graph) (Mapping, int, error) {
+	if bg.NumNodes() > fg.NumNodes() || bg.NumEdges() > fg.NumEdges() {
+		return nil, 0, ErrNoEmbedding
+	}
+	enc, err := encodeSubgraph(bg, fg)
+	if err != nil {
+		return nil, 0, ErrNoEmbedding
+	}
+	sol, err := enc.problem.SolveMin()
+	if err != nil {
+		return nil, 0, ErrNoEmbedding
+	}
+	return enc.decode(sol), sol.Cost, nil
+}
+
+// Subtract removes the matched image of bg from fg. The remaining nodes
+// and edges form the benchmark result; any result edge whose endpoint
+// was part of the background is re-attached to a dummy node (the paper's
+// green/gray nodes standing for pre-existing graph parts).
+func Subtract(fg *graph.Graph, m Mapping) *graph.Graph {
+	matched := make(map[graph.ElemID]bool, len(m))
+	for _, y := range m {
+		matched[y] = true
+	}
+	out := graph.New()
+	dummies := make(map[graph.ElemID]graph.ElemID)
+	for _, n := range fg.Nodes() {
+		if !matched[n.ID] {
+			mustInsertNode(out, n.ID, n.Label, n.Props)
+		}
+	}
+	dummyFor := func(id graph.ElemID) graph.ElemID {
+		if d, ok := dummies[id]; ok {
+			return d
+		}
+		orig := fg.Node(id)
+		d := graph.ElemID("dummy_" + string(id))
+		mustInsertNode(out, d, "dummy", graph.Properties{"stands_for": orig.Label})
+		dummies[id] = d
+		return d
+	}
+	for _, e := range fg.Edges() {
+		if matched[e.ID] {
+			continue
+		}
+		src, tgt := e.Src, e.Tgt
+		if matched[src] {
+			src = dummyFor(src)
+		}
+		if matched[tgt] {
+			tgt = dummyFor(tgt)
+		}
+		if err := out.InsertEdge(e.ID, src, tgt, e.Label, e.Props); err != nil {
+			panic("match: subtract: " + err.Error()) // ids copied from fg cannot collide
+		}
+	}
+	return out
+}
+
+func mustInsertNode(g *graph.Graph, id graph.ElemID, label string, props graph.Properties) {
+	if err := g.InsertNode(id, label, props); err != nil {
+		panic("match: " + err.Error())
+	}
+}
+
+// weightFunc scores a candidate pair of property dictionaries.
+type weightFunc func(a, b graph.Properties) int
+
+// propDiffWeight counts keys whose values disagree or exist on only one
+// side — the generalization objective.
+func propDiffWeight(a, b graph.Properties) int {
+	w := 0
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			w++
+		}
+	}
+	for k := range b {
+		if _, ok := a[k]; !ok {
+			w++
+		}
+	}
+	return w
+}
+
+// subgraphCost counts properties of the background element with no
+// exactly matching property on the foreground element — Listing 4's
+// cost/3 definition (missing key costs 1, differing value costs 1).
+func subgraphCost(bgProps, fgProps graph.Properties) int {
+	w := 0
+	for k, v := range bgProps {
+		if fv, ok := fgProps[k]; !ok || fv != v {
+			w++
+		}
+	}
+	return w
+}
+
+func elemProps(g *graph.Graph, id graph.ElemID) graph.Properties {
+	if n := g.Node(id); n != nil {
+		return n.Props
+	}
+	if e := g.Edge(id); e != nil {
+		return e.Props
+	}
+	return nil
+}
+
+func keepCommonProps(out *graph.Graph, id graph.ElemID, mine, theirs graph.Properties) {
+	for k, v := range mine {
+		if tv, ok := theirs[k]; !ok || tv != v {
+			out.DeleteProp(id, k)
+		}
+	}
+}
+
+// encodeIso grounds Listing 3 (full isomorphism with optional weights).
+// WL-colour pruning is sound here: any label-preserving isomorphism maps
+// nodes to nodes of the same refined colour.
+func encodeIso(g1, g2 *graph.Graph, wf weightFunc) (*encoding, error) {
+	c1 := graph.WLColors(g1, 3)
+	c2 := graph.WLColors(g2, 3)
+	p := asp.NewProblem()
+	enc := &encoding{problem: p}
+
+	nodeAtom := make(map[[2]graph.ElemID]asp.AtomID)
+	usedBy := make(map[graph.ElemID][]asp.AtomID) // G2 element -> atoms mapping onto it
+
+	for _, n1 := range g1.Nodes() {
+		gi := p.AddGroup("node " + string(n1.ID))
+		enc.groupOf = append(enc.groupOf, n1.ID)
+		any := false
+		for _, n2 := range g2.Nodes() {
+			if n1.Label != n2.Label || c1[n1.ID] != c2[n2.ID] {
+				continue
+			}
+			w := 0
+			if wf != nil {
+				w = wf(n1.Props, n2.Props)
+			}
+			a := p.AddAtom(gi, string(n1.ID), string(n2.ID), w)
+			nodeAtom[[2]graph.ElemID{n1.ID, n2.ID}] = a
+			usedBy[n2.ID] = append(usedBy[n2.ID], a)
+			any = true
+		}
+		if !any {
+			return nil, fmt.Errorf("node %s has no candidates", n1.ID)
+		}
+	}
+	for _, e1 := range g1.Edges() {
+		gi := p.AddGroup("edge " + string(e1.ID))
+		enc.groupOf = append(enc.groupOf, e1.ID)
+		any := false
+		for _, e2 := range g2.Edges() {
+			if e1.Label != e2.Label {
+				continue
+			}
+			sa, okS := nodeAtom[[2]graph.ElemID{e1.Src, e2.Src}]
+			ta, okT := nodeAtom[[2]graph.ElemID{e1.Tgt, e2.Tgt}]
+			if !okS || !okT {
+				continue
+			}
+			w := 0
+			if wf != nil {
+				w = wf(e1.Props, e2.Props)
+			}
+			a := p.AddAtom(gi, string(e1.ID), string(e2.ID), w)
+			usedBy[e2.ID] = append(usedBy[e2.ID], a)
+			p.AddImplication(a, sa)
+			p.AddImplication(a, ta)
+			any = true
+		}
+		if !any {
+			return nil, fmt.Errorf("edge %s has no candidates", e1.ID)
+		}
+	}
+	addInjectivity(p, usedBy)
+	return enc, nil
+}
+
+// encodeSubgraph grounds Listing 4. WL pruning is unsound for subgraph
+// embedding (the foreground has extra structure), so candidates are
+// filtered only by label and per-label degree bounds.
+func encodeSubgraph(bg, fg *graph.Graph) (*encoding, error) {
+	p := asp.NewProblem()
+	enc := &encoding{problem: p}
+
+	degOK := func(x *graph.Node, y *graph.Node) bool {
+		// Every edge label incident to x must be at least as frequent at y.
+		need := map[string]int{}
+		for _, e := range bg.Edges() {
+			if e.Src == x.ID {
+				need[">"+e.Label]++
+			}
+			if e.Tgt == x.ID {
+				need["<"+e.Label]++
+			}
+		}
+		have := map[string]int{}
+		for _, e := range fg.Edges() {
+			if e.Src == y.ID {
+				have[">"+e.Label]++
+			}
+			if e.Tgt == y.ID {
+				have["<"+e.Label]++
+			}
+		}
+		for k, v := range need {
+			if have[k] < v {
+				return false
+			}
+		}
+		return true
+	}
+
+	nodeAtom := make(map[[2]graph.ElemID]asp.AtomID)
+	usedBy := make(map[graph.ElemID][]asp.AtomID)
+
+	for _, n1 := range bg.Nodes() {
+		gi := p.AddGroup("node " + string(n1.ID))
+		enc.groupOf = append(enc.groupOf, n1.ID)
+		any := false
+		for _, n2 := range fg.Nodes() {
+			if n1.Label != n2.Label || !degOK(n1, n2) {
+				continue
+			}
+			a := p.AddAtom(gi, string(n1.ID), string(n2.ID), subgraphCost(n1.Props, n2.Props))
+			nodeAtom[[2]graph.ElemID{n1.ID, n2.ID}] = a
+			usedBy[n2.ID] = append(usedBy[n2.ID], a)
+			any = true
+		}
+		if !any {
+			return nil, fmt.Errorf("node %s has no candidates", n1.ID)
+		}
+	}
+	for _, e1 := range bg.Edges() {
+		gi := p.AddGroup("edge " + string(e1.ID))
+		enc.groupOf = append(enc.groupOf, e1.ID)
+		any := false
+		for _, e2 := range fg.Edges() {
+			if e1.Label != e2.Label {
+				continue
+			}
+			sa, okS := nodeAtom[[2]graph.ElemID{e1.Src, e2.Src}]
+			ta, okT := nodeAtom[[2]graph.ElemID{e1.Tgt, e2.Tgt}]
+			if !okS || !okT {
+				continue
+			}
+			a := p.AddAtom(gi, string(e1.ID), string(e2.ID), subgraphCost(e1.Props, e2.Props))
+			usedBy[e2.ID] = append(usedBy[e2.ID], a)
+			p.AddImplication(a, sa)
+			p.AddImplication(a, ta)
+			any = true
+		}
+		if !any {
+			return nil, fmt.Errorf("edge %s has no candidates", e1.ID)
+		}
+	}
+	addInjectivity(p, usedBy)
+	return enc, nil
+}
+
+// addInjectivity adds pairwise conflicts between atoms sharing a target
+// element (the :- X<>Y, h(X,Z), h(Y,Z) rules).
+func addInjectivity(p *asp.Problem, usedBy map[graph.ElemID][]asp.AtomID) {
+	for _, atoms := range usedBy {
+		for i := 0; i < len(atoms); i++ {
+			for j := i + 1; j < len(atoms); j++ {
+				if p.Atom(atoms[i]).Group != p.Atom(atoms[j]).Group {
+					p.AddConflict(atoms[i], atoms[j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,351 @@
+package match
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"provmark/internal/graph"
+)
+
+// chain builds a labelled path graph a->b->c... with given labels.
+func chain(t *testing.T, labels ...string) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	var prev graph.ElemID
+	for i, l := range labels {
+		id := g.AddNode(l, nil)
+		if i > 0 {
+			if _, err := g.AddEdge(prev, id, "E", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = id
+	}
+	return g
+}
+
+func TestSimilarPositive(t *testing.T) {
+	g := chain(t, "A", "B", "C")
+	h := chain(t, "A", "B", "C")
+	m, ok := Similar(g, h)
+	if !ok {
+		t.Fatal("identical chains not similar")
+	}
+	if !VerifyMapping(g, h, m) {
+		t.Error("returned mapping is invalid")
+	}
+}
+
+func TestSimilarIgnoresProperties(t *testing.T) {
+	g := chain(t, "A", "B")
+	h := chain(t, "A", "B")
+	if err := g.SetProp(g.Nodes()[0].ID, "volatile", "123"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Similar(g, h); !ok {
+		t.Error("property difference broke similarity")
+	}
+}
+
+func TestSimilarNegativeLabel(t *testing.T) {
+	g := chain(t, "A", "B")
+	h := chain(t, "A", "C")
+	if _, ok := Similar(g, h); ok {
+		t.Error("different labels reported similar")
+	}
+}
+
+func TestSimilarNegativeStructure(t *testing.T) {
+	// Same label multiset, different wiring: a->b,c  vs  a->b->c.
+	g := graph.New()
+	a := g.AddNode("N", nil)
+	b := g.AddNode("N", nil)
+	c := g.AddNode("N", nil)
+	mustEdge(t, g, a, b)
+	mustEdge(t, g, a, c)
+	h := graph.New()
+	ha := h.AddNode("N", nil)
+	hb := h.AddNode("N", nil)
+	hc := h.AddNode("N", nil)
+	mustEdge(t, h, ha, hb)
+	mustEdge(t, h, hb, hc)
+	if _, ok := Similar(g, h); ok {
+		t.Error("different shapes reported similar")
+	}
+}
+
+func mustEdge(t *testing.T, g *graph.Graph, a, b graph.ElemID) graph.ElemID {
+	t.Helper()
+	id, err := g.AddEdge(a, b, "E", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestGeneralizeDropsVolatileProps(t *testing.T) {
+	g := chain(t, "A", "B")
+	h := chain(t, "A", "B")
+	ga := g.Nodes()[0].ID
+	ha := h.Nodes()[0].ID
+	if err := g.SetProp(ga, "stable", "same"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetProp(ha, "stable", "same"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetProp(ga, "ts", "111"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetProp(ha, "ts", "222"); err != nil {
+		t.Fatal(err)
+	}
+	gen, m, err := GeneralizePair(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyMapping(g, h, m) {
+		t.Error("generalization mapping invalid")
+	}
+	n := gen.Node(ga)
+	if n.Props["stable"] != "same" {
+		t.Error("stable property dropped")
+	}
+	if _, ok := n.Props["ts"]; ok {
+		t.Error("volatile property survived generalization")
+	}
+}
+
+func TestGeneralizePrefersLowPropCostMatching(t *testing.T) {
+	// Two interchangeable B nodes; the matching must pair nodes with
+	// agreeing "id" properties, not crossed ones.
+	build := func(id1, id2 string) *graph.Graph {
+		g := graph.New()
+		a := g.AddNode("A", nil)
+		b1 := g.AddNode("B", graph.Properties{"id": id1})
+		b2 := g.AddNode("B", graph.Properties{"id": id2})
+		mustEdge(t, g, a, b1)
+		mustEdge(t, g, a, b2)
+		return g
+	}
+	g := build("x", "y")
+	h := build("x", "y")
+	gen, _, err := GeneralizePair(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	for _, n := range gen.Nodes() {
+		if n.Props["id"] != "" {
+			kept++
+		}
+	}
+	if kept != 2 {
+		t.Errorf("optimal matching should keep both id props, kept %d", kept)
+	}
+}
+
+func TestGeneralizeRejectsDissimilar(t *testing.T) {
+	g := chain(t, "A", "B")
+	h := chain(t, "A", "C")
+	if _, _, err := GeneralizePair(g, h); err == nil {
+		t.Error("dissimilar graphs generalized")
+	}
+}
+
+func TestSubgraphEmbedAndSubtract(t *testing.T) {
+	bg := chain(t, "A", "B")
+	fg := chain(t, "A", "B", "C") // bg plus one node and edge
+	m, cost, err := SubgraphEmbed(bg, fg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 {
+		t.Errorf("cost = %d, want 0", cost)
+	}
+	target := Subtract(fg, m)
+	// Remaining: node C, the B->C edge, and a dummy for B.
+	var labels []string
+	for _, n := range target.Nodes() {
+		labels = append(labels, n.Label)
+	}
+	if target.NumEdges() != 1 || len(labels) != 2 {
+		t.Fatalf("target = %s", target)
+	}
+	hasC, hasDummy := false, false
+	for _, l := range labels {
+		if l == "C" {
+			hasC = true
+		}
+		if l == "dummy" {
+			hasDummy = true
+		}
+	}
+	if !hasC || !hasDummy {
+		t.Errorf("target labels = %v, want C and dummy", labels)
+	}
+	// The dummy must record what it stands for.
+	for _, n := range target.Nodes() {
+		if n.Label == "dummy" && n.Props["stands_for"] != "B" {
+			t.Errorf("dummy stands_for = %q", n.Props["stands_for"])
+		}
+	}
+}
+
+func TestSubgraphEmbedFailsWhenNotContained(t *testing.T) {
+	bg := chain(t, "A", "B", "Z")
+	fg := chain(t, "A", "B", "C")
+	if _, _, err := SubgraphEmbed(bg, fg); err == nil {
+		t.Error("embedding of non-subgraph accepted")
+	}
+	// Larger bg than fg must also fail fast.
+	if _, _, err := SubgraphEmbed(fg, chain(t, "A")); err == nil {
+		t.Error("oversized background accepted")
+	}
+}
+
+func TestSubgraphEmbedMinimizesPropertyCost(t *testing.T) {
+	// fg has two candidate B nodes; one matches bg's property exactly.
+	bg := graph.New()
+	ba := bg.AddNode("A", nil)
+	bb := bg.AddNode("B", graph.Properties{"k": "v"})
+	mustEdge(t, bg, ba, bb)
+	fg := graph.New()
+	fa := fg.AddNode("A", nil)
+	f1 := fg.AddNode("B", graph.Properties{"k": "other"})
+	f2 := fg.AddNode("B", graph.Properties{"k": "v"})
+	mustEdge(t, fg, fa, f1)
+	mustEdge(t, fg, fa, f2)
+	m, cost, err := SubgraphEmbed(bg, fg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 || m[bb] != f2 {
+		t.Errorf("cost=%d mapping=%v, want cost 0 via %s", cost, m, f2)
+	}
+}
+
+func TestSelfLoopHandling(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode("N", nil)
+	if _, err := g.AddEdge(a, a, "loop", nil); err != nil {
+		t.Fatal(err)
+	}
+	h := graph.New()
+	b := h.AddNode("N", nil)
+	if _, err := h.AddEdge(b, b, "loop", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Similar(g, h); !ok {
+		t.Error("self-loop graphs not similar")
+	}
+	if _, ok := SimilarDirect(g, h); !ok {
+		t.Error("direct engine rejects self-loops")
+	}
+}
+
+// randomDAGPair builds a random graph and an elementwise-renamed copy.
+func randomDAGPair(seed int64) (*graph.Graph, *graph.Graph) {
+	rng := rand.New(rand.NewSource(seed))
+	labels := []string{"P", "Q", "R"}
+	g := graph.New()
+	n := 3 + rng.Intn(7)
+	var ids []graph.ElemID
+	for i := 0; i < n; i++ {
+		ids = append(ids, g.AddNode(labels[rng.Intn(len(labels))], nil))
+	}
+	for i := 0; i < rng.Intn(2*n); i++ {
+		src := ids[rng.Intn(n)]
+		tgt := ids[rng.Intn(n)]
+		if _, err := g.AddEdge(src, tgt, "E", nil); err != nil {
+			panic(err)
+		}
+	}
+	// Renamed copy, permuted insertion order.
+	h := graph.New()
+	perm := rng.Perm(n)
+	rename := make(map[graph.ElemID]graph.ElemID, n)
+	nodes := g.Nodes()
+	for i, pi := range perm {
+		id := graph.ElemID("m" + strconv.Itoa(i))
+		rename[nodes[pi].ID] = id
+		if err := h.InsertNode(id, nodes[pi].Label, nil); err != nil {
+			panic(err)
+		}
+	}
+	for i, e := range g.Edges() {
+		if err := h.InsertEdge(graph.ElemID("f"+strconv.Itoa(i)), rename[e.Src], rename[e.Tgt], e.Label, nil); err != nil {
+			panic(err)
+		}
+	}
+	return g, h
+}
+
+// TestEnginesAgreeOnIsomorphicPairs: the ASP-encoded engine and the
+// direct VF2-style engine must both accept renamed copies and produce
+// valid mappings.
+func TestEnginesAgreeOnIsomorphicPairs(t *testing.T) {
+	f := func(seed int64) bool {
+		g, h := randomDAGPair(seed)
+		m1, ok1 := Similar(g, h)
+		m2, ok2 := SimilarDirect(g, h)
+		if !ok1 || !ok2 {
+			return false
+		}
+		return VerifyMapping(g, h, m1) && VerifyMapping(g, h, m2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnginesAgreeOnPerturbedPairs: after flipping one node label, both
+// engines must reject.
+func TestEnginesAgreeOnPerturbedPairs(t *testing.T) {
+	f := func(seed int64) bool {
+		g, h := randomDAGPair(seed)
+		// Flip one label to a value not in the alphabet.
+		h.Nodes()[0].Label = "FLIPPED"
+		_, ok1 := Similar(g, h)
+		_, ok2 := SimilarDirect(g, h)
+		return !ok1 && !ok2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEmbeddingIntoSupergraph: any graph embeds into itself plus extra
+// structure, with cost 0 when properties agree.
+func TestEmbeddingIntoSupergraph(t *testing.T) {
+	f := func(seed int64) bool {
+		g, h := randomDAGPair(seed)
+		// Extend h with extra nodes/edges.
+		extra := h.AddNode("EXTRA", nil)
+		if _, err := h.AddEdge(extra, h.Nodes()[0].ID, "E", nil); err != nil {
+			return false
+		}
+		m, cost, err := SubgraphEmbed(g, h)
+		if err != nil {
+			return false
+		}
+		return cost == 0 && VerifyMapping(g, h, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubtractIdentityLeavesNothing(t *testing.T) {
+	g := chain(t, "A", "B", "C")
+	m, _, err := SubgraphEmbed(g, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := Subtract(g, m)
+	if target.Size() != 0 {
+		t.Errorf("self-subtraction left %d elements", target.Size())
+	}
+}

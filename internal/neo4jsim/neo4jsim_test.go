@@ -1,0 +1,125 @@
+package neo4jsim
+
+import (
+	"testing"
+	"time"
+)
+
+func fastDB() *DB {
+	return New(Options{WarmupPages: 1, ScanRoundsPerRow: 1})
+}
+
+func TestCreateAndExport(t *testing.T) {
+	db := fastDB()
+	p := db.CreateNode("Process", map[string]string{"pid": "1"})
+	e := db.CreateNode("Event", nil)
+	if _, err := db.CreateRel(e, p, "PERFORMED_BY", map[string]string{"k": "v"}); err != nil {
+		t.Fatal(err)
+	}
+	if db.NumNodes() != 2 || db.NumRels() != 1 {
+		t.Fatalf("counts: %d nodes %d rels", db.NumNodes(), db.NumRels())
+	}
+	g, err := db.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("export: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	edge := g.Edges()[0]
+	if edge.Label != "PERFORMED_BY" || edge.Props["k"] != "v" {
+		t.Errorf("edge = %+v", edge)
+	}
+}
+
+func TestCreateRelValidatesEndpoints(t *testing.T) {
+	db := fastDB()
+	n := db.CreateNode("X", nil)
+	if _, err := db.CreateRel(n, 99, "T", nil); err == nil {
+		t.Error("dangling relationship accepted")
+	}
+	if _, err := db.CreateRel(0, n, "T", nil); err == nil {
+		t.Error("zero endpoint accepted")
+	}
+}
+
+func TestMatchNodes(t *testing.T) {
+	db := fastDB()
+	db.CreateNode("A", nil)
+	b := db.CreateNode("B", nil)
+	db.CreateNode("A", nil)
+	got := db.MatchNodes("B")
+	if len(got) != 1 || got[0] != b {
+		t.Errorf("MatchNodes(B) = %v", got)
+	}
+	if len(db.MatchNodes("missing")) != 0 {
+		t.Error("phantom matches")
+	}
+}
+
+func TestNodeProps(t *testing.T) {
+	db := fastDB()
+	n := db.CreateNode("X", map[string]string{"k": "v"})
+	props, ok := db.NodeProps(n)
+	if !ok || props["k"] != "v" {
+		t.Fatalf("props = %v", props)
+	}
+	props["k"] = "mutated"
+	again, _ := db.NodeProps(n)
+	if again["k"] != "v" {
+		t.Error("NodeProps exposed internal map")
+	}
+	if _, ok := db.NodeProps(42); ok {
+		t.Error("missing node reported present")
+	}
+}
+
+func TestPropertyHistogramAndLabels(t *testing.T) {
+	db := fastDB()
+	db.CreateNode("B", map[string]string{"x": "1"})
+	db.CreateNode("A", map[string]string{"x": "1", "y": "2"})
+	hist := db.PropertyHistogram()
+	if hist["x"] != 2 || hist["y"] != 1 {
+		t.Errorf("hist = %v", hist)
+	}
+	labels := db.Labels()
+	if len(labels) != 2 || labels[0] != "A" || labels[1] != "B" {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+// TestWarmupIsOneTime: the first query pays the warm-up cost; later
+// queries on the same database do not pay it again.
+func TestWarmupIsOneTime(t *testing.T) {
+	db := New(Options{WarmupPages: 3000, ScanRoundsPerRow: 1})
+	db.CreateNode("X", nil)
+	start := time.Now()
+	db.MatchNodes("X")
+	first := time.Since(start)
+	start = time.Now()
+	db.MatchNodes("X")
+	second := time.Since(start)
+	if second > first {
+		t.Errorf("second query (%v) slower than warm-up query (%v)", second, first)
+	}
+}
+
+func TestExportPreservesIdentityAcrossCalls(t *testing.T) {
+	db := fastDB()
+	a := db.CreateNode("X", nil)
+	b := db.CreateNode("Y", nil)
+	if _, err := db.CreateRel(a, b, "R", nil); err != nil {
+		t.Fatal(err)
+	}
+	g1, err := db.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := db.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.String() != g2.String() {
+		t.Error("exports differ")
+	}
+}

@@ -1,0 +1,506 @@
+package oskernel
+
+import (
+	"testing"
+)
+
+// launch boots a kernel with a tap and an unprivileged benchmark process.
+func launch(t *testing.T) (*Kernel, *Process, *TapBuffer) {
+	t.Helper()
+	k := New()
+	tap := &TapBuffer{}
+	k.Register(tap)
+	cred := Cred{UID: 1000, EUID: 1000, SUID: 1000, GID: 1000, EGID: 1000, SGID: 1000}
+	p, err := k.Launch("/usr/bin/bench", []string{"test"}, cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, p, tap
+}
+
+func lastAudit(tap *TapBuffer) AuditEvent {
+	return tap.AuditEvents[len(tap.AuditEvents)-1]
+}
+
+func TestOpenCreatesAndOpensFiles(t *testing.T) {
+	k, p, _ := launch(t)
+	// Opening a missing file without O_CREAT fails.
+	ret, errno := k.Open(p, "/stage/missing.txt", ORdonly)
+	if errno != ENOENT || ret != -1 {
+		t.Errorf("open missing: ret=%d errno=%v", ret, errno)
+	}
+	// Creating works and yields a usable fd.
+	ret, errno = k.Open(p, "/stage/a.txt", OCreat|OWronly)
+	if errno != OK || ret < 3 {
+		t.Fatalf("create: ret=%d errno=%v", ret, errno)
+	}
+	ino, ok := p.FD(int(ret))
+	if !ok || ino.Type != TypeFile {
+		t.Fatal("fd not installed")
+	}
+	if ino.UID != 1000 {
+		t.Errorf("created file owned by %d", ino.UID)
+	}
+}
+
+func TestOpenPermissionChecks(t *testing.T) {
+	k, p, tap := launch(t)
+	// /etc/passwd is root-owned 0644: read ok, write denied.
+	if _, errno := k.Open(p, "/etc/passwd", ORdonly); errno != OK {
+		t.Errorf("read open of /etc/passwd: %v", errno)
+	}
+	before := len(tap.LSMEvents)
+	ret, errno := k.Open(p, "/etc/passwd", OWronly)
+	if errno != EACCES || ret != -1 {
+		t.Errorf("write open of /etc/passwd: ret=%d errno=%v", ret, errno)
+	}
+	// The denied attempt must still fire an LSM hook (Allowed=false).
+	denied := false
+	for _, ev := range tap.LSMEvents[before:] {
+		if ev.Hook == HookFileOpen && !ev.Allowed {
+			denied = true
+		}
+	}
+	if !denied {
+		t.Error("denied open fired no LSM hook")
+	}
+	// And an audit record with Success=false.
+	if ev := lastAudit(tap); ev.Success || ev.Syscall != "open" {
+		t.Errorf("audit record for failed open: %+v", ev)
+	}
+}
+
+func TestCloseAndBadFD(t *testing.T) {
+	k, p, _ := launch(t)
+	ret, _ := k.Open(p, "/stage/a.txt", OCreat|ORdwr)
+	if _, errno := k.Close(p, int(ret)); errno != OK {
+		t.Fatalf("close: %v", errno)
+	}
+	if _, errno := k.Close(p, int(ret)); errno != EBADF {
+		t.Errorf("double close: %v, want EBADF", errno)
+	}
+	if _, errno := k.Read(p, 99, 10); errno != EBADF {
+		t.Errorf("read bad fd: %v", errno)
+	}
+}
+
+func TestDupSharesDescription(t *testing.T) {
+	k, p, tap := launch(t)
+	fd, _ := k.Open(p, "/stage/a.txt", OCreat|ORdwr)
+	before := len(tap.LSMEvents)
+	nfd, errno := k.Dup(p, int(fd))
+	if errno != OK {
+		t.Fatalf("dup: %v", errno)
+	}
+	i1, _ := p.FD(int(fd))
+	i2, _ := p.FD(int(nfd))
+	if i1 != i2 {
+		t.Error("dup does not share the open file description")
+	}
+	// dup is fd-table-only: no LSM hook fires.
+	if len(tap.LSMEvents) != before {
+		t.Error("dup fired an LSM hook")
+	}
+	// dup2 onto an existing fd replaces it.
+	fd2, _ := k.Open(p, "/stage/b.txt", OCreat|ORdwr)
+	if _, errno := k.Dup2(p, int(fd), int(fd2)); errno != OK {
+		t.Fatalf("dup2: %v", errno)
+	}
+	i3, _ := p.FD(int(fd2))
+	if i3 != i1 {
+		t.Error("dup2 did not replace the target fd")
+	}
+}
+
+func TestWriteBumpsVersion(t *testing.T) {
+	k, p, _ := launch(t)
+	fd, _ := k.Open(p, "/stage/a.txt", OCreat|ORdwr)
+	ino, _ := p.FD(int(fd))
+	v0 := ino.Version
+	if _, errno := k.Write(p, int(fd), 10); errno != OK {
+		t.Fatalf("write: %v", errno)
+	}
+	if ino.Version != v0+1 || ino.Size != 10 {
+		t.Errorf("version=%d size=%d", ino.Version, ino.Size)
+	}
+	n, errno := k.Read(p, int(fd), 100)
+	if errno != OK || n != 10 {
+		t.Errorf("read clamped: n=%d errno=%v", n, errno)
+	}
+}
+
+func TestLinkSemantics(t *testing.T) {
+	k, p, _ := launch(t)
+	k.MkFile("/stage/orig.txt", 1000, 0o644)
+	if _, errno := k.Link(p, "/stage/orig.txt", "/stage/hard.txt"); errno != OK {
+		t.Fatalf("link: %v", errno)
+	}
+	i1, _ := k.Lookup("/stage/orig.txt")
+	i2, _ := k.Lookup("/stage/hard.txt")
+	if i1 != i2 {
+		t.Error("hard link resolves to a different inode")
+	}
+	if i1.Nlink != 2 {
+		t.Errorf("nlink = %d, want 2", i1.Nlink)
+	}
+	// Linking onto an existing name fails.
+	if _, errno := k.Link(p, "/stage/orig.txt", "/stage/hard.txt"); errno != EEXIST {
+		t.Errorf("link onto existing: %v", errno)
+	}
+	// Unlink one name: inode survives.
+	if _, errno := k.Unlink(p, "/stage/orig.txt"); errno != OK {
+		t.Fatalf("unlink: %v", errno)
+	}
+	if _, ok := k.Lookup("/stage/orig.txt"); ok {
+		t.Error("unlinked name still resolves")
+	}
+	if _, ok := k.Lookup("/stage/hard.txt"); !ok {
+		t.Error("surviving link lost")
+	}
+}
+
+func TestSymlinkResolution(t *testing.T) {
+	k, p, _ := launch(t)
+	k.MkFile("/stage/target.txt", 1000, 0o644)
+	if _, errno := k.Symlink(p, "/stage/target.txt", "/stage/soft.txt"); errno != OK {
+		t.Fatalf("symlink: %v", errno)
+	}
+	ino, ok := k.Lookup("/stage/soft.txt")
+	if !ok || ino.Type != TypeFile {
+		t.Error("symlink did not resolve to target file")
+	}
+	// Opening through the symlink reaches the target.
+	fd, errno := k.Open(p, "/stage/soft.txt", ORdonly)
+	if errno != OK {
+		t.Fatalf("open via symlink: %v", errno)
+	}
+	got, _ := p.FD(int(fd))
+	want, _ := k.Lookup("/stage/target.txt")
+	if got != want {
+		t.Error("open via symlink opened the wrong inode")
+	}
+}
+
+func TestRenameReplacesTarget(t *testing.T) {
+	k, p, _ := launch(t)
+	k.MkFile("/stage/a.txt", 1000, 0o644)
+	k.MkFile("/stage/b.txt", 1000, 0o644)
+	aIno, _ := k.Lookup("/stage/a.txt")
+	if _, errno := k.Rename(p, "/stage/a.txt", "/stage/b.txt"); errno != OK {
+		t.Fatalf("rename: %v", errno)
+	}
+	if _, ok := k.Lookup("/stage/a.txt"); ok {
+		t.Error("old name survives rename")
+	}
+	got, _ := k.Lookup("/stage/b.txt")
+	if got != aIno {
+		t.Error("target does not resolve to the renamed inode")
+	}
+}
+
+func TestRenameDeniedOnPrivilegedTarget(t *testing.T) {
+	k, p, tap := launch(t)
+	k.MkFile("/stage/evil.txt", 1000, 0o644)
+	ret, errno := k.Rename(p, "/stage/evil.txt", "/etc/passwd")
+	if errno != EACCES || ret != -1 {
+		t.Fatalf("rename onto /etc/passwd: ret=%d errno=%v", ret, errno)
+	}
+	// The libc tap must still carry the attempt (what OPUS sees).
+	found := false
+	for _, ev := range tap.LibcEvents {
+		if ev.Call == "rename" && ev.Ret == -1 && ev.Errno == EACCES {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("failed rename missing from libc tap")
+	}
+	// /etc/passwd unharmed.
+	if ino, ok := k.Lookup("/etc/passwd"); !ok || ino.UID != 0 {
+		t.Error("/etc/passwd was clobbered")
+	}
+}
+
+func TestForkCopiesDescriptors(t *testing.T) {
+	k, p, _ := launch(t)
+	fd, _ := k.Open(p, "/stage/a.txt", OCreat|ORdwr)
+	child, pid, errno := k.Fork(p)
+	if errno != OK || pid != int64(child.PID) {
+		t.Fatalf("fork: %v", errno)
+	}
+	ci, ok := child.FD(int(fd))
+	pi, _ := p.FD(int(fd))
+	if !ok || ci != pi {
+		t.Error("child fd table not copied")
+	}
+	if child.Cred != p.Cred || child.PPID != p.PID {
+		t.Error("child identity wrong")
+	}
+}
+
+// TestVforkAuditOrdering reproduces the Section 4.2 quirk: the parent's
+// vfork audit record must be delivered after the child's records.
+func TestVforkAuditOrdering(t *testing.T) {
+	k, p, tap := launch(t)
+	n := len(tap.AuditEvents)
+	child, _, errno := k.Vfork(p)
+	if errno != OK {
+		t.Fatal(errno)
+	}
+	// Parent suspended: the vfork record is deferred.
+	if len(tap.AuditEvents) != n {
+		t.Fatalf("vfork record emitted while parent suspended (%d new events)",
+			len(tap.AuditEvents)-n)
+	}
+	k.Exit(child, 0)
+	var calls []string
+	for _, ev := range tap.AuditEvents[n:] {
+		calls = append(calls, ev.Syscall)
+	}
+	if len(calls) < 2 || calls[0] != "exit_group" || calls[len(calls)-1] != "vfork" {
+		t.Errorf("audit order = %v, want child exit_group before parent vfork", calls)
+	}
+}
+
+func TestCloneBypassesLibc(t *testing.T) {
+	k, p, tap := launch(t)
+	n := len(tap.LibcEvents)
+	child, _, errno := k.Clone(p)
+	if errno != OK {
+		t.Fatal(errno)
+	}
+	if len(tap.LibcEvents) != n {
+		t.Error("raw clone produced a libc event")
+	}
+	// The clone child's own calls are also invisible to libc.
+	k.Exit(child, 0)
+	for _, ev := range tap.LibcEvents[n:] {
+		if ev.PID == child.PID {
+			t.Errorf("clone child leaked libc event %s", ev.Call)
+		}
+	}
+	// But audit and LSM see everything.
+	seen := false
+	for _, ev := range tap.AuditEvents {
+		if ev.Syscall == "clone" {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("clone missing from audit tap")
+	}
+}
+
+func TestKillPermissions(t *testing.T) {
+	k, p, _ := launch(t)
+	child, _, _ := k.Fork(p)
+	if _, errno := k.Kill(p, child.PID, 9); errno != OK {
+		t.Fatalf("kill own child: %v", errno)
+	}
+	if child.Alive {
+		t.Error("victim still alive")
+	}
+	if _, errno := k.Kill(p, child.PID, 9); errno != ESRCH {
+		t.Errorf("kill dead process: %v", errno)
+	}
+	if _, errno := k.Kill(p, 1, 9); errno != EPERM {
+		t.Errorf("kill init as uid 1000: %v, want EPERM", errno)
+	}
+}
+
+func TestSetidChangeDetection(t *testing.T) {
+	k := New()
+	tap := &TapBuffer{}
+	k.Register(tap)
+	p, err := k.Launch("/usr/bin/bench", nil, Cred{}) // root
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Setting ids to their current value is a no-op: changed=0.
+	if _, errno := k.Setresgid(p, 0, 0, 0); errno != OK {
+		t.Fatal(errno)
+	}
+	ev := lastAuditSyscall(tap, "setresgid")
+	if !contains(ev.Args, "changed=0") {
+		t.Errorf("no-op setresgid args = %v", ev.Args)
+	}
+	// A real change flips the flag.
+	if _, errno := k.Setresuid(p, 1001, 1001, 1001); errno != OK {
+		t.Fatal(errno)
+	}
+	ev = lastAuditSyscall(tap, "setresuid")
+	if !contains(ev.Args, "changed=1") {
+		t.Errorf("real setresuid args = %v", ev.Args)
+	}
+	if p.Cred.UID != 1001 || p.Cred.EUID != 1001 || p.Cred.SUID != 1001 {
+		t.Errorf("cred = %+v", p.Cred)
+	}
+}
+
+func TestSetuidUnprivilegedRestrictions(t *testing.T) {
+	k, p, _ := launch(t) // uid 1000
+	if _, errno := k.Setuid(p, 0); errno != EPERM {
+		t.Errorf("unprivileged setuid 0: %v, want EPERM", errno)
+	}
+	if _, errno := k.Setuid(p, 1000); errno != OK {
+		t.Errorf("setuid to own uid: %v", errno)
+	}
+}
+
+func TestPipesAndTee(t *testing.T) {
+	k, p, _ := launch(t)
+	rd, wr, errno := k.Pipe(p)
+	if errno != OK {
+		t.Fatal(errno)
+	}
+	ri, _ := p.FD(int(rd))
+	wi, _ := p.FD(int(wr))
+	if ri != wi || ri.Type != TypePipe {
+		t.Error("pipe ends disagree")
+	}
+	rd2, wr2, _ := k.Pipe2(p)
+	if _, errno := k.Write(p, int(wr), 8); errno != OK {
+		t.Fatal(errno)
+	}
+	n, errno := k.Tee(p, int(rd), int(wr2), 8)
+	if errno != OK || n != 8 {
+		t.Errorf("tee: n=%d errno=%v", n, errno)
+	}
+	out, _ := p.FD(int(rd2))
+	if out.Size != 8 {
+		t.Errorf("tee target size = %d", out.Size)
+	}
+	// tee on a regular file is EINVAL.
+	ffd, _ := k.Open(p, "/stage/f.txt", OCreat|ORdwr)
+	if _, errno := k.Tee(p, int(ffd), int(wr2), 1); errno != EINVAL {
+		t.Errorf("tee on file: %v", errno)
+	}
+}
+
+func TestChmodChownPermissions(t *testing.T) {
+	k, p, _ := launch(t)
+	k.MkFile("/stage/mine.txt", 1000, 0o644)
+	if _, errno := k.Chmod(p, "/stage/mine.txt", 0o600); errno != OK {
+		t.Errorf("chmod own file: %v", errno)
+	}
+	ino, _ := k.Lookup("/stage/mine.txt")
+	if ino.Mode != 0o600 {
+		t.Errorf("mode = %o", ino.Mode)
+	}
+	if _, errno := k.Chmod(p, "/etc/passwd", 0o777); errno != EPERM {
+		t.Errorf("chmod other's file: %v", errno)
+	}
+	if _, errno := k.Chown(p, "/stage/mine.txt", 1001, 1001); errno != EPERM {
+		t.Errorf("chown as non-root: %v", errno)
+	}
+	// Root can chown.
+	root, err := k.Launch("/usr/bin/bench", nil, Cred{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, errno := k.Chown(root, "/stage/mine.txt", 1001, 1001); errno != OK {
+		t.Errorf("chown as root: %v", errno)
+	}
+	if ino.UID != 1001 {
+		t.Errorf("uid = %d", ino.UID)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	k, p, _ := launch(t)
+	k.MkFile("/stage/t.txt", 1000, 0o644)
+	if _, errno := k.Truncate(p, "/stage/t.txt", 4); errno != OK {
+		t.Fatal(errno)
+	}
+	ino, _ := k.Lookup("/stage/t.txt")
+	if ino.Size != 4 {
+		t.Errorf("size = %d", ino.Size)
+	}
+	if _, errno := k.Truncate(p, "/etc/passwd", 0); errno != EACCES {
+		t.Errorf("truncate /etc/passwd: %v", errno)
+	}
+	if _, errno := k.Truncate(p, "/stage/none", 0); errno != ENOENT {
+		t.Errorf("truncate missing: %v", errno)
+	}
+}
+
+func TestMknodAndUnlinkat(t *testing.T) {
+	k, p, _ := launch(t)
+	if _, errno := k.Mknod(p, "/stage/dev0", 0o600); errno != OK {
+		t.Fatal(errno)
+	}
+	ino, _ := k.Lookup("/stage/dev0")
+	if ino.Type != TypeDevice {
+		t.Errorf("type = %v", ino.Type)
+	}
+	if _, errno := k.Mknodat(p, "/stage/dev0", 0o600); errno != EEXIST {
+		t.Errorf("mknodat existing: %v", errno)
+	}
+	if _, errno := k.Unlinkat(p, "/stage/dev0"); errno != OK {
+		t.Fatal(errno)
+	}
+	if _, ok := k.Lookup("/stage/dev0"); ok {
+		t.Error("device survives unlinkat")
+	}
+}
+
+func TestExecveEventStream(t *testing.T) {
+	k, p, tap := launch(t)
+	n := len(tap.AuditEvents)
+	if _, errno := k.Execve(p, "/usr/bin/helper", []string{"helper"}); errno != OK {
+		t.Fatal(errno)
+	}
+	if p.Exe != "/usr/bin/helper" || p.Comm != "helper" {
+		t.Errorf("image not swapped: %s %s", p.Exe, p.Comm)
+	}
+	// Loader activity follows: execve + opens + mmaps.
+	var calls []string
+	for _, ev := range tap.AuditEvents[n:] {
+		calls = append(calls, ev.Syscall)
+	}
+	if calls[0] != "execve" || len(calls) < 7 {
+		t.Errorf("execve stream = %v", calls)
+	}
+	if _, errno := k.Execve(p, "/no/such/file", nil); errno != ENOENT {
+		t.Errorf("execve missing file: %v", errno)
+	}
+}
+
+func TestUnregisterStopsDelivery(t *testing.T) {
+	k, p, tap := launch(t)
+	k.Unregister(tap)
+	n := len(tap.AuditEvents)
+	if _, errno := k.Open(p, "/stage/x.txt", OCreat|ORdwr); errno != OK {
+		t.Fatal(errno)
+	}
+	if len(tap.AuditEvents) != n {
+		t.Error("events delivered after unregister")
+	}
+}
+
+func TestClockIsMonotonic(t *testing.T) {
+	k := New()
+	t1 := k.Now()
+	t2 := k.Now()
+	if !t2.After(t1) {
+		t.Error("clock not monotonic")
+	}
+}
+
+func lastAuditSyscall(tap *TapBuffer, name string) AuditEvent {
+	for i := len(tap.AuditEvents) - 1; i >= 0; i-- {
+		if tap.AuditEvents[i].Syscall == name {
+			return tap.AuditEvents[i]
+		}
+	}
+	return AuditEvent{}
+}
+
+func contains(list []string, want string) bool {
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}

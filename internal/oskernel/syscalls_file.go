@@ -1,0 +1,447 @@
+package oskernel
+
+import "strconv"
+
+// Syscalls in this file are the Table 1 group 1 (files) operations.
+// Every call emits its libc record (OPUS's view, present even on
+// failure), its LSM hooks (CamFlow's view, fired during the call), and
+// its audit record at exit (SPADE's view).
+
+// Open opens a path, optionally creating it.
+func (k *Kernel) Open(p *Process, path string, flags int) (int64, Errno) {
+	return k.openInternal(p, "open", path, flags, 0o644)
+}
+
+// Openat is open relative to a directory fd; the simulator resolves
+// benchmark paths absolutely, so dirfd only affects the audit record.
+func (k *Kernel) Openat(p *Process, dirfd int, path string, flags int) (int64, Errno) {
+	return k.openInternal(p, "openat", path, flags, 0o644)
+}
+
+// Creat is open(path, O_CREAT|O_WRONLY|O_TRUNC).
+func (k *Kernel) Creat(p *Process, path string) (int64, Errno) {
+	return k.openInternal(p, "creat", path, OCreat|OWronly|OTrunc, 0o644)
+}
+
+func (k *Kernel) openInternal(p *Process, callName, path string, flags int, mode uint32) (int64, Errno) {
+	args := []string{path, flagString(flags)}
+	ino, exists := k.vfs.lookup(path)
+	var errno Errno
+	created := false
+	switch {
+	case !exists && flags&OCreat == 0:
+		errno = ENOENT
+	case !exists:
+		if dir, ok := k.vfs.parentDir(path); !ok {
+			errno = ENOENT
+		} else if !mayWrite(p.Cred, dir) {
+			k.emitLSM(p, HookInodeCreate, "write", dir, path, false, "")
+			errno = EACCES
+		} else {
+			ino = k.vfs.createFile(path, p.Cred.EUID, p.Cred.EGID, mode)
+			k.emitLSM(p, HookInodeCreate, "write", ino, path, true, "")
+			created = true
+		}
+	case ino.Type == TypeDir && flags&(OWronly|ORdwr) != 0:
+		errno = EISDIR
+	default:
+		wantWrite := flags&(OWronly|ORdwr) != 0
+		if wantWrite && !mayWrite(p.Cred, ino) {
+			k.emitLSM(p, HookFileOpen, "write", ino, path, false, "")
+			errno = EACCES
+		} else if !wantWrite && !mayRead(p.Cred, ino) {
+			k.emitLSM(p, HookFileOpen, "read", ino, path, false, "")
+			errno = EACCES
+		}
+	}
+	var ret int64 = -1
+	var paths []PathRecord
+	if errno == OK {
+		if !created {
+			access := "read"
+			if flags&(OWronly|ORdwr) != 0 {
+				access = "write"
+			}
+			k.emitLSM(p, HookFileOpen, access, ino, path, true, "")
+		}
+		if flags&OTrunc != 0 && !created {
+			ino.Size = 0
+			ino.Version++
+		}
+		fd := p.installFD(&filDesc{inode: ino, path: path, flags: flags})
+		ret = int64(fd)
+		paths = []PathRecord{{Name: path, Inode: ino.ID, Mode: ino.Mode}}
+	}
+	k.emitAudit(p, callName, args, ret, errno, paths)
+	k.emitLibc(p, callName, args, ret, errno)
+	return ret, errno
+}
+
+// Close releases a descriptor. The underlying kernel structures are
+// freed only when the last reference drops (CamFlow's close behaviour:
+// the object free happens later, which ProvMark cannot reliably observe
+// — Section 4.1).
+func (k *Kernel) Close(p *Process, fd int) (int64, Errno) {
+	args := []string{fdString(fd)}
+	d, ok := p.fds[fd]
+	if !ok {
+		k.emitAudit(p, "close", args, -1, EBADF, nil)
+		k.emitLibc(p, "close", args, -1, EBADF)
+		return -1, EBADF
+	}
+	delete(p.fds, fd)
+	d.refs--
+	// No LSM hook: the eventual kfree is asynchronous and not
+	// attributable to the close call (LP in Table 2).
+	k.emitAudit(p, "close", args, 0, OK, []PathRecord{{Name: d.path, Inode: d.inode.ID, Mode: d.inode.Mode}})
+	k.emitLibc(p, "close", args, 0, OK)
+	return 0, OK
+}
+
+// Dup duplicates a descriptor. Only the fd table changes: audit reports
+// the call but SPADE's baseline treats it as a state change only (SC),
+// and no LSM hook fires (NR for CamFlow).
+func (k *Kernel) Dup(p *Process, fd int) (int64, Errno) {
+	return k.dupInternal(p, "dup", fd, -1)
+}
+
+// Dup2 duplicates onto a chosen descriptor number.
+func (k *Kernel) Dup2(p *Process, fd, newfd int) (int64, Errno) {
+	return k.dupInternal(p, "dup2", fd, newfd)
+}
+
+// Dup3 is dup2 with flags (ignored by the simulator).
+func (k *Kernel) Dup3(p *Process, fd, newfd int) (int64, Errno) {
+	return k.dupInternal(p, "dup3", fd, newfd)
+}
+
+func (k *Kernel) dupInternal(p *Process, callName string, fd, newfd int) (int64, Errno) {
+	args := []string{fdString(fd)}
+	if newfd >= 0 {
+		args = append(args, fdString(newfd))
+	}
+	d, ok := p.fds[fd]
+	if !ok {
+		k.emitAudit(p, callName, args, -1, EBADF, nil)
+		k.emitLibc(p, callName, args, -1, EBADF)
+		return -1, EBADF
+	}
+	var ret int
+	if newfd >= 0 {
+		if old, ok := p.fds[newfd]; ok {
+			old.refs--
+		}
+		d.refs++
+		p.fds[newfd] = d
+		ret = newfd
+	} else {
+		ret = p.installFD(d)
+		d.refs-- // installFD already counted; keep single increment
+		d.refs++
+	}
+	k.emitAudit(p, callName, args, int64(ret), OK, []PathRecord{{Name: d.path, Inode: d.inode.ID, Mode: d.inode.Mode}})
+	k.emitLibc(p, callName, args, int64(ret), OK)
+	return int64(ret), OK
+}
+
+// Read consumes bytes from a descriptor.
+func (k *Kernel) Read(p *Process, fd int, n int64) (int64, Errno) {
+	return k.rwInternal(p, "read", fd, n, false, -1)
+}
+
+// Pread reads at an offset.
+func (k *Kernel) Pread(p *Process, fd int, n, off int64) (int64, Errno) {
+	return k.rwInternal(p, "pread", fd, n, false, off)
+}
+
+// Write appends bytes to a descriptor, bumping the inode version.
+func (k *Kernel) Write(p *Process, fd int, n int64) (int64, Errno) {
+	return k.rwInternal(p, "write", fd, n, true, -1)
+}
+
+// Pwrite writes at an offset.
+func (k *Kernel) Pwrite(p *Process, fd int, n, off int64) (int64, Errno) {
+	return k.rwInternal(p, "pwrite", fd, n, true, off)
+}
+
+func (k *Kernel) rwInternal(p *Process, callName string, fd int, n int64, write bool, off int64) (int64, Errno) {
+	args := []string{fdString(fd), strconv.FormatInt(n, 10)}
+	if off >= 0 {
+		args = append(args, strconv.FormatInt(off, 10))
+	}
+	d, ok := p.fds[fd]
+	if !ok {
+		k.emitAudit(p, callName, args, -1, EBADF, nil)
+		k.emitLibc(p, callName, args, -1, EBADF)
+		return -1, EBADF
+	}
+	access := "read"
+	if write {
+		access = "write"
+		d.inode.Size += n
+		d.inode.Version++
+	} else if d.inode.Size < n {
+		n = d.inode.Size
+	}
+	k.emitLSM(p, HookFilePermission, access, d.inode, d.path, true, "")
+	k.emitAudit(p, callName, args, n, OK, []PathRecord{{Name: d.path, Inode: d.inode.ID, Mode: d.inode.Mode}})
+	k.emitLibc(p, callName, args, n, OK)
+	return n, OK
+}
+
+// Link creates a hard link.
+func (k *Kernel) Link(p *Process, oldpath, newpath string) (int64, Errno) {
+	return k.linkInternal(p, "link", oldpath, newpath)
+}
+
+// Linkat is link with directory fds (resolved absolutely here).
+func (k *Kernel) Linkat(p *Process, oldpath, newpath string) (int64, Errno) {
+	return k.linkInternal(p, "linkat", oldpath, newpath)
+}
+
+func (k *Kernel) linkInternal(p *Process, callName, oldpath, newpath string) (int64, Errno) {
+	args := []string{oldpath, newpath}
+	ino, ok := k.vfs.lookupNoFollow(oldpath)
+	var errno Errno
+	switch {
+	case !ok:
+		errno = ENOENT
+	default:
+		if _, exists := k.vfs.lookupNoFollow(newpath); exists {
+			errno = EEXIST
+		} else if dir, ok := k.vfs.parentDir(newpath); !ok {
+			errno = ENOENT
+		} else if !mayWrite(p.Cred, dir) {
+			k.emitLSM2(p, HookInodeLink, ino, oldpath, dir, newpath, false, "")
+			errno = EACCES
+		}
+	}
+	var ret int64 = -1
+	var paths []PathRecord
+	if errno == OK {
+		k.vfs.link(ino, newpath)
+		k.emitLSM2(p, HookInodeLink, ino, oldpath, nil, newpath, true, "")
+		ret = 0
+		paths = []PathRecord{
+			{Name: oldpath, Inode: ino.ID, Mode: ino.Mode},
+			{Name: newpath, Inode: ino.ID, Mode: ino.Mode},
+		}
+	}
+	k.emitAudit(p, callName, args, ret, errno, paths)
+	k.emitLibc(p, callName, args, ret, errno)
+	return ret, errno
+}
+
+// Symlink creates a symbolic link.
+func (k *Kernel) Symlink(p *Process, target, linkpath string) (int64, Errno) {
+	return k.symlinkInternal(p, "symlink", target, linkpath)
+}
+
+// Symlinkat is symlink relative to a directory fd.
+func (k *Kernel) Symlinkat(p *Process, target, linkpath string) (int64, Errno) {
+	return k.symlinkInternal(p, "symlinkat", target, linkpath)
+}
+
+func (k *Kernel) symlinkInternal(p *Process, callName, target, linkpath string) (int64, Errno) {
+	args := []string{target, linkpath}
+	var errno Errno
+	if _, exists := k.vfs.lookupNoFollow(linkpath); exists {
+		errno = EEXIST
+	} else if dir, ok := k.vfs.parentDir(linkpath); !ok {
+		errno = ENOENT
+	} else if !mayWrite(p.Cred, dir) {
+		errno = EACCES
+	}
+	var ret int64 = -1
+	var paths []PathRecord
+	if errno == OK {
+		ino := k.vfs.alloc(TypeSymlink, p.Cred.EUID, p.Cred.EGID, 0o777)
+		ino.Target = target
+		ino.Nlink = 1
+		k.vfs.dentries[clean(linkpath)] = ino.ID
+		k.emitLSM(p, HookInodeSymlink, "write", ino, linkpath, true, target)
+		ret = 0
+		paths = []PathRecord{{Name: linkpath, Inode: ino.ID, Mode: ino.Mode}}
+	}
+	k.emitAudit(p, callName, args, ret, errno, paths)
+	k.emitLibc(p, callName, args, ret, errno)
+	return ret, errno
+}
+
+// Mknod creates a device node.
+func (k *Kernel) Mknod(p *Process, path string, mode uint32) (int64, Errno) {
+	return k.mknodInternal(p, "mknod", path, mode)
+}
+
+// Mknodat is mknod relative to a directory fd.
+func (k *Kernel) Mknodat(p *Process, path string, mode uint32) (int64, Errno) {
+	return k.mknodInternal(p, "mknodat", path, mode)
+}
+
+func (k *Kernel) mknodInternal(p *Process, callName, path string, mode uint32) (int64, Errno) {
+	args := []string{path, strconv.FormatUint(uint64(mode), 8)}
+	var errno Errno
+	if _, exists := k.vfs.lookupNoFollow(path); exists {
+		errno = EEXIST
+	} else if dir, ok := k.vfs.parentDir(path); !ok {
+		errno = ENOENT
+	} else if !mayWrite(p.Cred, dir) {
+		errno = EACCES
+	}
+	var ret int64 = -1
+	var paths []PathRecord
+	if errno == OK {
+		ino := k.vfs.alloc(TypeDevice, p.Cred.EUID, p.Cred.EGID, mode)
+		ino.Nlink = 1
+		k.vfs.dentries[clean(path)] = ino.ID
+		k.emitLSM(p, HookInodeMknod, "write", ino, path, true, "")
+		ret = 0
+		paths = []PathRecord{{Name: path, Inode: ino.ID, Mode: ino.Mode}}
+	}
+	k.emitAudit(p, callName, args, ret, errno, paths)
+	k.emitLibc(p, callName, args, ret, errno)
+	return ret, errno
+}
+
+// Rename moves a file to a new name, replacing any existing target.
+func (k *Kernel) Rename(p *Process, oldpath, newpath string) (int64, Errno) {
+	return k.renameInternal(p, "rename", oldpath, newpath)
+}
+
+// Renameat is rename relative to directory fds.
+func (k *Kernel) Renameat(p *Process, oldpath, newpath string) (int64, Errno) {
+	return k.renameInternal(p, "renameat", oldpath, newpath)
+}
+
+func (k *Kernel) renameInternal(p *Process, callName, oldpath, newpath string) (int64, Errno) {
+	args := []string{oldpath, newpath}
+	ino, ok := k.vfs.lookupNoFollow(oldpath)
+	var errno Errno
+	var tgtDir *Inode
+	switch {
+	case !ok:
+		errno = ENOENT
+	default:
+		dir, dirOK := k.vfs.parentDir(newpath)
+		tgtDir = dir
+		if !dirOK {
+			errno = ENOENT
+		} else if !mayWrite(p.Cred, dir) {
+			errno = EACCES
+		} else if tgt, exists := k.vfs.lookupNoFollow(newpath); exists && !mayWrite(p.Cred, tgt) {
+			errno = EACCES
+		}
+	}
+	var ret int64 = -1
+	var paths []PathRecord
+	if errno == OK {
+		k.vfs.rename(oldpath, newpath)
+		k.emitLSM2(p, HookInodeRename, ino, oldpath, tgtDir, newpath, true, "")
+		ret = 0
+		paths = []PathRecord{
+			{Name: oldpath, Inode: ino.ID, Mode: ino.Mode},
+			{Name: newpath, Inode: ino.ID, Mode: ino.Mode},
+		}
+	} else if ino != nil {
+		// Denied rename still trips the permission hook on the target.
+		k.emitLSM2(p, HookInodeRename, ino, oldpath, tgtDir, newpath, false, "")
+	}
+	k.emitAudit(p, callName, args, ret, errno, paths)
+	k.emitLibc(p, callName, args, ret, errno)
+	return ret, errno
+}
+
+// Truncate cuts a file to a length by path.
+func (k *Kernel) Truncate(p *Process, path string, length int64) (int64, Errno) {
+	args := []string{path, strconv.FormatInt(length, 10)}
+	ino, ok := k.vfs.lookup(path)
+	var errno Errno
+	switch {
+	case !ok:
+		errno = ENOENT
+	case !mayWrite(p.Cred, ino):
+		k.emitLSM(p, HookInodeSetattr, "write", ino, path, false, "size")
+		errno = EACCES
+	}
+	var ret int64 = -1
+	var paths []PathRecord
+	if errno == OK {
+		ino.Size = length
+		ino.Version++
+		k.emitLSM(p, HookInodeSetattr, "write", ino, path, true, "size="+strconv.FormatInt(length, 10))
+		ret = 0
+		paths = []PathRecord{{Name: path, Inode: ino.ID, Mode: ino.Mode}}
+	}
+	k.emitAudit(p, "truncate", args, ret, errno, paths)
+	k.emitLibc(p, "truncate", args, ret, errno)
+	return ret, errno
+}
+
+// Ftruncate cuts a file to a length by descriptor.
+func (k *Kernel) Ftruncate(p *Process, fd int, length int64) (int64, Errno) {
+	args := []string{fdString(fd), strconv.FormatInt(length, 10)}
+	d, ok := p.fds[fd]
+	if !ok {
+		k.emitAudit(p, "ftruncate", args, -1, EBADF, nil)
+		k.emitLibc(p, "ftruncate", args, -1, EBADF)
+		return -1, EBADF
+	}
+	d.inode.Size = length
+	d.inode.Version++
+	k.emitLSM(p, HookInodeSetattr, "write", d.inode, d.path, true, "size="+strconv.FormatInt(length, 10))
+	k.emitAudit(p, "ftruncate", args, 0, OK, []PathRecord{{Name: d.path, Inode: d.inode.ID, Mode: d.inode.Mode}})
+	k.emitLibc(p, "ftruncate", args, 0, OK)
+	return 0, OK
+}
+
+// Unlink removes a directory entry.
+func (k *Kernel) Unlink(p *Process, path string) (int64, Errno) {
+	return k.unlinkInternal(p, "unlink", path)
+}
+
+// Unlinkat is unlink relative to a directory fd.
+func (k *Kernel) Unlinkat(p *Process, path string) (int64, Errno) {
+	return k.unlinkInternal(p, "unlinkat", path)
+}
+
+func (k *Kernel) unlinkInternal(p *Process, callName, path string) (int64, Errno) {
+	args := []string{path}
+	ino, ok := k.vfs.lookupNoFollow(path)
+	var errno Errno
+	switch {
+	case !ok:
+		errno = ENOENT
+	default:
+		if dir, ok := k.vfs.parentDir(path); !ok {
+			errno = ENOENT
+		} else if !mayWrite(p.Cred, dir) {
+			k.emitLSM(p, HookInodeUnlink, "write", ino, path, false, "")
+			errno = EACCES
+		}
+	}
+	var ret int64 = -1
+	var paths []PathRecord
+	if errno == OK {
+		paths = []PathRecord{{Name: path, Inode: ino.ID, Mode: ino.Mode}}
+		k.emitLSM(p, HookInodeUnlink, "write", ino, path, true, "")
+		k.vfs.unlink(path)
+		ret = 0
+	}
+	k.emitAudit(p, callName, args, ret, errno, paths)
+	k.emitLibc(p, callName, args, ret, errno)
+	return ret, errno
+}
+
+func flagString(flags int) string {
+	switch {
+	case flags&OCreat != 0 && flags&OTrunc != 0:
+		return "O_CREAT|O_TRUNC|O_WRONLY"
+	case flags&OCreat != 0:
+		return "O_CREAT|O_WRONLY"
+	case flags&ORdwr != 0:
+		return "O_RDWR"
+	case flags&OWronly != 0:
+		return "O_WRONLY"
+	}
+	return "O_RDONLY"
+}

@@ -1,0 +1,373 @@
+package oskernel
+
+import "strconv"
+
+// Syscalls in this file cover Table 1 groups 2 (processes), 3
+// (permissions) and 4 (pipes).
+
+// Fork creates a child process sharing the parent's open files (the
+// descriptions are duplicated, not shared offsets — close enough for
+// provenance purposes).
+func (k *Kernel) Fork(p *Process) (*Process, int64, Errno) {
+	return k.forkInternal(p, "fork", false)
+}
+
+// Vfork creates a child and suspends the parent until the child exits.
+// Linux Audit reports syscalls on exit, so the parent's vfork record is
+// only seen after the child's own records (Section 4.2: SPADE shows the
+// vforked child as a disconnected node).
+func (k *Kernel) Vfork(p *Process) (*Process, int64, Errno) {
+	return k.forkInternal(p, "vfork", true)
+}
+
+// Clone creates a child via the raw clone(2) interface. glibc's fork
+// wrapper is not used, so the libc tap stays silent (OPUS does not
+// observe clone — Table 2).
+func (k *Kernel) Clone(p *Process) (*Process, int64, Errno) {
+	child := k.spawnChild(p)
+	child.noLibc = true
+	k.emitLSM(p, HookTaskCreate, "", nil, "", true, "clone pid="+strconv.Itoa(child.PID))
+	k.emitAudit(p, "clone", nil, int64(child.PID), OK, nil)
+	// No libc event: raw syscall.
+	return child, int64(child.PID), OK
+}
+
+func (k *Kernel) forkInternal(p *Process, callName string, vfork bool) (*Process, int64, Errno) {
+	child := k.spawnChild(p)
+	k.emitLSM(p, HookTaskCreate, "", nil, "", true, callName+" pid="+strconv.Itoa(child.PID))
+	if vfork {
+		// Parent suspends: defer its audit records (including this one)
+		// until the child exits.
+		p.vforkParent = child
+		k.emitAudit(p, callName, nil, int64(child.PID), OK, nil)
+		k.emitLibc(p, callName, nil, int64(child.PID), OK)
+	} else {
+		k.emitAudit(p, callName, nil, int64(child.PID), OK, nil)
+		k.emitLibc(p, callName, nil, int64(child.PID), OK)
+	}
+	return child, int64(child.PID), OK
+}
+
+func (k *Kernel) spawnChild(p *Process) *Process {
+	child := k.newProcess(p.PID, p.Cred, p.Comm, p.Exe, p.Argv, p.Env)
+	for fd, d := range p.fds {
+		d.refs++
+		child.fds[fd] = d
+	}
+	child.nextFD = p.nextFD
+	return child
+}
+
+// Execve replaces the process image.
+func (k *Kernel) Execve(p *Process, exe string, argv []string) (int64, Errno) {
+	if errno := k.doExecve(p, exe, argv); errno != OK {
+		return -1, errno
+	}
+	return 0, OK
+}
+
+// Exit terminates a process. A process always exits implicitly at the
+// end of its program, so foreground and background graphs both contain
+// it — the exit benchmark is empty for every tool (LP in Table 2).
+func (k *Kernel) Exit(p *Process, code int) {
+	p.Alive = false
+	k.emitLSM(p, HookTaskExit, "", nil, "", true, strconv.Itoa(code))
+	k.emitAudit(p, "exit_group", []string{strconv.Itoa(code)}, int64(code), OK, nil)
+	k.emitLibc(p, "exit", []string{strconv.Itoa(code)}, int64(code), OK)
+	// Release any vfork parent waiting on this child.
+	for _, proc := range k.procs {
+		if proc.vforkParent == p {
+			k.flushVfork(proc)
+		}
+	}
+}
+
+// Kill delivers a signal. The victim terminates without running its own
+// exit path (LP: the killed process's absence cannot be diffed).
+func (k *Kernel) Kill(p *Process, pid, sig int) (int64, Errno) {
+	args := []string{strconv.Itoa(pid), strconv.Itoa(sig)}
+	victim, ok := k.procs[pid]
+	if !ok || !victim.Alive {
+		k.emitAudit(p, "kill", args, -1, ESRCH, nil)
+		k.emitLibc(p, "kill", args, -1, ESRCH)
+		return -1, ESRCH
+	}
+	if p.Cred.EUID != 0 && p.Cred.EUID != victim.Cred.UID {
+		k.emitLSM(p, HookTaskKill, "", nil, "", false, "sig="+strconv.Itoa(sig))
+		k.emitAudit(p, "kill", args, -1, EPERM, nil)
+		k.emitLibc(p, "kill", args, -1, EPERM)
+		return -1, EPERM
+	}
+	victim.Alive = false
+	k.emitLSM(p, HookTaskKill, "", nil, "", true, "sig="+strconv.Itoa(sig))
+	k.emitAudit(p, "kill", args, 0, OK, nil)
+	k.emitLibc(p, "kill", args, 0, OK)
+	return 0, OK
+}
+
+// Chmod changes a file mode by path.
+func (k *Kernel) Chmod(p *Process, path string, mode uint32) (int64, Errno) {
+	return k.chmodInternal(p, "chmod", path, mode)
+}
+
+// Fchmodat changes a file mode by path relative to a directory fd.
+func (k *Kernel) Fchmodat(p *Process, path string, mode uint32) (int64, Errno) {
+	return k.chmodInternal(p, "fchmodat", path, mode)
+}
+
+func (k *Kernel) chmodInternal(p *Process, callName, path string, mode uint32) (int64, Errno) {
+	args := []string{path, strconv.FormatUint(uint64(mode), 8)}
+	ino, ok := k.vfs.lookup(path)
+	var errno Errno
+	switch {
+	case !ok:
+		errno = ENOENT
+	case p.Cred.EUID != 0 && p.Cred.EUID != ino.UID:
+		k.emitLSM(p, HookInodeSetattr, "write", ino, path, false, "mode")
+		errno = EPERM
+	}
+	var ret int64 = -1
+	var paths []PathRecord
+	if errno == OK {
+		ino.Mode = mode
+		k.emitLSM(p, HookInodeSetattr, "write", ino, path, true, "mode="+strconv.FormatUint(uint64(mode), 8))
+		ret = 0
+		paths = []PathRecord{{Name: path, Inode: ino.ID, Mode: ino.Mode}}
+	}
+	k.emitAudit(p, callName, args, ret, errno, paths)
+	k.emitLibc(p, callName, args, ret, errno)
+	return ret, errno
+}
+
+// Fchmod changes a file mode by descriptor. From OPUS's perspective this
+// is read/write-like activity on an already-open fd (NR in Table 2), so
+// its libc record is tagged as an fd-only operation the recorder skips.
+func (k *Kernel) Fchmod(p *Process, fd int, mode uint32) (int64, Errno) {
+	args := []string{fdString(fd), strconv.FormatUint(uint64(mode), 8)}
+	d, ok := p.fds[fd]
+	if !ok {
+		k.emitAudit(p, "fchmod", args, -1, EBADF, nil)
+		k.emitLibc(p, "fchmod", args, -1, EBADF)
+		return -1, EBADF
+	}
+	d.inode.Mode = mode
+	k.emitLSM(p, HookInodeSetattr, "write", d.inode, d.path, true, "mode="+strconv.FormatUint(uint64(mode), 8))
+	k.emitAudit(p, "fchmod", args, 0, OK, []PathRecord{{Name: d.path, Inode: d.inode.ID, Mode: d.inode.Mode}})
+	k.emitLibc(p, "fchmod", args, 0, OK)
+	return 0, OK
+}
+
+// Chown changes file ownership by path.
+func (k *Kernel) Chown(p *Process, path string, uid, gid int) (int64, Errno) {
+	return k.chownInternal(p, "chown", path, uid, gid)
+}
+
+// Fchownat changes ownership by path relative to a directory fd.
+func (k *Kernel) Fchownat(p *Process, path string, uid, gid int) (int64, Errno) {
+	return k.chownInternal(p, "fchownat", path, uid, gid)
+}
+
+func (k *Kernel) chownInternal(p *Process, callName, path string, uid, gid int) (int64, Errno) {
+	args := []string{path, strconv.Itoa(uid), strconv.Itoa(gid)}
+	ino, ok := k.vfs.lookup(path)
+	var errno Errno
+	switch {
+	case !ok:
+		errno = ENOENT
+	case p.Cred.EUID != 0:
+		k.emitLSM(p, HookInodeSetattr, "write", ino, path, false, "owner")
+		errno = EPERM
+	}
+	var ret int64 = -1
+	var paths []PathRecord
+	if errno == OK {
+		ino.UID, ino.GID = uid, gid
+		k.emitLSM(p, HookInodeSetattr, "write", ino, path, true,
+			"owner="+strconv.Itoa(uid)+":"+strconv.Itoa(gid))
+		ret = 0
+		paths = []PathRecord{{Name: path, Inode: ino.ID, Mode: ino.Mode}}
+	}
+	k.emitAudit(p, callName, args, ret, errno, paths)
+	k.emitLibc(p, callName, args, ret, errno)
+	return ret, errno
+}
+
+// Fchown changes ownership by descriptor.
+func (k *Kernel) Fchown(p *Process, fd int, uid, gid int) (int64, Errno) {
+	args := []string{fdString(fd), strconv.Itoa(uid), strconv.Itoa(gid)}
+	d, ok := p.fds[fd]
+	if !ok {
+		k.emitAudit(p, "fchown", args, -1, EBADF, nil)
+		k.emitLibc(p, "fchown", args, -1, EBADF)
+		return -1, EBADF
+	}
+	if p.Cred.EUID != 0 {
+		k.emitLSM(p, HookInodeSetattr, "write", d.inode, d.path, false, "owner")
+		k.emitAudit(p, "fchown", args, -1, EPERM, nil)
+		k.emitLibc(p, "fchown", args, -1, EPERM)
+		return -1, EPERM
+	}
+	d.inode.UID, d.inode.GID = uid, gid
+	k.emitLSM(p, HookInodeSetattr, "write", d.inode, d.path, true,
+		"owner="+strconv.Itoa(uid)+":"+strconv.Itoa(gid))
+	k.emitAudit(p, "fchown", args, 0, OK, []PathRecord{{Name: d.path, Inode: d.inode.ID, Mode: d.inode.Mode}})
+	k.emitLibc(p, "fchown", args, 0, OK)
+	return 0, OK
+}
+
+// credChanged reports whether the id-change syscall actually modified
+// the credential set. SPADE's baseline only monitors *changes* to these
+// attributes (SC in Table 2): setting an id to its current value is
+// invisible to it.
+type credChange struct {
+	changed bool
+	detail  string
+}
+
+// Setuid sets the effective (and for root, real and saved) user id.
+func (k *Kernel) Setuid(p *Process, uid int) (int64, Errno) {
+	old := p.Cred
+	if p.Cred.EUID != 0 && uid != p.Cred.UID && uid != p.Cred.SUID {
+		return k.setidResult(p, "setuid", []string{strconv.Itoa(uid)}, EPERM, credChange{})
+	}
+	p.Cred.UID, p.Cred.EUID, p.Cred.SUID = uid, uid, uid
+	ch := credChange{changed: old != p.Cred, detail: "uid=" + strconv.Itoa(uid)}
+	return k.setidResult(p, "setuid", []string{strconv.Itoa(uid)}, OK, ch)
+}
+
+// Setreuid sets real and effective user ids.
+func (k *Kernel) Setreuid(p *Process, ruid, euid int) (int64, Errno) {
+	old := p.Cred
+	if ruid >= 0 {
+		p.Cred.UID = ruid
+	}
+	if euid >= 0 {
+		p.Cred.EUID = euid
+	}
+	ch := credChange{changed: old != p.Cred, detail: "ruid=" + strconv.Itoa(ruid) + " euid=" + strconv.Itoa(euid)}
+	return k.setidResult(p, "setreuid", []string{strconv.Itoa(ruid), strconv.Itoa(euid)}, OK, ch)
+}
+
+// Setresuid sets real, effective and saved user ids.
+func (k *Kernel) Setresuid(p *Process, ruid, euid, suid int) (int64, Errno) {
+	old := p.Cred
+	if ruid >= 0 {
+		p.Cred.UID = ruid
+	}
+	if euid >= 0 {
+		p.Cred.EUID = euid
+	}
+	if suid >= 0 {
+		p.Cred.SUID = suid
+	}
+	ch := credChange{changed: old != p.Cred,
+		detail: "ruid=" + strconv.Itoa(ruid) + " euid=" + strconv.Itoa(euid) + " suid=" + strconv.Itoa(suid)}
+	return k.setidResult(p, "setresuid", []string{strconv.Itoa(ruid), strconv.Itoa(euid), strconv.Itoa(suid)}, OK, ch)
+}
+
+// Setgid sets the group ids.
+func (k *Kernel) Setgid(p *Process, gid int) (int64, Errno) {
+	old := p.Cred
+	p.Cred.GID, p.Cred.EGID, p.Cred.SGID = gid, gid, gid
+	ch := credChange{changed: old != p.Cred, detail: "gid=" + strconv.Itoa(gid)}
+	return k.setidResult(p, "setgid", []string{strconv.Itoa(gid)}, OK, ch)
+}
+
+// Setregid sets real and effective group ids.
+func (k *Kernel) Setregid(p *Process, rgid, egid int) (int64, Errno) {
+	old := p.Cred
+	if rgid >= 0 {
+		p.Cred.GID = rgid
+	}
+	if egid >= 0 {
+		p.Cred.EGID = egid
+	}
+	ch := credChange{changed: old != p.Cred, detail: "rgid=" + strconv.Itoa(rgid) + " egid=" + strconv.Itoa(egid)}
+	return k.setidResult(p, "setregid", []string{strconv.Itoa(rgid), strconv.Itoa(egid)}, OK, ch)
+}
+
+// Setresgid sets real, effective and saved group ids.
+func (k *Kernel) Setresgid(p *Process, rgid, egid, sgid int) (int64, Errno) {
+	old := p.Cred
+	if rgid >= 0 {
+		p.Cred.GID = rgid
+	}
+	if egid >= 0 {
+		p.Cred.EGID = egid
+	}
+	if sgid >= 0 {
+		p.Cred.SGID = sgid
+	}
+	ch := credChange{changed: old != p.Cred,
+		detail: "rgid=" + strconv.Itoa(rgid) + " egid=" + strconv.Itoa(egid) + " sgid=" + strconv.Itoa(sgid)}
+	return k.setidResult(p, "setresgid", []string{strconv.Itoa(rgid), strconv.Itoa(egid), strconv.Itoa(sgid)}, OK, ch)
+}
+
+func (k *Kernel) setidResult(p *Process, callName string, args []string, errno Errno, ch credChange) (int64, Errno) {
+	hook := HookTaskFixSetuid
+	if callName[3] == 'g' || callName[5] == 'g' { // set*gid
+		hook = HookTaskFixSetgid
+	}
+	var ret int64
+	if errno != OK {
+		ret = -1
+		k.emitLSM(p, hook, "", nil, "", false, ch.detail)
+	} else {
+		k.emitLSM(p, hook, "", nil, "", true, ch.detail)
+	}
+	// The audit record carries whether the credential set actually
+	// changed; SPADE's baseline keys off this (SC note).
+	auditArgs := append([]string{}, args...)
+	if ch.changed {
+		auditArgs = append(auditArgs, "changed=1")
+	} else {
+		auditArgs = append(auditArgs, "changed=0")
+	}
+	k.emitAudit(p, callName, auditArgs, ret, errno, nil)
+	k.emitLibc(p, callName, args, ret, errno)
+	return ret, errno
+}
+
+// Pipe creates a pipe and returns its two descriptors.
+func (k *Kernel) Pipe(p *Process) (int64, int64, Errno) {
+	return k.pipeInternal(p, "pipe")
+}
+
+// Pipe2 is pipe with flags.
+func (k *Kernel) Pipe2(p *Process) (int64, int64, Errno) {
+	return k.pipeInternal(p, "pipe2")
+}
+
+func (k *Kernel) pipeInternal(p *Process, callName string) (int64, int64, Errno) {
+	ino := k.vfs.alloc(TypePipe, p.Cred.EUID, p.Cred.EGID, 0o600)
+	ino.Nlink = 1
+	rd := p.installFD(&filDesc{inode: ino, path: "pipe:[" + strconv.FormatUint(ino.ID, 10) + "]"})
+	wr := p.installFD(&filDesc{inode: ino, path: "pipe:[" + strconv.FormatUint(ino.ID, 10) + "]"})
+	k.emitLSM(p, HookPipeCreate, "", ino, "", true, "")
+	k.emitAudit(p, callName, []string{fdString(rd), fdString(wr)}, 0, OK, nil)
+	k.emitLibc(p, callName, []string{fdString(rd), fdString(wr)}, 0, OK)
+	return int64(rd), int64(wr), OK
+}
+
+// Tee duplicates data between two pipes without consuming it. Only
+// CamFlow's splice hook observes it (Table 2: SPADE and OPUS miss tee).
+func (k *Kernel) Tee(p *Process, fdIn, fdOut int, n int64) (int64, Errno) {
+	args := []string{fdString(fdIn), fdString(fdOut), strconv.FormatInt(n, 10)}
+	din, okIn := p.fds[fdIn]
+	dout, okOut := p.fds[fdOut]
+	if !okIn || !okOut {
+		k.emitAudit(p, "tee", args, -1, EBADF, nil)
+		return -1, EBADF
+	}
+	if din.inode.Type != TypePipe || dout.inode.Type != TypePipe {
+		k.emitAudit(p, "tee", args, -1, EINVAL, nil)
+		return -1, EINVAL
+	}
+	dout.inode.Size += n
+	dout.inode.Version++
+	k.emitLSM2(p, HookPipeSplice, din.inode, din.path, dout.inode, dout.path, true, "tee")
+	k.emitAudit(p, "tee", args, n, OK, nil)
+	// glibc provides a tee wrapper but OPUS's interposition list does
+	// not cover it; the libc tap stays silent to match Table 2.
+	return n, OK
+}

@@ -1,0 +1,200 @@
+package oskernel
+
+import (
+	"path"
+	"sort"
+	"strings"
+)
+
+// InodeType distinguishes the object kinds the VFS models.
+type InodeType int
+
+// Inode kinds.
+const (
+	TypeFile InodeType = iota + 1
+	TypeDir
+	TypeSymlink
+	TypePipe
+	TypeDevice
+)
+
+func (t InodeType) String() string {
+	switch t {
+	case TypeFile:
+		return "file"
+	case TypeDir:
+		return "dir"
+	case TypeSymlink:
+		return "symlink"
+	case TypePipe:
+		return "pipe"
+	case TypeDevice:
+		return "device"
+	}
+	return "unknown"
+}
+
+// Inode is a filesystem object. Names are kept in the dentry table, so
+// an inode can have several hard links (Nlink tracks them).
+type Inode struct {
+	ID      uint64
+	Type    InodeType
+	Mode    uint32
+	UID     int
+	GID     int
+	Size    int64
+	Nlink   int
+	Target  string // symlink target
+	Version int    // bumped on content writes, used by versioning recorders
+}
+
+// vfs is the virtual filesystem: an inode table plus a dentry map from
+// absolute cleaned paths to inode ids.
+type vfs struct {
+	inodes   map[uint64]*Inode
+	dentries map[string]uint64
+	nextIno  uint64
+}
+
+func newVFS() *vfs {
+	v := &vfs{
+		inodes:   make(map[uint64]*Inode),
+		dentries: make(map[string]uint64),
+		nextIno:  1,
+	}
+	// Root and the few directories the benchmarks and launcher touch.
+	for _, dir := range []string{"/", "/etc", "/lib", "/usr", "/usr/bin", "/dev"} {
+		v.mkdir(dir, 0, 0, 0o755)
+	}
+	// World-writable scratch areas: benchmark programs run as an
+	// unprivileged user inside the staging directory.
+	for _, dir := range []string{"/tmp", "/stage"} {
+		v.mkdir(dir, 0, 0, 0o777)
+	}
+	return v
+}
+
+func (v *vfs) alloc(t InodeType, uid, gid int, mode uint32) *Inode {
+	ino := &Inode{ID: v.nextIno, Type: t, Mode: mode, UID: uid, GID: gid, Nlink: 0}
+	v.nextIno++
+	v.inodes[ino.ID] = ino
+	return ino
+}
+
+func (v *vfs) mkdir(p string, uid, gid int, mode uint32) *Inode {
+	p = clean(p)
+	if id, ok := v.dentries[p]; ok {
+		return v.inodes[id]
+	}
+	ino := v.alloc(TypeDir, uid, gid, mode)
+	ino.Nlink = 1
+	v.dentries[p] = ino.ID
+	return ino
+}
+
+// createFile makes a regular file at path p. The caller has verified
+// that no dentry exists there.
+func (v *vfs) createFile(p string, uid, gid int, mode uint32) *Inode {
+	ino := v.alloc(TypeFile, uid, gid, mode)
+	ino.Nlink = 1
+	v.dentries[clean(p)] = ino.ID
+	return ino
+}
+
+// lookup resolves a path to an inode, following one level of symlink
+// indirection (enough for the benchmark programs).
+func (v *vfs) lookup(p string) (*Inode, bool) {
+	id, ok := v.dentries[clean(p)]
+	if !ok {
+		return nil, false
+	}
+	ino := v.inodes[id]
+	if ino.Type == TypeSymlink {
+		if tid, ok := v.dentries[clean(ino.Target)]; ok {
+			return v.inodes[tid], true
+		}
+	}
+	return ino, true
+}
+
+// lookupNoFollow resolves a path without following symlinks.
+func (v *vfs) lookupNoFollow(p string) (*Inode, bool) {
+	id, ok := v.dentries[clean(p)]
+	if !ok {
+		return nil, false
+	}
+	return v.inodes[id], true
+}
+
+// parentDir returns the inode of the directory containing p.
+func (v *vfs) parentDir(p string) (*Inode, bool) {
+	dir := path.Dir(clean(p))
+	ino, ok := v.dentries[dir]
+	if !ok {
+		return nil, false
+	}
+	d := v.inodes[ino]
+	if d.Type != TypeDir {
+		return nil, false
+	}
+	return d, true
+}
+
+// link adds a new dentry for an existing inode.
+func (v *vfs) link(ino *Inode, p string) {
+	v.dentries[clean(p)] = ino.ID
+	ino.Nlink++
+}
+
+// unlink removes a dentry; the inode survives while Nlink > 0.
+func (v *vfs) unlink(p string) {
+	p = clean(p)
+	id, ok := v.dentries[p]
+	if !ok {
+		return
+	}
+	delete(v.dentries, p)
+	ino := v.inodes[id]
+	ino.Nlink--
+	if ino.Nlink <= 0 {
+		delete(v.inodes, id)
+	}
+}
+
+// rename moves the dentry at old to new, dropping any dentry already at
+// new (rename(2) replaces the target). When both names already refer to
+// the same inode, POSIX specifies a successful no-op.
+func (v *vfs) rename(oldp, newp string) {
+	oldp, newp = clean(oldp), clean(newp)
+	if oldp == newp || v.dentries[oldp] == 0 {
+		return
+	}
+	if tgt, ok := v.dentries[newp]; ok {
+		if tgt == v.dentries[oldp] {
+			return // same file: nothing to do
+		}
+		v.unlink(newp)
+	}
+	id := v.dentries[oldp]
+	delete(v.dentries, oldp)
+	v.dentries[newp] = id
+}
+
+// pathsOf returns all dentries referring to an inode, sorted.
+func (v *vfs) pathsOf(id uint64) []string {
+	var out []string
+	for p, i := range v.dentries {
+		if i == id {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func clean(p string) string {
+	if !strings.HasPrefix(p, "/") {
+		p = "/stage/" + p // benchmark programs run inside the staging dir
+	}
+	return path.Clean(p)
+}

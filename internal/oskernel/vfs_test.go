@@ -1,0 +1,151 @@
+package oskernel
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+// TestVFSInvariantsUnderRandomOps drives a random sequence of file
+// operations and then checks core VFS invariants:
+//
+//   - every dentry resolves to a live inode;
+//   - every file inode's Nlink equals its dentry count;
+//   - no inode with Nlink <= 0 survives in the inode table (except
+//     pipes, which live as long as their descriptors).
+func TestVFSInvariantsUnderRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := New()
+		p, err := k.Launch("/usr/bin/bench", nil, Cred{UID: 1000, EUID: 1000, GID: 1000, EGID: 1000})
+		if err != nil {
+			return false
+		}
+		names := []string{"/stage/a", "/stage/b", "/stage/c", "/stage/d"}
+		var fds []int
+		for op := 0; op < 60; op++ {
+			name := names[rng.Intn(len(names))]
+			other := names[rng.Intn(len(names))]
+			switch rng.Intn(8) {
+			case 0:
+				if fd, errno := k.Open(p, name, OCreat|ORdwr); errno == OK {
+					fds = append(fds, int(fd))
+				}
+			case 1:
+				k.Unlink(p, name)
+			case 2:
+				k.Link(p, name, other)
+			case 3:
+				k.Rename(p, name, other)
+			case 4:
+				if len(fds) > 0 {
+					i := rng.Intn(len(fds))
+					k.Close(p, fds[i])
+					fds = append(fds[:i], fds[i+1:]...)
+				}
+			case 5:
+				if len(fds) > 0 {
+					k.Write(p, fds[rng.Intn(len(fds))], int64(rng.Intn(100)))
+				}
+			case 6:
+				k.Symlink(p, name, other)
+			case 7:
+				k.Truncate(p, name, int64(rng.Intn(10)))
+			}
+		}
+		return vfsInvariantsHold(t, k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// vfsInvariantsHold checks the documented invariants directly against
+// the internal tables (white-box: same package).
+func vfsInvariantsHold(t *testing.T, k *Kernel) bool {
+	t.Helper()
+	counts := map[uint64]int{}
+	for path, id := range k.vfs.dentries {
+		ino, ok := k.vfs.inodes[id]
+		if !ok {
+			t.Logf("dangling dentry %s -> %d", path, id)
+			return false
+		}
+		counts[ino.ID]++
+	}
+	for id, ino := range k.vfs.inodes {
+		if ino.Type == TypePipe {
+			continue // pipes have no dentries
+		}
+		if ino.Type == TypeDir {
+			continue // directories are created once, never unlinked here
+		}
+		if ino.Nlink != counts[id] {
+			t.Logf("inode %d (%s): nlink=%d dentries=%d", id, ino.Type, ino.Nlink, counts[id])
+			return false
+		}
+		if ino.Nlink <= 0 {
+			t.Logf("inode %d survives with nlink=%d", id, ino.Nlink)
+			return false
+		}
+	}
+	return true
+}
+
+// TestEventStreamDeterminism: two kernels driven identically produce
+// identical event streams (the basis of trial-to-trial structural
+// stability).
+func TestEventStreamDeterminism(t *testing.T) {
+	run := func() ([]AuditEvent, []LibcEvent, []LSMEvent) {
+		k := New()
+		tap := &TapBuffer{}
+		k.Register(tap)
+		p, err := k.Launch("/usr/bin/bench", []string{"x"}, Cred{UID: 1000, EUID: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd, _ := k.Open(p, "/stage/f", OCreat|ORdwr)
+		k.Write(p, int(fd), 10)
+		k.Rename(p, "/stage/f", "/stage/g")
+		k.Exit(p, 0)
+		return tap.AuditEvents, tap.LibcEvents, tap.LSMEvents
+	}
+	a1, l1, s1 := run()
+	a2, l2, s2 := run()
+	if len(a1) != len(a2) || len(l1) != len(l2) || len(s1) != len(s2) {
+		t.Fatal("event counts differ between identical runs")
+	}
+	for i := range a1 {
+		x, y := a1[i], a2[i]
+		if x.Syscall != y.Syscall || x.Exit != y.Exit || x.PID != y.PID {
+			t.Errorf("audit event %d differs: %+v vs %+v", i, a1[i], a2[i])
+		}
+	}
+	for i := range s1 {
+		if s1[i].Hook != s2[i].Hook || s1[i].Inode != s2[i].Inode {
+			t.Errorf("lsm event %d differs", i)
+		}
+	}
+}
+
+// TestInodeNumbersStableAcrossKernels: fresh kernels allocate the same
+// inode numbers for the same operations, which is what lets non-volatile
+// properties match between foreground and background runs.
+func TestInodeNumbersStableAcrossKernels(t *testing.T) {
+	get := func() uint64 {
+		k := New()
+		p, err := k.Launch("/usr/bin/bench", nil, Cred{UID: 1000, EUID: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, errno := k.Creat(p, "/stage/x"+strconv.Itoa(1)); errno != OK {
+			t.Fatal(errno)
+		}
+		ino, _ := k.Lookup("/stage/x1")
+		return ino.ID
+	}
+	if get() != get() {
+		t.Error("inode allocation not deterministic")
+	}
+}

@@ -1,0 +1,154 @@
+// Package provjson reads and writes the W3C PROV-JSON subset CamFlow
+// emits: the three PROV node kinds (entity, activity, agent) and the
+// relation kinds CamFlow uses, each with property dictionaries. The
+// mapping to the property-graph model is:
+//
+//   - node label  = PROV kind ("entity", "activity", "agent");
+//   - edge label  = relation name ("used", "wasGeneratedBy", ...);
+//   - edge endpoints use the relation's standard role keys
+//     (e.g. used: prov:activity -> prov:entity).
+package provjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"provmark/internal/graph"
+)
+
+// relationRoles maps a PROV relation name to its (source, target) role
+// keys. Unknown relations fall back to prov:from / prov:to.
+var relationRoles = map[string][2]string{
+	"used":              {"prov:activity", "prov:entity"},
+	"wasGeneratedBy":    {"prov:entity", "prov:activity"},
+	"wasInformedBy":     {"prov:informed", "prov:informant"},
+	"wasAssociatedWith": {"prov:activity", "prov:agent"},
+	"wasDerivedFrom":    {"prov:generatedEntity", "prov:usedEntity"},
+	"wasAttributedTo":   {"prov:entity", "prov:agent"},
+}
+
+const (
+	fallbackSrcRole = "prov:from"
+	fallbackTgtRole = "prov:to"
+)
+
+var nodeKinds = []string{"entity", "activity", "agent"}
+
+// Document is the top-level PROV-JSON object.
+type Document map[string]map[string]map[string]string
+
+// Marshal renders a property graph whose node labels are PROV kinds and
+// whose edge labels are PROV relation names into PROV-JSON bytes.
+func Marshal(g *graph.Graph) ([]byte, error) {
+	doc := Document{}
+	section := func(name string) map[string]map[string]string {
+		if doc[name] == nil {
+			doc[name] = map[string]map[string]string{}
+		}
+		return doc[name]
+	}
+	for _, n := range g.Nodes() {
+		if !isNodeKind(n.Label) {
+			return nil, fmt.Errorf("provjson: node %s has non-PROV label %q", n.ID, n.Label)
+		}
+		entry := map[string]string{}
+		for k, v := range n.Props {
+			entry[k] = v
+		}
+		section(n.Label)[string(n.ID)] = entry
+	}
+	for _, e := range g.Edges() {
+		roles, ok := relationRoles[e.Label]
+		if !ok {
+			roles = [2]string{fallbackSrcRole, fallbackTgtRole}
+		}
+		entry := map[string]string{
+			roles[0]: string(e.Src),
+			roles[1]: string(e.Tgt),
+		}
+		for k, v := range e.Props {
+			entry[k] = v
+		}
+		section(e.Label)[string(e.ID)] = entry
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// Unmarshal parses PROV-JSON bytes back into a property graph. Element
+// ordering is deterministic (sorted by id within each section).
+func Unmarshal(data []byte) (*graph.Graph, error) {
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("provjson: %w", err)
+	}
+	g := graph.New()
+	// Nodes first: relations reference them.
+	for _, kind := range nodeKinds {
+		ids := sortedKeys(doc[kind])
+		for _, id := range ids {
+			props := graph.Properties{}
+			for k, v := range doc[kind][id] {
+				props[k] = v
+			}
+			if len(props) == 0 {
+				props = nil
+			}
+			if err := g.InsertNode(graph.ElemID(id), kind, props); err != nil {
+				return nil, fmt.Errorf("provjson: %w", err)
+			}
+		}
+	}
+	relNames := make([]string, 0, len(doc))
+	for name := range doc {
+		if !isNodeKind(name) && name != "prefix" {
+			relNames = append(relNames, name)
+		}
+	}
+	sort.Strings(relNames)
+	for _, rel := range relNames {
+		roles, ok := relationRoles[rel]
+		if !ok {
+			roles = [2]string{fallbackSrcRole, fallbackTgtRole}
+		}
+		for _, id := range sortedKeys(doc[rel]) {
+			entry := doc[rel][id]
+			src, okS := entry[roles[0]]
+			tgt, okT := entry[roles[1]]
+			if !okS || !okT {
+				return nil, fmt.Errorf("provjson: relation %s/%s lacks %s or %s", rel, id, roles[0], roles[1])
+			}
+			props := graph.Properties{}
+			for k, v := range entry {
+				if k != roles[0] && k != roles[1] {
+					props[k] = v
+				}
+			}
+			if len(props) == 0 {
+				props = nil
+			}
+			if err := g.InsertEdge(graph.ElemID(id), graph.ElemID(src), graph.ElemID(tgt), rel, props); err != nil {
+				return nil, fmt.Errorf("provjson: %w", err)
+			}
+		}
+	}
+	return g, nil
+}
+
+func isNodeKind(s string) bool {
+	for _, k := range nodeKinds {
+		if s == k {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(m map[string]map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

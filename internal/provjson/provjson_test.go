@@ -1,0 +1,132 @@
+package provjson
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"provmark/internal/graph"
+)
+
+func sample(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	act := g.AddNode("activity", graph.Properties{"cf:pid": "7"})
+	ent := g.AddNode("entity", graph.Properties{"cf:ino": "99"})
+	agt := g.AddNode("agent", graph.Properties{"prov:type": "machine"})
+	mustEdge(t, g, act, ent, "used", graph.Properties{"cf:type": "open"})
+	mustEdge(t, g, ent, act, "wasGeneratedBy", nil)
+	mustEdge(t, g, act, agt, "wasAssociatedWith", nil)
+	return g
+}
+
+func mustEdge(t *testing.T, g *graph.Graph, a, b graph.ElemID, label string, props graph.Properties) {
+	t.Helper()
+	if _, err := g.AddEdge(a, b, label, props); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalUsesProvRoles(t *testing.T) {
+	data, err := Marshal(sample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]map[string]map[string]string
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	used := doc["used"]
+	if len(used) != 1 {
+		t.Fatalf("used section: %v", used)
+	}
+	for _, entry := range used {
+		if entry["prov:activity"] == "" || entry["prov:entity"] == "" {
+			t.Errorf("used roles missing: %v", entry)
+		}
+		if entry["cf:type"] != "open" {
+			t.Errorf("edge property lost: %v", entry)
+		}
+	}
+	if _, ok := doc["wasAssociatedWith"]; !ok {
+		t.Error("wasAssociatedWith section missing")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	g := sample(t)
+	data, err := Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Equal(g, h) {
+		t.Errorf("round trip changed graph:\n%s\nvs\n%s", g, h)
+	}
+}
+
+func TestUnknownRelationFallsBack(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode("entity", nil)
+	b := g.AddNode("entity", nil)
+	mustEdge(t, g, a, b, "customRelation", nil)
+	data, err := Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "prov:from") {
+		t.Errorf("fallback roles not used:\n%s", data)
+	}
+	h, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Equal(g, h) {
+		t.Error("fallback relation round trip failed")
+	}
+}
+
+func TestMarshalRejectsNonProvLabels(t *testing.T) {
+	g := graph.New()
+	g.AddNode("Process", nil) // SPADE vocabulary, not PROV
+	if _, err := Marshal(g); err == nil {
+		t.Error("non-PROV node label accepted")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte("{")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	// Relation missing its role keys.
+	bad := `{"entity": {"e1": {}}, "used": {"u1": {"cf:type": "x"}}}`
+	if _, err := Unmarshal([]byte(bad)); err == nil {
+		t.Error("relation without roles accepted")
+	}
+	// Relation referencing a missing node.
+	bad2 := `{"used": {"u1": {"prov:activity": "a", "prov:entity": "e"}}}`
+	if _, err := Unmarshal([]byte(bad2)); err == nil {
+		t.Error("dangling relation accepted")
+	}
+}
+
+func TestUnmarshalDeterministicOrder(t *testing.T) {
+	data, err := Marshal(sample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.String() != h2.String() {
+		t.Error("unmarshal order not deterministic")
+	}
+}

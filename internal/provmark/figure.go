@@ -1,0 +1,101 @@
+package provmark
+
+import (
+	"fmt"
+	"strings"
+
+	"provmark/internal/graph"
+)
+
+// RenderFigureDOT renders a benchmark result graph in the styling of
+// the paper's figures: blue rectangles for processes/activities,
+// yellow ovals for artifacts/entities and other resources, and green
+// (dummy) ovals for pre-existing graph parts retained by the
+// comparison stage. The output is self-contained Graphviz DOT suitable
+// for dot -Tsvg.
+func RenderFigureDOT(res *Result) string {
+	var b strings.Builder
+	name := sanitize(res.Tool + "_" + res.Benchmark)
+	fmt.Fprintf(&b, "digraph %s {\n", name)
+	fmt.Fprintf(&b, "  graph [rankdir=\"TB\" label=%q];\n", res.Tool+": "+res.Benchmark)
+	fmt.Fprintf(&b, "  node [style=\"filled\"];\n")
+	if res.Empty {
+		fmt.Fprintf(&b, "  \"empty\" [label=%q shape=\"plaintext\" style=\"\"];\n", "empty: "+string(res.Reason))
+		b.WriteString("}\n")
+		return b.String()
+	}
+	for _, n := range res.Target.Nodes() {
+		shape, color := styleFor(n)
+		fmt.Fprintf(&b, "  %q [label=%q shape=%q fillcolor=%q];\n",
+			string(n.ID), nodeCaption(n), shape, color)
+	}
+	for _, e := range res.Target.Edges() {
+		caption := e.Label
+		if op := e.Props["operation"]; op != "" {
+			caption += "\n" + op
+		} else if op := e.Props["cf:type"]; op != "" {
+			caption += "\n" + op
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", string(e.Src), string(e.Tgt), caption)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// styleFor maps the three tools' vocabularies onto the paper's visual
+// language.
+func styleFor(n *graph.Node) (shape, color string) {
+	switch n.Label {
+	case "Process", "activity", "SyscallEvent":
+		return "box", "lightblue"
+	case "dummy":
+		return "ellipse", "palegreen"
+	case "agent":
+		return "house", "lightgrey"
+	default: // Artifact, entity, Global, Local, Version, ...
+		return "ellipse", "lightyellow"
+	}
+}
+
+// nodeCaption picks the most informative identity line per node kind.
+func nodeCaption(n *graph.Node) string {
+	parts := []string{n.Label}
+	for _, key := range []string{"path", "cf:pathname", "name", "pid", "cf:pid", "call", "fd", "of", "prov:type", "stands_for"} {
+		if v, ok := n.Props[key]; ok {
+			parts = append(parts, key+": "+v)
+		}
+	}
+	if len(parts) > 3 {
+		parts = parts[:3]
+	}
+	return strings.Join(parts, "\n")
+}
+
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' {
+			out = append(out, c)
+		} else {
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "g"
+	}
+	return string(out)
+}
+
+// TimingLogLine renders one /tmp/time.log record in the format the
+// paper's appendix documents (A.6.4): tool, syscall, then the four
+// per-subsystem durations in seconds as floating-point numbers, comma
+// separated.
+func TimingLogLine(res *Result) string {
+	return fmt.Sprintf("%s,%s,%.6f,%.6f,%.6f,%.6f",
+		res.Tool, res.Benchmark,
+		res.Times.Recording.Seconds(),
+		res.Times.Transformation.Seconds(),
+		res.Times.Generalization.Seconds(),
+		res.Times.Comparison.Seconds())
+}

@@ -1,0 +1,329 @@
+// Package provmark orchestrates the four-stage benchmarking pipeline of
+// Figure 3: (1) recording — run foreground and background variants of a
+// benchmark several times under a capture tool; (2) transformation —
+// convert each native recording to the common Datalog property-graph
+// format; (3) generalization — pick two consistent trials per variant
+// and unify them, discarding volatile properties; (4) comparison —
+// embed the background graph in the foreground graph and subtract,
+// leaving the target graph.
+package provmark
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"provmark/internal/benchprog"
+	"provmark/internal/capture"
+	"provmark/internal/graph"
+	"provmark/internal/match"
+)
+
+// Extreme picks which end of the size ordering a trial pair comes from.
+type Extreme int
+
+// Pair-size preferences.
+const (
+	// Smallest selects the consistent pair of smallest size (default;
+	// Section 3.4 notes either end works when used for both variants).
+	Smallest Extreme = iota + 1
+	// Largest selects the consistent pair of largest size.
+	Largest
+)
+
+// Config controls one pipeline run.
+type Config struct {
+	// Trials per variant; zero selects the recorder's default.
+	Trials int
+	// FilterGraphs overrides the recorder's default graph-filtering
+	// behaviour when non-nil.
+	FilterGraphs *bool
+	// KeepNative retains the native artifacts in the result (used by
+	// examples that want to show raw tool output).
+	KeepNative bool
+	// Parallel records trials concurrently. Each trial runs in its own
+	// simulated kernel, so trials are independent; recorders must be
+	// safe for concurrent Record calls (the built-in ones are, except
+	// CamFlow under SerializeOnce, which mutates cross-session state).
+	Parallel bool
+	// BGPair / FGPair choose the trial-pair size preference per variant
+	// (zero values mean Smallest). Section 3.4: picking the largest
+	// background with the smallest foreground fails when the extra
+	// background structure is absent from the foreground; the opposite
+	// mix leaks extra structure into the result. Exposed for the
+	// ablation benchmarks.
+	BGPair, FGPair Extreme
+}
+
+// StageTimes records per-stage wall-clock durations (Figures 5–10).
+type StageTimes struct {
+	Recording      time.Duration
+	Transformation time.Duration
+	Generalization time.Duration
+	Comparison     time.Duration
+}
+
+// Total sums all stages.
+func (t StageTimes) Total() time.Duration {
+	return t.Recording + t.Transformation + t.Generalization + t.Comparison
+}
+
+// EmptyReason classifies why a benchmark produced an empty result.
+type EmptyReason string
+
+// Empty-result classifications.
+const (
+	// NotEmpty marks a benchmark with a non-empty target graph.
+	NotEmpty EmptyReason = ""
+	// ReasonNoNewStructure: foreground and background generalized to
+	// similar graphs — the tool did not record the target activity.
+	ReasonNoNewStructure EmptyReason = "fg similar to bg (activity not recorded)"
+	// ReasonNotEmbeddable: the background could not be embedded in the
+	// foreground — the target violates ProvMark's monotonicity
+	// assumption (the paper's LP cells, e.g. exit and kill).
+	ReasonNotEmbeddable EmptyReason = "bg not embeddable in fg (ProvMark limitation)"
+)
+
+// Result is the outcome of benchmarking one syscall under one tool.
+type Result struct {
+	Benchmark string
+	Tool      string
+	Trials    int
+	// Target is the benchmark result graph (nil when Empty).
+	Target *graph.Graph
+	Empty  bool
+	Reason EmptyReason
+	// FG and BG are the generalized foreground and background graphs.
+	FG, BG *graph.Graph
+	// Cost is the property-mismatch cost of the bg->fg embedding.
+	Cost  int
+	Times StageTimes
+	// FGNative holds the foreground trial-1 native artifact when
+	// Config.KeepNative is set.
+	FGNative capture.Native
+}
+
+// ErrInconsistentTrials is returned when no two trial graphs of some
+// variant are similar (all runs failed or garbled).
+var ErrInconsistentTrials = errors.New("provmark: no two consistent trial graphs")
+
+// Runner binds a recorder to a pipeline configuration.
+type Runner struct {
+	rec capture.Recorder
+	cfg Config
+}
+
+// NewRunner builds a pipeline runner.
+func NewRunner(rec capture.Recorder, cfg Config) *Runner {
+	return &Runner{rec: rec, cfg: cfg}
+}
+
+// Run benchmarks one program: the full Figure 3 pipeline.
+func (r *Runner) Run(prog benchprog.Program) (*Result, error) {
+	res := &Result{Benchmark: prog.Name, Tool: r.rec.Name()}
+	trials := r.cfg.Trials
+	if trials <= 0 {
+		trials = r.rec.DefaultTrials()
+	}
+	res.Trials = trials
+
+	// Stage 1: recording.
+	start := time.Now()
+	bgNative, err := r.record(prog, benchprog.Background, trials)
+	if err != nil {
+		return nil, err
+	}
+	fgNative, err := r.record(prog, benchprog.Foreground, trials)
+	if err != nil {
+		return nil, err
+	}
+	res.Times.Recording = time.Since(start)
+	if r.cfg.KeepNative && len(fgNative) > 0 {
+		res.FGNative = fgNative[0]
+	}
+
+	// Stage 2: transformation.
+	start = time.Now()
+	bgGraphs, err := r.transform(bgNative)
+	if err != nil {
+		return nil, err
+	}
+	fgGraphs, err := r.transform(fgNative)
+	if err != nil {
+		return nil, err
+	}
+	res.Times.Transformation = time.Since(start)
+
+	// Stage 3: generalization.
+	start = time.Now()
+	bg, err := r.generalize(bgGraphs, orSmallest(r.cfg.BGPair))
+	if err != nil {
+		return nil, fmt.Errorf("%w (bg of %s)", err, prog.Name)
+	}
+	fg, err := r.generalize(fgGraphs, orSmallest(r.cfg.FGPair))
+	if err != nil {
+		return nil, fmt.Errorf("%w (fg of %s)", err, prog.Name)
+	}
+	res.Times.Generalization = time.Since(start)
+	res.BG, res.FG = bg, fg
+
+	// Stage 4: comparison.
+	start = time.Now()
+	r.compare(res)
+	res.Times.Comparison = time.Since(start)
+	return res, nil
+}
+
+func (r *Runner) record(prog benchprog.Program, v benchprog.Variant, trials int) ([]capture.Native, error) {
+	out := make([]capture.Native, trials)
+	if !r.cfg.Parallel {
+		for t := 0; t < trials; t++ {
+			n, err := r.rec.Record(prog, v, t)
+			if err != nil {
+				return nil, fmt.Errorf("provmark: recording: %w", err)
+			}
+			out[t] = n
+		}
+		return out, nil
+	}
+	errs := make([]error, trials)
+	var wg sync.WaitGroup
+	for t := 0; t < trials; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			out[t], errs[t] = r.rec.Record(prog, v, t)
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("provmark: recording: %w", err)
+		}
+	}
+	return out, nil
+}
+
+func (r *Runner) transform(natives []capture.Native) ([]*graph.Graph, error) {
+	out := make([]*graph.Graph, 0, len(natives))
+	for _, n := range natives {
+		g, err := r.rec.Transform(n)
+		if err != nil {
+			return nil, fmt.Errorf("provmark: transformation: %w", err)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+func orSmallest(e Extreme) Extreme {
+	if e == 0 {
+		return Smallest
+	}
+	return e
+}
+
+// generalize implements the Section 3.4 strategy: optionally filter
+// obviously incomplete graphs, partition trials into similarity
+// classes, discard singleton classes (failed runs), pick the pair at
+// the configured size extreme, and unify it.
+func (r *Runner) generalize(trials []*graph.Graph, extreme Extreme) (*graph.Graph, error) {
+	filter := r.rec.FilterGraphs()
+	if r.cfg.FilterGraphs != nil {
+		filter = *r.cfg.FilterGraphs
+	}
+	if filter {
+		if c, ok := r.rec.(capture.Complete); ok {
+			kept := trials[:0]
+			for _, g := range trials {
+				if c.CompleteGraph(g) {
+					kept = append(kept, g)
+				}
+			}
+			trials = kept
+		}
+	}
+	g1, g2, err := SelectPairExtreme(trials, extreme)
+	if err != nil {
+		return nil, err
+	}
+	gen, _, err := match.GeneralizePair(g1, g2)
+	if err != nil {
+		return nil, fmt.Errorf("provmark: generalization: %w", err)
+	}
+	return gen, nil
+}
+
+// SelectPair partitions trial graphs into similarity classes, discards
+// classes with a single member, and returns the two smallest graphs of
+// the smallest remaining class.
+func SelectPair(trials []*graph.Graph) (*graph.Graph, *graph.Graph, error) {
+	return SelectPairExtreme(trials, Smallest)
+}
+
+// SelectPairExtreme is SelectPair with a configurable size preference.
+func SelectPairExtreme(trials []*graph.Graph, extreme Extreme) (*graph.Graph, *graph.Graph, error) {
+	classes := SimilarityClasses(trials)
+	best := -1
+	for i, c := range classes {
+		if len(c) < 2 {
+			continue // failed run
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		size, bestSize := trials[c[0]].Size(), trials[classes[best][0]].Size()
+		if (extreme == Largest && size > bestSize) || (extreme != Largest && size < bestSize) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, nil, ErrInconsistentTrials
+	}
+	c := classes[best]
+	return trials[c[0]], trials[c[1]], nil
+}
+
+// SimilarityClasses groups trial indices by graph similarity.
+func SimilarityClasses(trials []*graph.Graph) [][]int {
+	var classes [][]int
+	for i, g := range trials {
+		placed := false
+		for ci, c := range classes {
+			if _, ok := match.Similar(trials[c[0]], g); ok {
+				classes[ci] = append(classes[ci], i)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			classes = append(classes, []int{i})
+		}
+	}
+	return classes
+}
+
+// compare performs stage 4 on a result whose FG/BG are set.
+func (r *Runner) compare(res *Result) {
+	if _, similar := match.Similar(res.FG, res.BG); similar {
+		res.Empty = true
+		res.Reason = ReasonNoNewStructure
+		return
+	}
+	m, cost, err := match.SubgraphEmbed(res.BG, res.FG)
+	if err != nil {
+		res.Empty = true
+		res.Reason = ReasonNotEmbeddable
+		return
+	}
+	res.Cost = cost
+	target := match.Subtract(res.FG, m)
+	if target.Size() == 0 {
+		res.Empty = true
+		res.Reason = ReasonNoNewStructure
+		return
+	}
+	res.Target = target
+}

@@ -1,0 +1,127 @@
+package provmark
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"provmark/internal/graph"
+)
+
+func storeFixture(t *testing.T) (*Store, *graph.Graph) {
+	t.Helper()
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New()
+	a := g.AddNode("Process", graph.Properties{"pid": "1"})
+	b := g.AddNode("Artifact", graph.Properties{"path": "/x"})
+	if _, err := g.AddEdge(a, b, "Used", nil); err != nil {
+		t.Fatal(err)
+	}
+	return store, g
+}
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	store, g := storeFixture(t)
+	if err := store.Save("spade", "open", g); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := store.Load("spade", "open")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumNodes() != 2 || loaded.NumEdges() != 1 {
+		t.Errorf("loaded %d nodes %d edges", loaded.NumNodes(), loaded.NumEdges())
+	}
+}
+
+func TestStoreCheckNoBaseline(t *testing.T) {
+	store, g := storeFixture(t)
+	if _, err := store.Check("spade", "open", g); !errors.Is(err, ErrNoBaseline) {
+		t.Errorf("want ErrNoBaseline, got %v", err)
+	}
+}
+
+func TestStoreCheckDetectsStructureChange(t *testing.T) {
+	store, g := storeFixture(t)
+	if err := store.Save("spade", "open", g); err != nil {
+		t.Fatal(err)
+	}
+	// Same structure: no regression, even with renamed ids.
+	same := g.Clone()
+	diff, err := store.Check("spade", "open", same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Changed {
+		t.Errorf("false positive: %s", diff.Detail)
+	}
+	// Extra node: regression.
+	changed := g.Clone()
+	changed.AddNode("Artifact", nil)
+	diff, err = store.Check("spade", "open", changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Changed {
+		t.Error("structure change not detected")
+	}
+}
+
+func TestStoreEntries(t *testing.T) {
+	store, g := storeFixture(t)
+	if err := store.Save("spade", "open", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save("camflow", "rename", g); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := store.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %v", entries)
+	}
+	if entries[0][0] != "camflow" || entries[1][1] != "open" {
+		t.Errorf("entries order = %v", entries)
+	}
+}
+
+func TestRenderFlavours(t *testing.T) {
+	g := graph.New()
+	g.AddNode("Artifact", graph.Properties{"path": "/x"})
+	res := &Result{
+		Benchmark: "open",
+		Tool:      "spade",
+		Trials:    2,
+		Target:    g,
+		FG:        g,
+		BG:        graph.New(),
+	}
+	rb := Render(res, BenchmarkOnly)
+	if !contains(rb, "benchmark open under spade") || !contains(rb, "nresult(") {
+		t.Errorf("rb rendering:\n%s", rb)
+	}
+	rg := Render(res, WithGeneralized)
+	if !contains(rg, "generalized foreground") || !contains(rg, "generalized background") {
+		t.Errorf("rg rendering:\n%s", rg)
+	}
+	rh := Render(res, HTMLPage)
+	if !contains(rh, "<html>") || !contains(rh, "Benchmark graph") {
+		t.Errorf("rh rendering:\n%s", rh)
+	}
+	// Empty result rendering.
+	empty := &Result{Benchmark: "dup", Tool: "spade", Empty: true,
+		Reason: ReasonNoNewStructure, FG: g, BG: g}
+	if !contains(Render(empty, BenchmarkOnly), "EMPTY") {
+		t.Error("empty rendering lacks marker")
+	}
+	if !contains(Render(empty, HTMLPage), "Empty result") {
+		t.Error("empty html rendering lacks marker")
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,86 @@
+package provmark
+
+import (
+	"fmt"
+	"strings"
+
+	"provmark/internal/datalog"
+	"provmark/internal/graph"
+)
+
+// ResultType selects what a report includes, mirroring the CLI's rb /
+// rg / rh parameter.
+type ResultType int
+
+// Report flavours.
+const (
+	// BenchmarkOnly prints just the benchmark (target) graph.
+	BenchmarkOnly ResultType = iota + 1
+	// WithGeneralized adds the generalized fg and bg graphs.
+	WithGeneralized
+	// HTMLPage renders a minimal HTML page with all three graphs.
+	HTMLPage
+)
+
+// Render produces the textual (or HTML) report for a result.
+func Render(res *Result, rt ResultType) string {
+	var b strings.Builder
+	switch rt {
+	case HTMLPage:
+		renderHTML(&b, res)
+	case WithGeneralized:
+		renderText(&b, res, true)
+	default:
+		renderText(&b, res, false)
+	}
+	return b.String()
+}
+
+func renderText(b *strings.Builder, res *Result, withGeneralized bool) {
+	fmt.Fprintf(b, "benchmark %s under %s (%d trials)\n", res.Benchmark, res.Tool, res.Trials)
+	if res.Empty {
+		fmt.Fprintf(b, "result: EMPTY — %s\n", res.Reason)
+	} else {
+		fmt.Fprintf(b, "result: %s (embedding cost %d)\n", graph.Summarize(res.Target), res.Cost)
+		b.WriteString(indent(res.Target.String()))
+		b.WriteString("datalog:\n")
+		b.WriteString(indent(datalog.Print(res.Target, "result")))
+	}
+	if withGeneralized {
+		fmt.Fprintf(b, "generalized foreground: %s\n", graph.Summarize(res.FG))
+		b.WriteString(indent(res.FG.String()))
+		fmt.Fprintf(b, "generalized background: %s\n", graph.Summarize(res.BG))
+		b.WriteString(indent(res.BG.String()))
+	}
+	fmt.Fprintf(b, "stage times: transform=%v generalize=%v compare=%v\n",
+		res.Times.Transformation, res.Times.Generalization, res.Times.Comparison)
+}
+
+func renderHTML(b *strings.Builder, res *Result) {
+	fmt.Fprintf(b, "<html><head><title>ProvMark: %s / %s</title></head><body>\n", res.Tool, res.Benchmark)
+	fmt.Fprintf(b, "<h1>%s under %s</h1>\n", htmlEscape(res.Benchmark), htmlEscape(res.Tool))
+	if res.Empty {
+		fmt.Fprintf(b, "<p><b>Empty result:</b> %s</p>\n", htmlEscape(string(res.Reason)))
+	} else {
+		fmt.Fprintf(b, "<h2>Benchmark graph (%s)</h2><pre>%s</pre>\n",
+			graph.Summarize(res.Target), htmlEscape(res.Target.String()))
+	}
+	fmt.Fprintf(b, "<h2>Generalized foreground (%s)</h2><pre>%s</pre>\n",
+		graph.Summarize(res.FG), htmlEscape(res.FG.String()))
+	fmt.Fprintf(b, "<h2>Generalized background (%s)</h2><pre>%s</pre>\n",
+		graph.Summarize(res.BG), htmlEscape(res.BG.String()))
+	b.WriteString("</body></html>\n")
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "    " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func htmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
