@@ -7,19 +7,25 @@
 // Benchmarks whose paper counterpart depends on storage costs (the
 // OPUS figures) use the full-cost suite; matrix-style benchmarks use
 // the fast suite so an iteration stays in the hundreds of milliseconds.
+// All multi-cell benchmarks execute through the provmark.Matrix runner
+// (the suite's per-stage timings come from the pipeline's observer
+// hooks, not ad-hoc plumbing).
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"provmark/internal/bench"
 	"provmark/internal/benchprog"
-	"provmark/internal/capture/camflow"
-	"provmark/internal/capture/spade"
+	"provmark/internal/capture"
 	"provmark/internal/graph"
 	"provmark/internal/match"
-	"provmark/internal/neo4jsim"
 	"provmark/internal/provmark"
+
+	_ "provmark/internal/capture/camflow"
+	_ "provmark/internal/capture/opus"
+	_ "provmark/internal/capture/spade"
 )
 
 // BenchmarkTable2Validation regenerates the full 44x3 validation matrix
@@ -117,11 +123,14 @@ func BenchmarkTable4ModuleSizes(b *testing.B) {
 // scale4 benchmark, the ablation workload for the matcher engines.
 func scalePair(b *testing.B) (*graph.Graph, *graph.Graph) {
 	b.Helper()
-	rec := camflow.New(camflow.DefaultConfig())
+	rec, err := capture.OpenContext("camflow", capture.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	prog := benchprog.ScaleProgram(4)
 	var graphs []*graph.Graph
 	for trial := 0; trial < 2; trial++ {
-		n, err := rec.Record(prog, benchprog.Foreground, trial)
+		n, err := rec.Record(context.Background(), prog, benchprog.Foreground, trial)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -177,14 +186,18 @@ func BenchmarkAblationCostMinimization(b *testing.B) {
 }
 
 // BenchmarkAblationSpadeStorage compares SPADE's two storage backends:
-// the Graphviz profile (spg) against the Neo4j profile (spn). The
-// backend alone recreates the OPUS-like transformation bottleneck.
+// the Graphviz backend (spade) against the Neo4j backend (spn), both
+// resolved through the capture registry. The backend alone recreates
+// the OPUS-like transformation bottleneck.
 func BenchmarkAblationSpadeStorage(b *testing.B) {
 	prog, _ := benchprog.ByName("rename")
-	run := func(b *testing.B, cfg spade.Config) {
-		rec := spade.New(cfg)
+	run := func(b *testing.B, backend string) {
+		rec, err := capture.OpenContext(backend, capture.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
 		for i := 0; i < b.N; i++ {
-			n, err := rec.Record(prog, benchprog.Foreground, i)
+			n, err := rec.Record(context.Background(), prog, benchprog.Foreground, i)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -193,10 +206,8 @@ func BenchmarkAblationSpadeStorage(b *testing.B) {
 			}
 		}
 	}
-	b.Run("spg-dot", func(b *testing.B) { run(b, spade.DefaultConfig()) })
-	b.Run("spn-neo4j", func(b *testing.B) {
-		run(b, spade.DefaultConfig().WithNeo4jStorage(neo4jsim.Options{}))
-	})
+	b.Run("spg-dot", func(b *testing.B) { run(b, "spade") })
+	b.Run("spn-neo4j", func(b *testing.B) { run(b, "spn") })
 }
 
 // BenchmarkPipelineEndToEnd measures one full pipeline run (rename
@@ -208,11 +219,48 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 		b.Fatal(err)
 	}
 	prog, _ := benchprog.ByName("rename")
-	runner := provmark.NewRunner(rec, provmark.Config{})
+	runner := provmark.New(rec)
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := runner.Run(prog); err != nil {
+		if _, err := runner.RunContext(ctx, prog); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMatrixFanout measures the streaming matrix runner over the
+// (3 tools × 5 timing syscalls) grid at increasing worker-pool bounds
+// — the scaling shape of the one execution path the CLIs and suite
+// share.
+func BenchmarkMatrixFanout(b *testing.B) {
+	progs := make([]benchprog.Program, 0, len(bench.TimingSyscalls))
+	for _, sc := range bench.TimingSyscalls {
+		prog, ok := benchprog.ByName(sc)
+		if !ok {
+			b.Fatalf("unknown benchmark %q", sc)
+		}
+		progs = append(progs, prog)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4", 8: "w8"}[workers], func(b *testing.B) {
+			m := provmark.Matrix{
+				Tools:      []string{"spade", "opus", "camflow"},
+				Capture:    capture.Options{Fast: true},
+				Benchmarks: progs,
+				Workers:    workers,
+			}
+			for i := 0; i < b.N; i++ {
+				cells, err := m.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, cell := range cells {
+					if cell.Err != nil {
+						b.Fatal(cell.Err)
+					}
+				}
+			}
+		})
 	}
 }

@@ -23,11 +23,13 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	only := fs.String("run", "", "run a single experiment (table1..4, fig1, fig5..10, failures, spc)")
 	fast := fs.Bool("fast", false, "use cheap storage costs (distorts OPUS timing shapes)")
+	parallel := fs.Int("parallel", 1, "matrix worker pool for multi-cell experiments (>1 distorts timing figures)")
 	root := fs.String("root", ".", "repository root (for table4 line counts)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	suite := bench.NewSuite(*fast)
+	suite.Workers = *parallel
 	experiments := []struct {
 		id  string
 		run func() error

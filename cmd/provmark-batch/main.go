@@ -1,33 +1,50 @@
 // Command provmark-batch runs the whole Table 1 benchmark suite under
 // one tool and prints the per-syscall results — the equivalent of the
-// paper's runTests.sh. With -store it also saves every benchmark graph
-// into a regression store and reports differences from stored
-// baselines (the Charlie use case).
+// paper's runTests.sh. The suite executes as a streaming matrix run:
+// results print as their cells complete, and -parallel bounds how many
+// benchmarks are in flight at once. With -store it also saves every
+// benchmark graph into a regression store and reports differences from
+// stored baselines (the Charlie use case).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"provmark/internal/bench"
 	"provmark/internal/benchprog"
+	"provmark/internal/capture"
 	"provmark/internal/graph"
 	"provmark/internal/provmark"
+
+	// Backends register themselves with the capture registry.
+	_ "provmark/internal/capture/camflow"
+	_ "provmark/internal/capture/opus"
+	_ "provmark/internal/capture/spade"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "provmark-batch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
+	// Cancel the matrix on any early return so no workers stay blocked
+	// on the results channel.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	fs := flag.NewFlagSet("provmark-batch", flag.ContinueOnError)
-	tool := fs.String("tool", "spade", "capture tool: spade, opus, camflow, spn")
+	tool := fs.String("tool", "spade", "capture backend: spade, opus, camflow, spn")
 	trials := fs.Int("trials", 0, "trials per variant (0 = tool default)")
+	parallel := fs.Int("parallel", 1, "benchmarks in flight at once (matrix worker pool)")
 	storeDir := fs.String("store", "", "regression store directory (enables save/compare)")
 	htmlDir := fs.String("html", "", "write per-benchmark HTML pages and an index to this directory")
 	timeLog := fs.String("timelog", "", "append per-benchmark stage timings to this file (A.6.4 format)")
@@ -35,13 +52,9 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	suite := bench.NewSuite(*fast)
-	rec, err := suite.Recorder(*tool)
-	if err != nil {
-		return err
-	}
 	var store *provmark.Store
 	if *storeDir != "" {
+		var err error
 		store, err = provmark.NewStore(*storeDir)
 		if err != nil {
 			return err
@@ -49,6 +62,7 @@ func run(args []string) error {
 	}
 	var index *provmark.IndexWriter
 	if *htmlDir != "" {
+		var err error
 		index, err = provmark.NewIndexWriter(*htmlDir, *tool)
 		if err != nil {
 			return err
@@ -56,21 +70,37 @@ func run(args []string) error {
 	}
 	var timeLogFile *os.File
 	if *timeLog != "" {
+		var err error
 		timeLogFile, err = os.OpenFile(*timeLog, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 		if err != nil {
 			return err
 		}
 		defer timeLogFile.Close()
 	}
-	runner := provmark.NewRunner(rec, provmark.Config{Trials: *trials})
-	fmt.Printf("batch run: %s\n", *tool)
+
+	progs := make([]benchprog.Program, 0)
 	for _, name := range benchprog.Names() {
 		prog, _ := benchprog.ByName(name)
-		res, err := runner.Run(prog)
-		if err != nil {
-			fmt.Printf("%-12s ERROR %v\n", name, err)
+		progs = append(progs, prog)
+	}
+	m := provmark.Matrix{
+		Tools:      []string{*tool},
+		Capture:    capture.Options{Fast: *fast},
+		Benchmarks: progs,
+		Workers:    *parallel,
+		Pipeline:   []provmark.Option{provmark.WithTrials(*trials)},
+	}
+	results, err := m.Stream(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("batch run: %s\n", *tool)
+	for cell := range results {
+		if cell.Err != nil {
+			fmt.Printf("%-12s ERROR %v\n", cell.Benchmark, cell.Err)
 			continue
 		}
+		res := cell.Result
 		status := "empty"
 		if !res.Empty {
 			status = graph.Summarize(res.Target).String()
@@ -87,10 +117,10 @@ func run(args []string) error {
 		}
 		regression := ""
 		if store != nil && !res.Empty {
-			diff, err := store.Check(*tool, name, res.Target)
+			diff, err := store.Check(*tool, cell.Benchmark, res.Target)
 			switch {
 			case errors.Is(err, provmark.ErrNoBaseline):
-				if err := store.Save(*tool, name, res.Target); err != nil {
+				if err := store.Save(*tool, cell.Benchmark, res.Target); err != nil {
 					return err
 				}
 				regression = "baseline saved"
@@ -102,7 +132,10 @@ func run(args []string) error {
 				regression = "matches baseline"
 			}
 		}
-		fmt.Printf("%-12s %-14s %s\n", name, status, regression)
+		fmt.Printf("%-12s %-14s %s\n", cell.Benchmark, status, regression)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if index != nil {
 		path, err := index.Flush()

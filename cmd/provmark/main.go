@@ -11,37 +11,56 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
-	"provmark/internal/bench"
 	"provmark/internal/benchprog"
 	"provmark/internal/capture"
 	"provmark/internal/profile"
 	"provmark/internal/provmark"
+
+	// Backends register themselves with the capture registry; the CLI
+	// resolves -tool by name instead of importing them concretely.
+	_ "provmark/internal/capture/camflow"
+	_ "provmark/internal/capture/opus"
+	_ "provmark/internal/capture/spade"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "provmark:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("provmark", flag.ContinueOnError)
-	tool := fs.String("tool", "spade", "capture tool (spade, opus, camflow, spn) or profile name (spg, opu, cam)")
+	tool := fs.String("tool", "spade", "capture backend (see -backends) or profile name (spg, opu, cam)")
 	configPath := fs.String("config", "", "profile configuration file (INI, Appendix A.4 format)")
 	benchName := fs.String("bench", "", "benchmark name (see -list)")
 	trials := fs.Int("trials", 0, "trials per variant (0 = tool default)")
+	parallel := fs.Int("parallel", 1, "concurrent recording workers per variant")
 	resultType := fs.String("result", "rb", "result type: rb (benchmark), rg (with generalized graphs), rh (html), rd (styled Graphviz figure)")
 	list := fs.Bool("list", false, "list available benchmarks and exit")
+	backends := fs.Bool("backends", false, "list registered capture backends and exit")
+	verbose := fs.Bool("v", false, "log per-stage progress and timings to stderr")
 	fast := fs.Bool("fast", false, "use cheap storage costs (skip Neo4j warm-up simulation)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *backends {
+		for _, name := range capture.Backends() {
+			fmt.Println(name)
+		}
+		return nil
 	}
 	if *list {
 		for _, name := range benchprog.Names() {
@@ -65,7 +84,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := provmark.NewRunner(rec, provmark.Config{Trials: *trials}).Run(prog)
+	opts := []provmark.Option{
+		provmark.WithTrials(*trials),
+		provmark.WithParallelism(*parallel),
+	}
+	if *verbose {
+		opts = append(opts, provmark.WithStageObserver(func(ev provmark.StageEvent) {
+			fmt.Fprintf(os.Stderr, "provmark: %s/%s: %s done in %v\n",
+				ev.Tool, ev.Benchmark, ev.Stage, ev.Duration)
+		}))
+	}
+	res, err := provmark.New(rec, opts...).RunContext(ctx, prog)
 	if err != nil {
 		return err
 	}
@@ -88,7 +117,7 @@ func run(args []string) error {
 
 // resolveRecorder maps a -tool argument to a recorder: profile names
 // (from -config or the built-in config.ini) take precedence, then the
-// plain tool names of the benchmark suite.
+// registered backend names of the capture registry.
 func resolveRecorder(tool, configPath string, fast bool) (capture.Recorder, error) {
 	profiles := profile.Default()
 	if configPath != "" {
@@ -105,7 +134,7 @@ func resolveRecorder(tool, configPath string, fast bool) (capture.Recorder, erro
 	if _, ok := profiles.Profile(tool); ok {
 		return profiles.Build(tool)
 	}
-	return bench.NewSuite(fast).Recorder(tool)
+	return capture.Open(tool, capture.Options{Fast: fast})
 }
 
 func lookupProgram(name string) (benchprog.Program, error) {

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestLookupProgram(t *testing.T) {
 	cases := []struct {
@@ -60,10 +63,10 @@ func TestResolveRecorder(t *testing.T) {
 }
 
 func TestRunEndToEnd(t *testing.T) {
-	if err := run([]string{"-tool", "spade", "-bench", "creat", "-fast"}); err != nil {
+	if err := run(context.Background(), []string{"-tool", "spade", "-bench", "creat", "-fast"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-list"}); err != nil {
+	if err := run(context.Background(), []string{"-list"}); err != nil {
 		t.Fatal(err)
 	}
 	for _, bad := range [][]string{
@@ -71,7 +74,7 @@ func TestRunEndToEnd(t *testing.T) {
 		{"-tool", "spade", "-bench", "creat", "-result", "xx"}, // bad result type
 		{"-tool", "wat", "-bench", "creat"},                    // bad tool
 	} {
-		if err := run(bad); err == nil {
+		if err := run(context.Background(), bad); err == nil {
 			t.Errorf("accepted %v", bad)
 		}
 	}
@@ -79,7 +82,7 @@ func TestRunEndToEnd(t *testing.T) {
 
 func TestRunHTMLResult(t *testing.T) {
 	// Smoke check the rh flavour goes through (output on stdout).
-	if err := run([]string{"-tool", "camflow", "-bench", "open", "-result", "rh", "-fast"}); err != nil {
+	if err := run(context.Background(), []string{"-tool", "camflow", "-bench", "open", "-result", "rh", "-fast"}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -17,12 +17,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"strconv"
 
 	"provmark/internal/benchprog"
-	"provmark/internal/capture/spade"
+	"provmark/internal/capture"
 	"provmark/internal/provmark"
+
+	// Register the SPADE backend with the capture registry.
+	_ "provmark/internal/capture/spade"
 )
 
 func main() {
@@ -45,10 +50,14 @@ func simplifyBug() error {
 	fmt.Println("== bug 1: simplify off leaks a random-valued background edge ==")
 	prog, _ := benchprog.ByName("setresuid")
 	for _, fixed := range []bool{false, true} {
-		cfg := spade.DefaultConfig()
-		cfg.Simplify = false
-		cfg.BugRandomEdgeProperty = !fixed
-		res, err := provmark.NewRunner(spade.New(cfg), provmark.Config{}).Run(prog)
+		rec, err := capture.Open("spade", capture.Options{Params: map[string]string{
+			"simplify":                 "false",
+			"bug_random_edge_property": strconv.FormatBool(!fixed),
+		}})
+		if err != nil {
+			return err
+		}
+		res, err := provmark.New(rec).RunContext(context.Background(), prog)
 		if err != nil {
 			return err
 		}
@@ -79,10 +88,14 @@ func iorunsBug() error {
 	fmt.Println("== bug 2: IORuns filter is a no-op due to a property-name mismatch ==")
 	prog := benchprog.RepeatedReads(8)
 	for _, fixed := range []bool{false, true} {
-		cfg := spade.DefaultConfig()
-		cfg.IORuns = true
-		cfg.BugIORunsPropertyName = !fixed
-		res, err := provmark.NewRunner(spade.New(cfg), provmark.Config{}).Run(prog)
+		rec, err := capture.Open("spade", capture.Options{Params: map[string]string{
+			"ioruns":                   "true",
+			"bug_ioruns_property_name": strconv.FormatBool(!fixed),
+		}})
+		if err != nil {
+			return err
+		}
+		res, err := provmark.New(rec).RunContext(context.Background(), prog)
 		if err != nil {
 			return err
 		}

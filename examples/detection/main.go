@@ -21,13 +21,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"provmark/internal/benchprog"
-	"provmark/internal/capture/camflow"
+	"provmark/internal/capture"
 	"provmark/internal/datalog"
 	"provmark/internal/provmark"
+
+	// Register the CamFlow backend with the capture registry.
+	_ "provmark/internal/capture/camflow"
 )
 
 func main() {
@@ -38,11 +42,15 @@ func main() {
 }
 
 func run() error {
-	rec := camflow.New(camflow.DefaultConfig())
+	ctx := context.Background()
+	rec, err := capture.OpenContext("camflow", capture.Options{})
+	if err != nil {
+		return err
+	}
 	prog := benchprog.PrivilegeEscalation()
 
 	// Step 1-2: benchmark the escalation to learn its graph pattern.
-	res, err := provmark.NewRunner(rec, provmark.Config{}).Run(prog)
+	res, err := provmark.NewContext(rec).RunContext(ctx, prog)
 	if err != nil {
 		return err
 	}
@@ -68,7 +76,7 @@ chain(New, Old) :- escalation(New), edge(_, New, Old, "wasInformedBy").
 	}
 
 	// Step 4: record the whole program (no differencing) and scan it.
-	native, err := rec.Record(prog, benchprog.Foreground, 0)
+	native, err := rec.Record(ctx, prog, benchprog.Foreground, 0)
 	if err != nil {
 		return err
 	}
@@ -99,7 +107,7 @@ chain(New, Old) :- escalation(New), edge(_, New, Old, "wasInformedBy").
 
 	// Control: a benign run (background variant, no escalation) must
 	// not trigger the rule.
-	benignNative, err := rec.Record(prog, benchprog.Background, 0)
+	benignNative, err := rec.Record(ctx, prog, benchprog.Background, 0)
 	if err != nil {
 		return err
 	}

@@ -18,15 +18,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"provmark/internal/benchprog"
-	"provmark/internal/capture"
-	"provmark/internal/capture/camflow"
-	"provmark/internal/capture/opus"
-	"provmark/internal/capture/spade"
 	"provmark/internal/provmark"
+
+	// Register the backends the matrix resolves by name.
+	_ "provmark/internal/capture/camflow"
+	_ "provmark/internal/capture/opus"
+	_ "provmark/internal/capture/spade"
 )
 
 func main() {
@@ -38,24 +40,30 @@ func main() {
 
 func run() error {
 	prog := benchprog.FailedRename()
-	recorders := []capture.Recorder{
-		spade.New(spade.DefaultConfig()),
-		opus.New(opus.DefaultConfig()),
-		camflow.New(camflow.DefaultConfig()),
-	}
 	fmt.Println("benchmark: unprivileged rename onto /etc/passwd (fails with EACCES)")
 	fmt.Println()
-	for _, rec := range recorders {
-		res, err := provmark.NewRunner(rec, provmark.Config{}).Run(prog)
-		if err != nil {
-			return fmt.Errorf("%s: %w", rec.Name(), err)
+	// One matrix run: the three tool columns against the one failing
+	// benchmark, collected in grid order.
+	m := provmark.Matrix{
+		Tools:      []string{"spade", "opus", "camflow"},
+		Benchmarks: []benchprog.Program{prog},
+		Workers:    3,
+	}
+	cells, err := m.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	for _, cell := range cells {
+		if cell.Err != nil {
+			return fmt.Errorf("%s: %w", cell.Tool, cell.Err)
 		}
+		res := cell.Result
 		if res.Empty {
-			fmt.Printf("%-8s does NOT record the failed call (%s)\n", rec.Name(), res.Reason)
+			fmt.Printf("%-8s does NOT record the failed call (%s)\n", cell.Tool, res.Reason)
 			continue
 		}
 		fmt.Printf("%-8s records the failed call: %d nodes, %d edges\n",
-			rec.Name(), res.Target.NumNodes(), res.Target.NumEdges())
+			cell.Tool, res.Target.NumNodes(), res.Target.NumEdges())
 		// OPUS keeps the return value, so the failure is queryable.
 		for _, n := range res.Target.Nodes() {
 			if rv, ok := n.Props["retval"]; ok {

@@ -5,13 +5,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"provmark/internal/benchprog"
-	"provmark/internal/capture/spade"
+	"provmark/internal/capture"
 	"provmark/internal/datalog"
 	"provmark/internal/provmark"
+
+	// Register the SPADE backend with the capture registry.
+	_ "provmark/internal/capture/spade"
 )
 
 func main() {
@@ -22,8 +26,12 @@ func main() {
 }
 
 func run() error {
-	// 1. Pick a capture tool (SPADE with its baseline configuration).
-	recorder := spade.New(spade.DefaultConfig())
+	// 1. Open a capture tool by name through the registry (SPADE with
+	//    its baseline configuration).
+	recorder, err := capture.Open("spade", capture.Options{})
+	if err != nil {
+		return err
+	}
 
 	// 2. Pick a benchmark program: each one is a tiny program whose
 	//    target syscall is wrapped in the equivalent of #ifdef TARGET.
@@ -34,8 +42,9 @@ func run() error {
 
 	// 3. Run the four-stage pipeline: record fg/bg trials, transform to
 	//    the common format, generalize away volatile data, and compare.
-	runner := provmark.NewRunner(recorder, provmark.Config{})
-	res, err := runner.Run(prog)
+	//    Options tune the run; the context cancels it.
+	runner := provmark.New(recorder, provmark.WithTrials(2))
+	res, err := runner.RunContext(context.Background(), prog)
 	if err != nil {
 		return err
 	}

@@ -10,13 +10,17 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 
 	"provmark/internal/benchprog"
-	"provmark/internal/capture/spade"
+	"provmark/internal/capture"
 	"provmark/internal/provmark"
+
+	// Register the SPADE backend with the capture registry.
+	_ "provmark/internal/capture/spade"
 )
 
 func main() {
@@ -39,21 +43,20 @@ func run() error {
 	benchmarks := []string{"creat", "open", "rename", "write", "fork"}
 
 	fmt.Println("== baseline run (SPADE, default configuration) ==")
-	if err := batch(store, spade.DefaultConfig(), benchmarks, true); err != nil {
+	if err := batch(store, capture.Options{}, benchmarks, true); err != nil {
 		return err
 	}
 
 	fmt.Println()
 	fmt.Println("== re-run with the same configuration (expect no regressions) ==")
-	if err := batch(store, spade.DefaultConfig(), benchmarks, false); err != nil {
+	if err := batch(store, capture.Options{}, benchmarks, false); err != nil {
 		return err
 	}
 
 	fmt.Println()
 	fmt.Println("== re-run after a tool change: versioning enabled ==")
-	cfg := spade.DefaultConfig()
-	cfg.Versioning = true
-	if err := batch(store, cfg, benchmarks, false); err != nil {
+	versioned := capture.Options{Params: map[string]string{"versioning": "true"}}
+	if err := batch(store, versioned, benchmarks, false); err != nil {
 		return err
 	}
 	fmt.Println()
@@ -63,14 +66,18 @@ func run() error {
 	return nil
 }
 
-func batch(store *provmark.Store, cfg spade.Config, benchmarks []string, saveBaseline bool) error {
-	runner := provmark.NewRunner(spade.New(cfg), provmark.Config{})
+func batch(store *provmark.Store, opts capture.Options, benchmarks []string, saveBaseline bool) error {
+	rec, err := capture.Open("spade", opts)
+	if err != nil {
+		return err
+	}
+	runner := provmark.New(rec)
 	for _, name := range benchmarks {
 		prog, ok := benchprog.ByName(name)
 		if !ok {
 			return fmt.Errorf("unknown benchmark %s", name)
 		}
-		res, err := runner.Run(prog)
+		res, err := runner.RunContext(context.Background(), prog)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,3 @@
+module provmark
+
+go 1.22

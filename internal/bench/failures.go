@@ -5,8 +5,7 @@ import (
 	"strings"
 
 	"provmark/internal/benchprog"
-	"provmark/internal/capture/camflow"
-	"provmark/internal/provmark"
+	"provmark/internal/capture"
 )
 
 // FailureTools are the columns of the failure matrix: the three
@@ -53,35 +52,41 @@ type FailureMatrixResult struct {
 	Total      int
 }
 
-// RunFailureMatrix benchmarks every failure case under every column.
+// RunFailureMatrix benchmarks every failure case under every column in
+// one matrix run: the three suite baselines plus a registry-opened
+// CamFlow with denied-check recording. Because two columns share the
+// recorder name "camflow", cells map back to their column through the
+// matrix grid index rather than the tool name.
 func (s *Suite) RunFailureMatrix() (*FailureMatrixResult, error) {
-	deniedCfg := camflow.DefaultConfig()
-	deniedCfg.RecordDenied = true
-	denied := camflow.New(deniedCfg)
+	recs, err := s.suiteRecorders([]string{"spade", "opus", "camflow"})
+	if err != nil {
+		return nil, err
+	}
+	denied, err := capture.Open("camflow", capture.Options{
+		Params: map[string]string{"record_denied": "true"},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: failures: %w", err)
+	}
+	recs = append(recs, denied)
 
+	progs := benchprog.FailureCases()
+	cells, err := s.matrix(recs, progs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: failures: %w", err)
+	}
 	expected := ExpectedFailureMatrix()
 	res := &FailureMatrixResult{Recorded: map[string]map[string]bool{}}
-	for _, prog := range benchprog.FailureCases() {
-		res.Recorded[prog.Name] = map[string]bool{}
-		for _, tool := range FailureTools {
-			var (
-				r   *provmark.Result
-				err error
-			)
-			if tool == "camflow+denied" {
-				r, err = provmark.NewRunner(denied, provmark.Config{}).Run(prog)
-			} else {
-				r, err = s.RunProgram(tool, prog)
-			}
-			if err != nil {
-				return nil, fmt.Errorf("bench: failures %s/%s: %w", tool, prog.Name, err)
-			}
-			got := !r.Empty
-			res.Recorded[prog.Name][tool] = got
-			res.Total++
-			if expected[prog.Name][tool] != got {
-				res.Mismatches++
-			}
+	for _, cell := range cells {
+		tool := FailureTools[cell.Index/len(progs)]
+		if res.Recorded[cell.Benchmark] == nil {
+			res.Recorded[cell.Benchmark] = map[string]bool{}
+		}
+		got := !cell.Result.Empty
+		res.Recorded[cell.Benchmark][tool] = got
+		res.Total++
+		if expected[cell.Benchmark][tool] != got {
+			res.Mismatches++
 		}
 	}
 	return res, nil

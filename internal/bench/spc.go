@@ -5,8 +5,7 @@ import (
 	"strings"
 
 	"provmark/internal/benchprog"
-	"provmark/internal/capture/spade"
-	"provmark/internal/provmark"
+	"provmark/internal/capture"
 )
 
 // This file evaluates the configuration the paper mentions but never
@@ -58,18 +57,21 @@ type SpcResult struct {
 
 // RunSpcColumn benchmarks every syscall under the spc configuration.
 func (s *Suite) RunSpcColumn() (*SpcResult, error) {
-	cfg := spade.DefaultConfig()
-	cfg.Reporter = spade.ReporterCamFlow
-	rec := spade.New(cfg)
+	rec, err := capture.Open("spade", capture.Options{
+		Params: map[string]string{"reporter": "camflow"},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: spc: %w", err)
+	}
+	cells, err := s.matrix([]capture.Recorder{rec}, namedPrograms())
+	if err != nil {
+		return nil, fmt.Errorf("bench: spc: %w", err)
+	}
 	expected := ExpectedSpcColumn()
 	res := &SpcResult{Cells: map[string]Cell{}}
-	for _, name := range benchprog.Names() {
-		prog, _ := benchprog.ByName(name)
-		r, err := provmark.NewRunner(rec, provmark.Config{}).Run(prog)
-		if err != nil {
-			return nil, fmt.Errorf("bench: spc %s: %w", name, err)
-		}
-		cell := Cell{OK: !r.Empty}
+	for _, c := range cells {
+		name := c.Benchmark
+		cell := Cell{OK: !c.Result.Empty}
 		if exp := expected[name]; exp.OK == cell.OK {
 			cell.Note = exp.Note
 		}

@@ -1,23 +1,33 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"provmark/internal/benchprog"
 	"provmark/internal/capture"
-	"provmark/internal/capture/camflow"
-	"provmark/internal/capture/opus"
-	"provmark/internal/capture/spade"
 	"provmark/internal/graph"
-	"provmark/internal/neo4jsim"
 	"provmark/internal/provmark"
+
+	// The suite resolves its tools through the capture registry.
+	_ "provmark/internal/capture/camflow"
+	_ "provmark/internal/capture/opus"
+	_ "provmark/internal/capture/spade"
 )
 
-// Suite bundles the three recorders under their baseline configurations
-// and runs the paper's experiments against them.
+// Suite bundles the registry-resolved recorders under their baseline
+// configurations and runs the paper's experiments against them. Every
+// multi-cell experiment executes through the provmark.Matrix runner,
+// with per-stage timings sourced from the pipeline's observer hooks.
 type Suite struct {
 	recorders map[string]capture.Recorder
+	// Workers bounds the matrix worker pool for multi-cell experiments.
+	// The default of 1 keeps runs sequential so per-stage timings are
+	// undistorted by CPU contention; matrix-style validation runs can
+	// raise it.
+	Workers int
 }
 
 // NewSuite builds the baseline suite. fast substitutes cheap storage
@@ -25,20 +35,18 @@ type Suite struct {
 // and benchmarks use fast=false to reproduce the timing shapes of
 // Figures 5–10.
 func NewSuite(fast bool) *Suite {
-	opusCfg := opus.DefaultConfig()
-	dbOpts := neo4jsim.Options{}
-	if fast {
-		dbOpts = neo4jsim.Options{WarmupPages: 1, ScanRoundsPerRow: 1}
-		opusCfg.DB = dbOpts
+	s := &Suite{recorders: map[string]capture.Recorder{}, Workers: 1}
+	opts := capture.Options{Fast: fast}
+	// spn: SPADE with Neo4j storage, the paper CLI's second SPADE
+	// profile. Not part of the Table 2 tool columns.
+	for _, tool := range []string{"spade", "opus", "camflow", "spn"} {
+		rec, err := capture.Open(tool, opts)
+		if err != nil {
+			panic(fmt.Sprintf("bench: baseline backend missing: %v", err))
+		}
+		s.recorders[tool] = rec
 	}
-	return &Suite{recorders: map[string]capture.Recorder{
-		"spade":   spade.New(spade.DefaultConfig()),
-		"opus":    opus.New(opusCfg),
-		"camflow": camflow.New(camflow.DefaultConfig()),
-		// spn: SPADE with Neo4j storage, the paper CLI's second SPADE
-		// profile. Not part of the Table 2 tool columns.
-		"spn": spade.New(spade.DefaultConfig().WithNeo4jStorage(dbOpts)),
-	}}
+	return s
 }
 
 // Recorder returns the named tool.
@@ -48,6 +56,44 @@ func (s *Suite) Recorder(tool string) (capture.Recorder, error) {
 		return nil, fmt.Errorf("bench: unknown tool %q", tool)
 	}
 	return rec, nil
+}
+
+// matrix fans progs out across recorders on the suite's worker pool
+// and collects every cell, failing on the first cell error.
+func (s *Suite) matrix(recs []capture.Recorder, progs []benchprog.Program, opts ...provmark.Option) ([]provmark.MatrixResult, error) {
+	workers := s.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	m := provmark.Matrix{
+		Recorders:  recs,
+		Benchmarks: progs,
+		Workers:    workers,
+		Pipeline:   opts,
+	}
+	cells, err := m.Run(context.Background())
+	if err != nil {
+		return nil, fmt.Errorf("bench: matrix: %w", err)
+	}
+	for _, cell := range cells {
+		if cell.Err != nil {
+			return nil, fmt.Errorf("bench: %s/%s: %w", cell.Tool, cell.Benchmark, cell.Err)
+		}
+	}
+	return cells, nil
+}
+
+// suiteRecorders resolves tool names against the suite.
+func (s *Suite) suiteRecorders(tools []string) ([]capture.Recorder, error) {
+	out := make([]capture.Recorder, 0, len(tools))
+	for _, tool := range tools {
+		rec, err := s.Recorder(tool)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
 }
 
 // Run benchmarks one named syscall under one tool.
@@ -60,7 +106,7 @@ func (s *Suite) Run(tool, benchName string) (*provmark.Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown benchmark %q", benchName)
 	}
-	return provmark.NewRunner(rec, provmark.Config{}).Run(prog)
+	return provmark.New(rec).RunContext(context.Background(), prog)
 }
 
 // RunProgram benchmarks an arbitrary program (scalability, failure
@@ -70,7 +116,7 @@ func (s *Suite) RunProgram(tool string, prog benchprog.Program) (*provmark.Resul
 	if err != nil {
 		return nil, err
 	}
-	return provmark.NewRunner(rec, provmark.Config{}).Run(prog)
+	return provmark.New(rec).RunContext(context.Background(), prog)
 }
 
 // Table2Row is the outcome of one syscall across all tools.
@@ -89,13 +135,30 @@ type Table2Result struct {
 	Total      int
 }
 
-// RunTable2 reproduces Table 2: every benchmark under every tool,
-// compared cell-by-cell against the paper's published matrix.
+// RunTable2 reproduces Table 2: every benchmark under every tool —
+// one matrix run over the full (tools × syscalls) grid — compared
+// cell-by-cell against the paper's published matrix.
 func (s *Suite) RunTable2() (*Table2Result, error) {
+	recs, err := s.suiteRecorders(Tools)
+	if err != nil {
+		return nil, err
+	}
+	progs := namedPrograms()
+	cells, err := s.matrix(recs, progs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: table2: %w", err)
+	}
+	actual := map[string]map[string]*provmark.Result{}
+	for _, cell := range cells {
+		if actual[cell.Benchmark] == nil {
+			actual[cell.Benchmark] = map[string]*provmark.Result{}
+		}
+		actual[cell.Benchmark][cell.Tool] = cell.Result
+	}
 	expected := ExpectedTable2()
 	res := &Table2Result{}
-	for _, name := range benchprog.Names() {
-		prog, _ := benchprog.ByName(name)
+	for _, prog := range progs {
+		name := prog.Name
 		row := Table2Row{
 			Group:    prog.Group,
 			Syscall:  name,
@@ -104,10 +167,7 @@ func (s *Suite) RunTable2() (*Table2Result, error) {
 			Match:    map[string]bool{},
 		}
 		for _, tool := range Tools {
-			r, err := s.Run(tool, name)
-			if err != nil {
-				return nil, fmt.Errorf("bench: table2 %s/%s: %w", tool, name, err)
-			}
+			r := actual[name][tool]
 			cell := Cell{OK: !r.Empty}
 			if exp, ok := expected[name][tool]; ok && exp.OK == cell.OK {
 				cell.Note = exp.Note
@@ -125,6 +185,17 @@ func (s *Suite) RunTable2() (*Table2Result, error) {
 	return res, nil
 }
 
+// namedPrograms lists the Table 1 benchmark programs in name order.
+func namedPrograms() []benchprog.Program {
+	names := benchprog.Names()
+	out := make([]benchprog.Program, 0, len(names))
+	for _, name := range names {
+		prog, _ := benchprog.ByName(name)
+		out = append(out, prog)
+	}
+	return out
+}
+
 // Table3Cell summarizes one example benchmark graph for Table 3.
 type Table3Cell struct {
 	Empty bool
@@ -136,20 +207,32 @@ type Table3Cell struct {
 // reported as graph shapes (node/edge counts).
 func (s *Suite) RunTable3() (map[string]map[string]Table3Cell, error) {
 	syscalls := []string{"open", "read", "write", "dup", "setuid", "setresuid"}
-	out := make(map[string]map[string]Table3Cell, len(syscalls))
+	recs, err := s.suiteRecorders(Tools)
+	if err != nil {
+		return nil, err
+	}
+	progs := make([]benchprog.Program, 0, len(syscalls))
 	for _, sc := range syscalls {
-		out[sc] = map[string]Table3Cell{}
-		for _, tool := range Tools {
-			r, err := s.Run(tool, sc)
-			if err != nil {
-				return nil, fmt.Errorf("bench: table3 %s/%s: %w", tool, sc, err)
-			}
-			cell := Table3Cell{Empty: r.Empty}
-			if !r.Empty {
-				cell.Stats = graph.Summarize(r.Target)
-			}
-			out[sc][tool] = cell
+		prog, ok := benchprog.ByName(sc)
+		if !ok {
+			return nil, fmt.Errorf("bench: table3: unknown benchmark %q", sc)
 		}
+		progs = append(progs, prog)
+	}
+	cells, err := s.matrix(recs, progs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: table3: %w", err)
+	}
+	out := make(map[string]map[string]Table3Cell, len(syscalls))
+	for _, c := range cells {
+		if out[c.Benchmark] == nil {
+			out[c.Benchmark] = map[string]Table3Cell{}
+		}
+		cell := Table3Cell{Empty: c.Result.Empty}
+		if !c.Result.Empty {
+			cell.Stats = graph.Summarize(c.Result.Target)
+		}
+		out[c.Benchmark][c.Tool] = cell
 	}
 	return out, nil
 }
@@ -157,15 +240,21 @@ func (s *Suite) RunTable3() (map[string]map[string]Table3Cell, error) {
 // Fig1Result holds the rename benchmark graphs of Figure 1.
 type Fig1Result map[string]*provmark.Result
 
-// RunFig1 reproduces Figure 1: how the three tools represent a rename.
+// RunFig1 reproduces Figure 1: how the three tools represent a rename
+// — a one-row matrix across all tool columns.
 func (s *Suite) RunFig1() (Fig1Result, error) {
+	recs, err := s.suiteRecorders(Tools)
+	if err != nil {
+		return nil, err
+	}
+	prog, _ := benchprog.ByName("rename")
+	cells, err := s.matrix(recs, []benchprog.Program{prog})
+	if err != nil {
+		return nil, fmt.Errorf("bench: fig1: %w", err)
+	}
 	out := Fig1Result{}
-	for _, tool := range Tools {
-		r, err := s.Run(tool, "rename")
-		if err != nil {
-			return nil, fmt.Errorf("bench: fig1 %s: %w", tool, err)
-		}
-		out[tool] = r
+	for _, c := range cells {
+		out[c.Tool] = c.Result
 	}
 	return out, nil
 }
@@ -180,17 +269,22 @@ type TimingRow struct {
 var TimingSyscalls = []string{"open", "execve", "fork", "setuid", "rename"}
 
 // RunTiming reproduces Figures 5–7: per-stage processing times for the
-// representative syscalls under one tool.
+// representative syscalls under one tool. Timings come from the
+// pipeline's stage-observer hooks, not the result structs.
 func (s *Suite) RunTiming(tool string) ([]TimingRow, error) {
-	out := make([]TimingRow, 0, len(TimingSyscalls))
+	progs := make([]benchprog.Program, 0, len(TimingSyscalls))
 	for _, sc := range TimingSyscalls {
-		r, err := s.Run(tool, sc)
-		if err != nil {
-			return nil, fmt.Errorf("bench: timing %s/%s: %w", tool, sc, err)
+		prog, ok := benchprog.ByName(sc)
+		if !ok {
+			return nil, fmt.Errorf("bench: timing: unknown benchmark %q", sc)
 		}
-		out = append(out, TimingRow{Label: sc, Times: r.Times})
+		progs = append(progs, prog)
 	}
-	return out, nil
+	rows, err := s.observedTiming(tool, progs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: timing: %w", err)
+	}
+	return rows, nil
 }
 
 // Scales is the Figures 8–10 parameter sweep.
@@ -199,13 +293,59 @@ var Scales = []int{1, 2, 4, 8}
 // RunScalability reproduces Figures 8–10: per-stage times as the target
 // action (create+unlink) is repeated 1, 2, 4 and 8 times.
 func (s *Suite) RunScalability(tool string) ([]TimingRow, error) {
-	out := make([]TimingRow, 0, len(Scales))
+	progs := make([]benchprog.Program, 0, len(Scales))
 	for _, n := range Scales {
-		r, err := s.RunProgram(tool, benchprog.ScaleProgram(n))
-		if err != nil {
-			return nil, fmt.Errorf("bench: scalability %s/scale%d: %w", tool, n, err)
+		progs = append(progs, benchprog.ScaleProgram(n))
+	}
+	rows, err := s.observedTiming(tool, progs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: scalability: %w", err)
+	}
+	return rows, nil
+}
+
+// observedTiming runs one tool over progs through the matrix runner
+// and assembles per-stage times from StageObserver events, one row per
+// program in input order.
+func (s *Suite) observedTiming(tool string, progs []benchprog.Program) ([]TimingRow, error) {
+	rec, err := s.Recorder(tool)
+	if err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	times := map[string]*provmark.StageTimes{}
+	observer := func(ev provmark.StageEvent) {
+		if ev.Err != nil {
+			return
 		}
-		out = append(out, TimingRow{Label: fmt.Sprintf("scale%d", n), Times: r.Times})
+		mu.Lock()
+		defer mu.Unlock()
+		t := times[ev.Benchmark]
+		if t == nil {
+			t = &provmark.StageTimes{}
+			times[ev.Benchmark] = t
+		}
+		switch ev.Stage {
+		case provmark.StageRecording:
+			t.Recording = ev.Duration
+		case provmark.StageTransformation:
+			t.Transformation = ev.Duration
+		case provmark.StageGeneralization:
+			t.Generalization = ev.Duration
+		case provmark.StageComparison:
+			t.Comparison = ev.Duration
+		}
+	}
+	if _, err := s.matrix([]capture.Recorder{rec}, progs, provmark.WithStageObserver(observer)); err != nil {
+		return nil, err
+	}
+	out := make([]TimingRow, 0, len(progs))
+	for _, prog := range progs {
+		t := times[prog.Name]
+		if t == nil {
+			return nil, fmt.Errorf("no observed timings for %s/%s", tool, prog.Name)
+		}
+		out = append(out, TimingRow{Label: prog.Name, Times: *t})
 	}
 	return out, nil
 }

@@ -1,0 +1,15 @@
+package camflow
+
+import "provmark/internal/capture"
+
+// Registry wiring: "camflow" with the config.ini option vocabulary.
+func init() {
+	capture.MustRegister("camflow", func(opts capture.Options) (capture.Recorder, error) {
+		cfg := DefaultConfig()
+		cfg.FilterGraphs = opts.Bool("filtergraphs", cfg.FilterGraphs)
+		cfg.RecordDenied = opts.Bool("record_denied", cfg.RecordDenied)
+		cfg.JitterPeriod = opts.Int("jitter_period", cfg.JitterPeriod)
+		cfg.SerializeOnce = opts.Bool("serialize_once", cfg.SerializeOnce)
+		return New(cfg), nil
+	})
+}

@@ -1,0 +1,20 @@
+package opus
+
+import (
+	"provmark/internal/capture"
+	"provmark/internal/neo4jsim"
+)
+
+// Registry wiring: "opus" with the config.ini option vocabulary.
+func init() {
+	capture.MustRegister("opus", func(opts capture.Options) (capture.Recorder, error) {
+		cfg := DefaultConfig()
+		if opts.Fast {
+			cfg.DB = neo4jsim.Options{WarmupPages: 1, ScanRoundsPerRow: 1}
+		}
+		cfg.DB.WarmupPages = opts.Int("warmup_pages", cfg.DB.WarmupPages)
+		cfg.DB.ScanRoundsPerRow = opts.Int("scan_rounds", cfg.DB.ScanRoundsPerRow)
+		cfg.RecordReadsWrites = opts.Bool("record_reads_writes", cfg.RecordReadsWrites)
+		return New(cfg), nil
+	})
+}

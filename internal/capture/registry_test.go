@@ -1,0 +1,178 @@
+package capture_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"provmark/internal/benchprog"
+	"provmark/internal/capture"
+	"provmark/internal/graph"
+)
+
+// stubNative is a minimal Native for registry tests.
+type stubNative struct{}
+
+func (stubNative) Format() string { return "stub" }
+
+// stubRecorder is a minimal legacy Recorder.
+type stubRecorder struct {
+	name    string
+	filter  bool
+	records int
+}
+
+func (r *stubRecorder) Name() string       { return r.name }
+func (r *stubRecorder) DefaultTrials() int { return 2 }
+func (r *stubRecorder) FilterGraphs() bool { return r.filter }
+func (r *stubRecorder) Record(prog benchprog.Program, v benchprog.Variant, trial int) (capture.Native, error) {
+	r.records++
+	return stubNative{}, nil
+}
+func (r *stubRecorder) Transform(n capture.Native) (*graph.Graph, error) {
+	return graph.New(), nil
+}
+
+func TestRegisterAndOpen(t *testing.T) {
+	err := capture.Register("test-stub", func(opts capture.Options) (capture.Recorder, error) {
+		return &stubRecorder{name: "test-stub", filter: opts.Bool("filtergraphs", false)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := capture.Open("test-stub", capture.Options{
+		Params: map[string]string{"filtergraphs": "true"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name() != "test-stub" || !rec.FilterGraphs() {
+		t.Errorf("opened %q filter=%v, want test-stub with filtering", rec.Name(), rec.FilterGraphs())
+	}
+	found := false
+	for _, name := range capture.Backends() {
+		if name == "test-stub" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Backends() = %v, missing test-stub", capture.Backends())
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	factory := func(capture.Options) (capture.Recorder, error) {
+		return &stubRecorder{name: "dup"}, nil
+	}
+	if err := capture.Register("test-dup", factory); err != nil {
+		t.Fatal(err)
+	}
+	if err := capture.Register("test-dup", factory); err == nil {
+		t.Error("double register accepted")
+	} else if !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("double register error = %v", err)
+	}
+	if err := capture.Register("", factory); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := capture.Register("test-nil", nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+}
+
+func TestMustRegisterPanicsOnDuplicate(t *testing.T) {
+	factory := func(capture.Options) (capture.Recorder, error) {
+		return &stubRecorder{name: "must"}, nil
+	}
+	capture.MustRegister("test-must", factory)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegister did not panic on duplicate")
+		}
+	}()
+	capture.MustRegister("test-must", factory)
+}
+
+func TestOpenUnknownBackend(t *testing.T) {
+	_, err := capture.Open("test-no-such-backend", capture.Options{})
+	if err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if !strings.Contains(err.Error(), "unknown backend") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestOpenFactoryError(t *testing.T) {
+	capture.MustRegister("test-broken", func(capture.Options) (capture.Recorder, error) {
+		return nil, fmt.Errorf("bad wiring")
+	})
+	_, err := capture.Open("test-broken", capture.Options{})
+	if err == nil || !strings.Contains(err.Error(), "bad wiring") {
+		t.Errorf("factory error not surfaced: %v", err)
+	}
+}
+
+func TestOptionsHelpers(t *testing.T) {
+	opts := capture.Options{Params: map[string]string{
+		"flag": "true", "count": "7", "junk": "zzz",
+	}}
+	if !opts.Bool("flag", false) {
+		t.Error("Bool(flag) = false")
+	}
+	if opts.Bool("junk", false) || !opts.Bool("junk", true) {
+		t.Error("malformed bool should fall back to default")
+	}
+	if opts.Int("count", 0) != 7 {
+		t.Errorf("Int(count) = %d", opts.Int("count", 0))
+	}
+	if opts.Int("junk", 3) != 3 || opts.Int("absent", 5) != 5 {
+		t.Error("malformed/absent int should fall back to default")
+	}
+	if v, ok := opts.Param("flag"); !ok || v != "true" {
+		t.Errorf("Param(flag) = %q, %v", v, ok)
+	}
+}
+
+func TestContextAdapter(t *testing.T) {
+	stub := &stubRecorder{name: "adapted"}
+	rec := capture.WithContext(stub)
+	if rec.Name() != "adapted" || rec.DefaultTrials() != 2 {
+		t.Error("adapter does not promote legacy methods")
+	}
+	if _, err := rec.Record(context.Background(), benchprog.Program{}, benchprog.Foreground, 0); err != nil {
+		t.Fatalf("adapted record: %v", err)
+	}
+	if stub.records != 1 {
+		t.Errorf("legacy Record called %d times, want 1", stub.records)
+	}
+
+	// A cancelled context stops the adapter before the legacy call.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := rec.Record(ctx, benchprog.Program{}, benchprog.Foreground, 1); err != context.Canceled {
+		t.Errorf("cancelled record err = %v, want context.Canceled", err)
+	}
+	if stub.records != 1 {
+		t.Errorf("legacy Record ran under a cancelled context (%d calls)", stub.records)
+	}
+}
+
+func TestAsCompleteSeesThroughAdapter(t *testing.T) {
+	// The stub recorder does not implement Complete.
+	if _, ok := capture.AsComplete(capture.WithContext(&stubRecorder{name: "x"})); ok {
+		t.Error("AsComplete invented a Complete implementation")
+	}
+	// completeStub does; the adapter must not hide it.
+	if _, ok := capture.AsComplete(capture.WithContext(&completeStub{})); !ok {
+		t.Error("AsComplete does not unwrap the context adapter")
+	}
+}
+
+// completeStub is a stub recorder that can judge graph completeness.
+type completeStub struct {
+	stubRecorder
+}
+
+func (c *completeStub) CompleteGraph(g *graph.Graph) bool { return true }

@@ -1,0 +1,59 @@
+package spade
+
+import (
+	"fmt"
+
+	"provmark/internal/capture"
+	"provmark/internal/neo4jsim"
+)
+
+// Registry wiring: "spade" is the Graphviz-storage baseline (the
+// paper's spg profile), "spn" the same simulator with Neo4j storage.
+// Both accept the config.ini option vocabulary via Options.Params.
+func init() {
+	capture.MustRegister("spade", func(opts capture.Options) (capture.Recorder, error) {
+		return build(opts, false)
+	})
+	capture.MustRegister("spn", func(opts capture.Options) (capture.Recorder, error) {
+		return build(opts, true)
+	})
+}
+
+func build(opts capture.Options, neo4j bool) (capture.Recorder, error) {
+	cfg := DefaultConfig()
+	cfg.Simplify = opts.Bool("simplify", cfg.Simplify)
+	cfg.IORuns = opts.Bool("ioruns", cfg.IORuns)
+	cfg.Versioning = opts.Bool("versioning", cfg.Versioning)
+	cfg.BugRandomEdgeProperty = opts.Bool("bug_random_edge_property", cfg.BugRandomEdgeProperty)
+	cfg.BugIORunsPropertyName = opts.Bool("bug_ioruns_property_name", cfg.BugIORunsPropertyName)
+	reporter, _ := opts.Param("reporter")
+	switch reporter {
+	case "", "audit":
+	case "camflow":
+		cfg.Reporter = ReporterCamFlow
+	default:
+		return nil, fmt.Errorf("spade: unknown reporter %q", reporter)
+	}
+	storage, _ := opts.Param("storage")
+	switch storage {
+	case "", "dot":
+	case "neo4j":
+		neo4j = true
+	default:
+		return nil, fmt.Errorf("spade: unknown storage %q", storage)
+	}
+	if neo4j {
+		cfg = cfg.WithNeo4jStorage(dbOptions(opts))
+	}
+	return New(cfg), nil
+}
+
+func dbOptions(opts capture.Options) neo4jsim.Options {
+	db := neo4jsim.Options{}
+	if opts.Fast {
+		db = neo4jsim.Options{WarmupPages: 1, ScanRoundsPerRow: 1}
+	}
+	db.WarmupPages = opts.Int("warmup_pages", db.WarmupPages)
+	db.ScanRoundsPerRow = opts.Int("scan_rounds", db.ScanRoundsPerRow)
+	return db
+}

@@ -15,10 +15,6 @@ import (
 	"strings"
 
 	"provmark/internal/capture"
-	"provmark/internal/capture/camflow"
-	"provmark/internal/capture/opus"
-	"provmark/internal/capture/spade"
-	"provmark/internal/neo4jsim"
 )
 
 // Profile is one [section] of the configuration file.
@@ -174,78 +170,34 @@ func (c *Config) Build(name string) (capture.Recorder, error) {
 	return p.Build()
 }
 
-// Build instantiates this profile's recorder.
+// Build instantiates this profile's recorder through the capture
+// registry: the profile's stage1tool names the backend, its options
+// pass through as registry params, and the stage2handler maps to the
+// backend's storage selection. Callers must link the backends they
+// want resolvable (import them for side effects).
 func (p Profile) Build() (capture.Recorder, error) {
+	params := make(map[string]string, len(p.Options)+2)
+	for k, v := range p.Options {
+		params[k] = v
+	}
+	params["filtergraphs"] = strconv.FormatBool(p.FilterGraphs)
 	switch p.Stage1Tool {
 	case "spade":
-		cfg := spade.DefaultConfig()
-		if v, ok := p.Options["simplify"]; ok {
-			cfg.Simplify = parseBoolDefault(v, cfg.Simplify)
+		if p.Stage2Handler != "" {
+			params["storage"] = p.Stage2Handler
 		}
-		if v, ok := p.Options["ioruns"]; ok {
-			cfg.IORuns = parseBoolDefault(v, cfg.IORuns)
-		}
-		if v, ok := p.Options["versioning"]; ok {
-			cfg.Versioning = parseBoolDefault(v, cfg.Versioning)
-		}
-		switch p.Options["reporter"] {
-		case "", "audit":
-		case "camflow":
-			cfg.Reporter = spade.ReporterCamFlow
-		default:
-			return nil, fmt.Errorf("profile %s: unknown reporter %q", p.Name, p.Options["reporter"])
-		}
-		switch p.Stage2Handler {
-		case "dot", "":
-		case "neo4j":
-			cfg = cfg.WithNeo4jStorage(dbOptions(p.Options))
-		default:
-			return nil, fmt.Errorf("profile %s: spade cannot emit %q", p.Name, p.Stage2Handler)
-		}
-		return spade.New(cfg), nil
 	case "opus":
 		if p.Stage2Handler != "neo4j" && p.Stage2Handler != "" {
 			return nil, fmt.Errorf("profile %s: opus cannot emit %q", p.Name, p.Stage2Handler)
 		}
-		cfg := opus.DefaultConfig()
-		cfg.DB = dbOptions(p.Options)
-		if v, ok := p.Options["record_reads_writes"]; ok {
-			cfg.RecordReadsWrites = parseBoolDefault(v, cfg.RecordReadsWrites)
-		}
-		return opus.New(cfg), nil
 	case "camflow":
 		if p.Stage2Handler != "prov-json" && p.Stage2Handler != "" {
 			return nil, fmt.Errorf("profile %s: camflow cannot emit %q", p.Name, p.Stage2Handler)
 		}
-		cfg := camflow.DefaultConfig()
-		cfg.FilterGraphs = p.FilterGraphs
-		if v, ok := p.Options["record_denied"]; ok {
-			cfg.RecordDenied = parseBoolDefault(v, cfg.RecordDenied)
-		}
-		return camflow.New(cfg), nil
 	}
-	return nil, fmt.Errorf("profile %s: unknown stage1tool %q", p.Name, p.Stage1Tool)
-}
-
-func parseBoolDefault(s string, def bool) bool {
-	b, err := strconv.ParseBool(s)
+	rec, err := capture.Open(p.Stage1Tool, capture.Options{Params: params})
 	if err != nil {
-		return def
+		return nil, fmt.Errorf("profile %s: %w", p.Name, err)
 	}
-	return b
-}
-
-func dbOptions(opts map[string]string) neo4jsim.Options {
-	out := neo4jsim.Options{}
-	if v, ok := opts["warmup_pages"]; ok {
-		if n, err := strconv.Atoi(v); err == nil {
-			out.WarmupPages = n
-		}
-	}
-	if v, ok := opts["scan_rounds"]; ok {
-		if n, err := strconv.Atoi(v); err == nil {
-			out.ScanRoundsPerRow = n
-		}
-	}
-	return out
+	return rec, nil
 }

@@ -5,6 +5,11 @@ import (
 	"testing"
 
 	"provmark/internal/benchprog"
+
+	// Register the backends profile.Build resolves by name.
+	_ "provmark/internal/capture/camflow"
+	_ "provmark/internal/capture/opus"
+	_ "provmark/internal/capture/spade"
 )
 
 func TestDefaultProfiles(t *testing.T) {

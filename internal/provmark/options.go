@@ -1,0 +1,105 @@
+package provmark
+
+import "time"
+
+// Stage identifies one of the four Figure 3 pipeline stages.
+type Stage int
+
+// Pipeline stages, in execution order.
+const (
+	StageRecording Stage = iota + 1
+	StageTransformation
+	StageGeneralization
+	StageComparison
+)
+
+// String names the stage as the paper does.
+func (s Stage) String() string {
+	switch s {
+	case StageRecording:
+		return "recording"
+	case StageTransformation:
+		return "transformation"
+	case StageGeneralization:
+		return "generalization"
+	case StageComparison:
+		return "comparison"
+	}
+	return "unknown"
+}
+
+// StageEvent is one observer notification: a pipeline stage finished
+// (or failed) for one benchmark under one tool.
+type StageEvent struct {
+	// Benchmark and Tool identify the matrix cell.
+	Benchmark string
+	Tool      string
+	// Stage is the pipeline stage that just completed.
+	Stage Stage
+	// Duration is the stage's wall-clock time.
+	Duration time.Duration
+	// Err is non-nil when the stage failed (the run aborts after a
+	// failed stage, so at most one event per cell carries an error).
+	Err error
+}
+
+// StageObserver receives stage-completion events. Observers are called
+// synchronously from the pipeline goroutine of the cell, so a matrix
+// run with parallel workers invokes the observer concurrently — it
+// must be safe for concurrent use and should return quickly.
+type StageObserver func(StageEvent)
+
+// Option configures a pipeline Runner (and, through Matrix.Pipeline,
+// every cell of a matrix run).
+type Option func(*Config)
+
+// WithTrials sets the number of recording trials per variant; n <= 0
+// selects the recorder's default.
+func WithTrials(n int) Option {
+	return func(c *Config) { c.Trials = n }
+}
+
+// WithParallelism bounds the number of concurrent recording workers
+// within one pipeline run; k <= 1 records sequentially. Each trial
+// runs in its own simulated kernel, so trials are independent;
+// recorders must be safe for concurrent Record calls.
+func WithParallelism(k int) Option {
+	return func(c *Config) { c.Parallelism = k }
+}
+
+// WithFilterGraphs overrides the recorder's default graph-filtering
+// behaviour (the config.ini filtergraphs flag).
+func WithFilterGraphs(filter bool) Option {
+	return func(c *Config) { c.FilterGraphs = &filter }
+}
+
+// WithKeepNative retains the foreground trial-1 native artifact in the
+// result, for callers that want to show raw tool output.
+func WithKeepNative(keep bool) Option {
+	return func(c *Config) { c.KeepNative = keep }
+}
+
+// WithPairExtremes chooses the trial-pair size preference per variant
+// (Section 3.4); zero values mean Smallest.
+func WithPairExtremes(bg, fg Extreme) Option {
+	return func(c *Config) { c.BGPair, c.FGPair = bg, fg }
+}
+
+// WithStageObserver installs a per-stage completion hook; successive
+// calls chain, all installed observers run.
+func WithStageObserver(fn StageObserver) Option {
+	return func(c *Config) {
+		if fn == nil {
+			return
+		}
+		prev := c.Observer
+		if prev == nil {
+			c.Observer = fn
+			return
+		}
+		c.Observer = func(ev StageEvent) {
+			prev(ev)
+			fn(ev)
+		}
+	}
+}

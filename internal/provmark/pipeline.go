@@ -9,6 +9,7 @@
 package provmark
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -32,7 +33,10 @@ const (
 	Largest
 )
 
-// Config controls one pipeline run.
+// Config is the pipeline's internal configuration. Public callers do
+// not build it directly: they pass functional options (WithTrials,
+// WithParallelism, …) to New; the struct remains exported only for
+// the legacy NewRunner constructor kept for internal tests.
 type Config struct {
 	// Trials per variant; zero selects the recorder's default.
 	Trials int
@@ -46,7 +50,16 @@ type Config struct {
 	// simulated kernel, so trials are independent; recorders must be
 	// safe for concurrent Record calls (the built-in ones are, except
 	// CamFlow under SerializeOnce, which mutates cross-session state).
+	// Legacy flag: when set with Parallelism zero, every trial gets its
+	// own goroutine.
 	Parallel bool
+	// Parallelism bounds the number of concurrent recording workers;
+	// values <= 1 record sequentially (unless the legacy Parallel flag
+	// asks for one goroutine per trial).
+	Parallelism int
+	// Observer, when non-nil, receives a StageEvent as each pipeline
+	// stage completes.
+	Observer StageObserver
 	// BGPair / FGPair choose the trial-pair size preference per variant
 	// (zero values mean Smallest). Section 3.4: picking the largest
 	// background with the smallest foreground fails when the extra
@@ -110,17 +123,58 @@ var ErrInconsistentTrials = errors.New("provmark: no two consistent trial graphs
 
 // Runner binds a recorder to a pipeline configuration.
 type Runner struct {
-	rec capture.Recorder
+	rec capture.RecorderContext
 	cfg Config
 }
 
-// NewRunner builds a pipeline runner.
-func NewRunner(rec capture.Recorder, cfg Config) *Runner {
+// New builds a pipeline runner for a recorder, configured by
+// functional options:
+//
+//	runner := provmark.New(rec, provmark.WithTrials(4), provmark.WithParallelism(2))
+//	res, err := runner.RunContext(ctx, prog)
+func New(rec capture.Recorder, opts ...Option) *Runner {
+	return NewContext(capture.WithContext(rec), opts...)
+}
+
+// NewContext is New for a natively context-aware recorder.
+func NewContext(rec capture.RecorderContext, opts ...Option) *Runner {
+	cfg := Config{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	return &Runner{rec: rec, cfg: cfg}
+}
+
+// NewRunner builds a pipeline runner from a raw Config. Legacy
+// constructor kept for internal tests; new call sites use New with
+// functional options.
+func NewRunner(rec capture.Recorder, cfg Config) *Runner {
+	return &Runner{rec: capture.WithContext(rec), cfg: cfg}
+}
+
+// observe reports a completed (or failed) stage to the observer.
+func (r *Runner) observe(prog benchprog.Program, s Stage, d time.Duration, err error) {
+	if r.cfg.Observer == nil {
+		return
+	}
+	r.cfg.Observer(StageEvent{
+		Benchmark: prog.Name,
+		Tool:      r.rec.Name(),
+		Stage:     s,
+		Duration:  d,
+		Err:       err,
+	})
 }
 
 // Run benchmarks one program: the full Figure 3 pipeline.
 func (r *Runner) Run(prog benchprog.Program) (*Result, error) {
+	return r.RunContext(context.Background(), prog)
+}
+
+// RunContext benchmarks one program, honoring ctx: cancellation or
+// deadline expiry aborts the run between trials (and within a trial
+// for context-aware recorders) with ctx's error.
+func (r *Runner) RunContext(ctx context.Context, prog benchprog.Program) (*Result, error) {
 	res := &Result{Benchmark: prog.Name, Tool: r.rec.Name()}
 	trials := r.cfg.Trials
 	if trials <= 0 {
@@ -130,73 +184,129 @@ func (r *Runner) Run(prog benchprog.Program) (*Result, error) {
 
 	// Stage 1: recording.
 	start := time.Now()
-	bgNative, err := r.record(prog, benchprog.Background, trials)
-	if err != nil {
-		return nil, err
+	bgNative, err := r.record(ctx, prog, benchprog.Background, trials)
+	if err == nil {
+		var fgNative []capture.Native
+		fgNative, err = r.record(ctx, prog, benchprog.Foreground, trials)
+		if err == nil {
+			res.Times.Recording = time.Since(start)
+			r.observe(prog, StageRecording, res.Times.Recording, nil)
+			if r.cfg.KeepNative && len(fgNative) > 0 {
+				res.FGNative = fgNative[0]
+			}
+			return r.finish(ctx, prog, res, bgNative, fgNative)
+		}
 	}
-	fgNative, err := r.record(prog, benchprog.Foreground, trials)
-	if err != nil {
-		return nil, err
-	}
-	res.Times.Recording = time.Since(start)
-	if r.cfg.KeepNative && len(fgNative) > 0 {
-		res.FGNative = fgNative[0]
-	}
+	r.observe(prog, StageRecording, time.Since(start), err)
+	return nil, err
+}
 
+// finish runs stages 2–4 on recorded natives.
+func (r *Runner) finish(ctx context.Context, prog benchprog.Program, res *Result, bgNative, fgNative []capture.Native) (*Result, error) {
 	// Stage 2: transformation.
-	start = time.Now()
-	bgGraphs, err := r.transform(bgNative)
-	if err != nil {
-		return nil, err
+	start := time.Now()
+	bgGraphs, err := r.transform(ctx, bgNative)
+	if err == nil {
+		var fgGraphs []*graph.Graph
+		fgGraphs, err = r.transform(ctx, fgNative)
+		if err == nil {
+			res.Times.Transformation = time.Since(start)
+			r.observe(prog, StageTransformation, res.Times.Transformation, nil)
+			return r.generalizeAndCompare(prog, res, bgGraphs, fgGraphs)
+		}
 	}
-	fgGraphs, err := r.transform(fgNative)
-	if err != nil {
-		return nil, err
-	}
-	res.Times.Transformation = time.Since(start)
+	r.observe(prog, StageTransformation, time.Since(start), err)
+	return nil, err
+}
 
+// generalizeAndCompare runs stages 3 and 4.
+func (r *Runner) generalizeAndCompare(prog benchprog.Program, res *Result, bgGraphs, fgGraphs []*graph.Graph) (*Result, error) {
 	// Stage 3: generalization.
-	start = time.Now()
+	start := time.Now()
 	bg, err := r.generalize(bgGraphs, orSmallest(r.cfg.BGPair))
 	if err != nil {
-		return nil, fmt.Errorf("%w (bg of %s)", err, prog.Name)
+		err = fmt.Errorf("%w (bg of %s)", err, prog.Name)
+		r.observe(prog, StageGeneralization, time.Since(start), err)
+		return nil, err
 	}
 	fg, err := r.generalize(fgGraphs, orSmallest(r.cfg.FGPair))
 	if err != nil {
-		return nil, fmt.Errorf("%w (fg of %s)", err, prog.Name)
+		err = fmt.Errorf("%w (fg of %s)", err, prog.Name)
+		r.observe(prog, StageGeneralization, time.Since(start), err)
+		return nil, err
 	}
 	res.Times.Generalization = time.Since(start)
+	r.observe(prog, StageGeneralization, res.Times.Generalization, nil)
 	res.BG, res.FG = bg, fg
 
 	// Stage 4: comparison.
 	start = time.Now()
 	r.compare(res)
 	res.Times.Comparison = time.Since(start)
+	r.observe(prog, StageComparison, res.Times.Comparison, nil)
 	return res, nil
 }
 
-func (r *Runner) record(prog benchprog.Program, v benchprog.Variant, trials int) ([]capture.Native, error) {
+// workers resolves the recording concurrency for a trial count.
+func (r *Runner) workers(trials int) int {
+	w := r.cfg.Parallelism
+	if w <= 0 && r.cfg.Parallel {
+		w = trials // legacy flag: one goroutine per trial
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > trials {
+		w = trials
+	}
+	return w
+}
+
+func (r *Runner) record(ctx context.Context, prog benchprog.Program, v benchprog.Variant, trials int) ([]capture.Native, error) {
 	out := make([]capture.Native, trials)
-	if !r.cfg.Parallel {
-		for t := 0; t < trials; t++ {
-			n, err := r.rec.Record(prog, v, t)
-			if err != nil {
-				return nil, fmt.Errorf("provmark: recording: %w", err)
-			}
-			out[t] = n
-		}
-		return out, nil
+	if workers := r.workers(trials); workers > 1 {
+		return r.recordParallel(ctx, prog, v, out, workers)
 	}
-	errs := make([]error, trials)
-	var wg sync.WaitGroup
 	for t := 0; t < trials; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			out[t], errs[t] = r.rec.Record(prog, v, t)
-		}(t)
+		n, err := r.rec.Record(ctx, prog, v, t)
+		if err != nil {
+			return nil, fmt.Errorf("provmark: recording: %w", err)
+		}
+		out[t] = n
 	}
+	return out, nil
+}
+
+// recordParallel fans trials out over a bounded worker pool. A
+// cancelled context stops workers from claiming further trials; the
+// context-aware recorder aborts the trials already claimed.
+func (r *Runner) recordParallel(ctx context.Context, prog benchprog.Program, v benchprog.Variant, out []capture.Native, workers int) ([]capture.Native, error) {
+	trials := len(out)
+	errs := make([]error, trials)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				out[t], errs[t] = r.rec.Record(ctx, prog, v, t)
+			}
+		}()
+	}
+feed:
+	for t := 0; t < trials; t++ {
+		select {
+		case next <- t:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("provmark: recording: %w", err)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("provmark: recording: %w", err)
@@ -205,9 +315,12 @@ func (r *Runner) record(prog benchprog.Program, v benchprog.Variant, trials int)
 	return out, nil
 }
 
-func (r *Runner) transform(natives []capture.Native) ([]*graph.Graph, error) {
+func (r *Runner) transform(ctx context.Context, natives []capture.Native) ([]*graph.Graph, error) {
 	out := make([]*graph.Graph, 0, len(natives))
 	for _, n := range natives {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("provmark: transformation: %w", err)
+		}
 		g, err := r.rec.Transform(n)
 		if err != nil {
 			return nil, fmt.Errorf("provmark: transformation: %w", err)
@@ -234,8 +347,11 @@ func (r *Runner) generalize(trials []*graph.Graph, extreme Extreme) (*graph.Grap
 		filter = *r.cfg.FilterGraphs
 	}
 	if filter {
-		if c, ok := r.rec.(capture.Complete); ok {
-			kept := trials[:0]
+		if c, ok := capture.AsComplete(r.rec); ok {
+			// Filter into a fresh slice: reusing the caller's backing
+			// array (trials[:0]) would overwrite graphs the caller may
+			// still hold.
+			kept := make([]*graph.Graph, 0, len(trials))
 			for _, g := range trials {
 				if c.CompleteGraph(g) {
 					kept = append(kept, g)
