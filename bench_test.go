@@ -16,6 +16,7 @@ import (
 	"context"
 	"testing"
 
+	"provmark/internal/asp"
 	"provmark/internal/bench"
 	"provmark/internal/benchprog"
 	"provmark/internal/capture"
@@ -227,6 +228,46 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSimilarityEngineMatrix measures what the classification
+// engine costs a full matrix run: the (3 tools × 5 timing syscalls)
+// grid with per-run ASP solver invocations and fingerprint
+// computations reported alongside wall-clock time. The Matrix runner
+// injects one shared classifier per run, so within-run fingerprint and
+// verdict reuse shows up directly in these metrics.
+func BenchmarkSimilarityEngineMatrix(b *testing.B) {
+	progs := make([]benchprog.Program, 0, len(bench.TimingSyscalls))
+	for _, sc := range bench.TimingSyscalls {
+		prog, ok := benchprog.ByName(sc)
+		if !ok {
+			b.Fatalf("unknown benchmark %q", sc)
+		}
+		progs = append(progs, prog)
+	}
+	m := provmark.Matrix{
+		Tools:      []string{"spade", "opus", "camflow"},
+		Capture:    capture.Options{Fast: true},
+		Benchmarks: progs,
+		Workers:    4,
+	}
+	startSolves := asp.SolveInvocations()
+	startPrints := graph.FingerprintComputations()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells, err := m.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cell := range cells {
+			if cell.Err != nil {
+				b.Fatal(cell.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(asp.SolveInvocations()-startSolves)/float64(b.N), "solves/op")
+	b.ReportMetric(float64(graph.FingerprintComputations()-startPrints)/float64(b.N), "fingerprints/op")
 }
 
 // BenchmarkMatrixFanout measures the streaming matrix runner over the

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // AtomID indexes an atom within a Problem.
@@ -95,6 +96,16 @@ func (p *Problem) NumGroups() int { return len(p.groups) }
 
 // ErrUnsat is returned when no model exists.
 var ErrUnsat = errors.New("asp: unsatisfiable")
+
+// solveInvocations counts Solve/SolveMin searches process-wide; see
+// SolveInvocations.
+var solveInvocations atomic.Uint64
+
+// SolveInvocations reports the process-wide number of Solve/SolveMin
+// searches started since process start. Benchmarks and instrumented
+// tests diff this counter to measure how many solver calls a
+// classification strategy avoids.
+func SolveInvocations() uint64 { return solveInvocations.Load() }
 
 // Solution maps each group index to the selected atom.
 type Solution struct {
@@ -192,6 +203,7 @@ type state struct {
 }
 
 func (p *Problem) solve(optimize bool) (*Solution, error) {
+	solveInvocations.Add(1)
 	s := &state{
 		p:        p,
 		alive:    make([]bool, len(p.atoms)),

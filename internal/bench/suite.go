@@ -28,6 +28,11 @@ type Suite struct {
 	// undistorted by CPU contention; matrix-style validation runs can
 	// raise it.
 	Workers int
+	// classifier is the suite-lifetime similarity classification
+	// engine, shared across every experiment the suite runs so
+	// re-classification of retained graphs answers from its verdict
+	// cache (the cache is size-bounded, so suite lifetime is safe).
+	classifier *provmark.Classifier
 }
 
 // NewSuite builds the baseline suite. fast substitutes cheap storage
@@ -35,7 +40,11 @@ type Suite struct {
 // and benchmarks use fast=false to reproduce the timing shapes of
 // Figures 5–10.
 func NewSuite(fast bool) *Suite {
-	s := &Suite{recorders: map[string]capture.Recorder{}, Workers: 1}
+	s := &Suite{
+		recorders:  map[string]capture.Recorder{},
+		Workers:    1,
+		classifier: provmark.NewClassifier(),
+	}
 	opts := capture.Options{Fast: fast}
 	// spn: SPADE with Neo4j storage, the paper CLI's second SPADE
 	// profile. Not part of the Table 2 tool columns.
@@ -69,7 +78,7 @@ func (s *Suite) matrix(recs []capture.Recorder, progs []benchprog.Program, opts 
 		Recorders:  recs,
 		Benchmarks: progs,
 		Workers:    workers,
-		Pipeline:   opts,
+		Pipeline:   append([]provmark.Option{provmark.WithClassifier(s.classifier)}, opts...),
 	}
 	cells, err := m.Run(context.Background())
 	if err != nil {
@@ -106,7 +115,7 @@ func (s *Suite) Run(tool, benchName string) (*provmark.Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown benchmark %q", benchName)
 	}
-	return provmark.New(rec).RunContext(context.Background(), prog)
+	return provmark.New(rec, provmark.WithClassifier(s.classifier)).RunContext(context.Background(), prog)
 }
 
 // RunProgram benchmarks an arbitrary program (scalability, failure
@@ -116,7 +125,7 @@ func (s *Suite) RunProgram(tool string, prog benchprog.Program) (*provmark.Resul
 	if err != nil {
 		return nil, err
 	}
-	return provmark.New(rec).RunContext(context.Background(), prog)
+	return provmark.New(rec, provmark.WithClassifier(s.classifier)).RunContext(context.Background(), prog)
 }
 
 // Table2Row is the outcome of one syscall across all tools.

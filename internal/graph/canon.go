@@ -6,7 +6,23 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
+
+// CanonRounds is the refinement depth used by the canonical fingerprint
+// and by the matching engines' colour pruning. The memoized canonCache
+// stores colours at exactly this depth.
+const CanonRounds = 3
+
+// fingerprintComputes counts actual (cache-missing) fingerprint
+// computations process-wide; see FingerprintComputations.
+var fingerprintComputes atomic.Uint64
+
+// FingerprintComputations reports how many times a shape fingerprint
+// has actually been computed (cache misses only) since process start.
+// Instrumented tests and benchmarks diff this counter to prove each
+// trial graph is fingerprinted at most once per pipeline run.
+func FingerprintComputations() uint64 { return fingerprintComputes.Load() }
 
 // ShapeFingerprint returns a hash that is invariant under renaming of
 // node and edge identifiers and under property values, but sensitive to
@@ -15,8 +31,28 @@ import (
 // refinement). Two graphs with different fingerprints are guaranteed not
 // to be similar in the sense of Section 3.4; equal fingerprints are a
 // fast necessary condition checked before running the full solver.
-func ShapeFingerprint(g *Graph) string {
-	colors := wlColors(g, 3)
+//
+// The result is memoized on the graph and recomputed only after a
+// structural mutation, so repeated classification passes fingerprint
+// each graph exactly once.
+func ShapeFingerprint(g *Graph) string { return g.Fingerprint() }
+
+// Fingerprint is ShapeFingerprint as a method; it serves the memoized
+// value when the graph is structurally unchanged. It is safe for
+// concurrent use provided no goroutine mutates the graph concurrently.
+func (g *Graph) Fingerprint() string {
+	g.canon.mu.Lock()
+	defer g.canon.mu.Unlock()
+	g.ensureCanonLocked()
+	return g.canon.fp
+}
+
+// ensureCanonLocked fills the canonical cache; callers hold canon.mu.
+func (g *Graph) ensureCanonLocked() {
+	if g.canon.valid {
+		return
+	}
+	colors := wlColors(g, CanonRounds)
 	items := make([]string, 0, g.NumNodes()+g.NumEdges())
 	for _, n := range g.Nodes() {
 		items = append(items, "N:"+colors[n.ID])
@@ -26,12 +62,16 @@ func ShapeFingerprint(g *Graph) string {
 	}
 	sort.Strings(items)
 	sum := sha256.Sum256([]byte(strings.Join(items, "\n")))
-	return hex.EncodeToString(sum[:8])
+	g.canon.fp = hex.EncodeToString(sum[:8])
+	g.canon.colors = colors
+	g.canon.valid = true
+	fingerprintComputes.Add(1)
 }
 
 // wlColors runs `rounds` of Weisfeiler–Leman colour refinement over the
 // node set, seeding each node with its label. The returned map assigns a
-// colour string to every node id.
+// colour string to every node id. Each round visits only the edges
+// incident to a node via the graph's adjacency index.
 func wlColors(g *Graph, rounds int) map[ElemID]string {
 	colors := make(map[ElemID]string, g.NumNodes())
 	for _, n := range g.Nodes() {
@@ -40,14 +80,15 @@ func wlColors(g *Graph, rounds int) map[ElemID]string {
 	for r := 0; r < rounds; r++ {
 		next := make(map[ElemID]string, len(colors))
 		for _, n := range g.Nodes() {
-			var in, out []string
-			for _, e := range g.Edges() {
-				if e.Tgt == n.ID {
-					in = append(in, e.Label+"<"+colors[e.Src])
-				}
-				if e.Src == n.ID {
-					out = append(out, e.Label+">"+colors[e.Tgt])
-				}
+			in := make([]string, 0, len(g.inAdj[n.ID]))
+			for _, eid := range g.inAdj[n.ID] {
+				e := g.edges[eid]
+				in = append(in, e.Label+"<"+colors[e.Src])
+			}
+			out := make([]string, 0, len(g.outAdj[n.ID]))
+			for _, eid := range g.outAdj[n.ID] {
+				e := g.edges[eid]
+				out = append(out, e.Label+">"+colors[e.Tgt])
 			}
 			sort.Strings(in)
 			sort.Strings(out)
@@ -62,8 +103,23 @@ func wlColors(g *Graph, rounds int) map[ElemID]string {
 
 // WLColors exposes the refinement used by ShapeFingerprint so that
 // matching engines can prune candidate pairs: nodes mapped to each other
-// by any label-preserving isomorphism necessarily share a WL colour.
-func WLColors(g *Graph, rounds int) map[ElemID]string { return wlColors(g, rounds) }
+// by any label-preserving isomorphism necessarily share a WL colour. At
+// the canonical depth the colours come from the graph's memoized cache;
+// the returned map is a copy the caller may retain.
+func WLColors(g *Graph, rounds int) map[ElemID]string {
+	if rounds != CanonRounds {
+		return wlColors(g, rounds)
+	}
+	g.canon.mu.Lock()
+	g.ensureCanonLocked()
+	cached := g.canon.colors
+	g.canon.mu.Unlock()
+	out := make(map[ElemID]string, len(cached))
+	for k, v := range cached {
+		out[k] = v
+	}
+	return out
+}
 
 // LabelCounts returns the multiset of node and edge labels, a cheap
 // invariant used to discard non-similar trial pairs before solving.

@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkWLColors measures one full refinement (the fingerprint's
+// inner loop) at increasing graph sizes. The adjacency-indexed
+// implementation visits only incident edges per node per round; the
+// seed implementation rescanned the entire edge list for every node.
+func BenchmarkWLColors(b *testing.B) {
+	for _, size := range []int{16, 64, 256, 1024} {
+		rng := rand.New(rand.NewSource(int64(size)))
+		g := randomGraph(rng, size, 2*size)
+		b.Run(fmt.Sprintf("n%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				wlColors(g, 3)
+			}
+		})
+	}
+}
+
+// BenchmarkShapeFingerprint contrasts a cold fingerprint computation
+// with the memoized path a pipeline run takes after classification has
+// warmed the cache.
+func BenchmarkShapeFingerprint(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	b.Run("cold", func(b *testing.B) {
+		g := randomGraph(rng, 128, 256)
+		for i := 0; i < b.N; i++ {
+			g.invalidateCanon()
+			ShapeFingerprint(g)
+		}
+	})
+	b.Run("memoized", func(b *testing.B) {
+		g := randomGraph(rng, 128, 256)
+		ShapeFingerprint(g)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ShapeFingerprint(g)
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // ElemID identifies a node or an edge within one graph. Node and edge
@@ -48,14 +49,46 @@ type Graph struct {
 	edgeIDs  []ElemID // insertion order
 	nextNode int
 	nextEdge int
+	// outAdj / inAdj index incident edge ids per node, in insertion
+	// order, so neighbourhood scans (WL refinement, degree checks) do
+	// not traverse the full edge list.
+	outAdj map[ElemID][]ElemID
+	inAdj  map[ElemID][]ElemID
+	canon  canonCache
+}
+
+// canonCache memoizes the canonical WL refinement of the graph: the
+// round-`canonRounds` colours and the shape fingerprint derived from
+// them. It is invalidated on every structural mutation (node/edge
+// insertion or removal). Property edits do not invalidate it — the
+// fingerprint is property-insensitive by design. Mutating labels
+// directly through pointers returned by Node/Nodes bypasses the cache;
+// all in-tree code mutates labels only before first fingerprint use.
+type canonCache struct {
+	mu     sync.Mutex
+	valid  bool
+	fp     string
+	colors map[ElemID]string
 }
 
 // New returns an empty property graph.
 func New() *Graph {
 	return &Graph{
-		nodes: make(map[ElemID]*Node),
-		edges: make(map[ElemID]*Edge),
+		nodes:  make(map[ElemID]*Node),
+		edges:  make(map[ElemID]*Edge),
+		outAdj: make(map[ElemID][]ElemID),
+		inAdj:  make(map[ElemID][]ElemID),
 	}
+}
+
+// invalidateCanon drops the memoized canonical refinement after a
+// structural mutation.
+func (g *Graph) invalidateCanon() {
+	g.canon.mu.Lock()
+	g.canon.valid = false
+	g.canon.fp = ""
+	g.canon.colors = nil
+	g.canon.mu.Unlock()
 }
 
 // AddNode appends a node with a fresh identifier and returns its ID.
@@ -83,6 +116,7 @@ func (g *Graph) InsertNode(id ElemID, label string, props Properties) error {
 func (g *Graph) insertNode(n *Node) {
 	g.nodes[n.ID] = n
 	g.nodeIDs = append(g.nodeIDs, n.ID)
+	g.invalidateCanon()
 }
 
 // AddEdge appends an edge with a fresh identifier from src to tgt and
@@ -122,6 +156,9 @@ func (g *Graph) InsertEdge(id, src, tgt ElemID, label string, props Properties) 
 func (g *Graph) insertEdge(e *Edge) {
 	g.edges[e.ID] = e
 	g.edgeIDs = append(g.edgeIDs, e.ID)
+	g.outAdj[e.Src] = append(g.outAdj[e.Src], e.ID)
+	g.inAdj[e.Tgt] = append(g.inAdj[e.Tgt], e.ID)
+	g.invalidateCanon()
 }
 
 // SetProp sets property key=value on the node or edge with the given id.
@@ -206,48 +243,47 @@ func (g *Graph) Clone() *Graph {
 
 // InEdges returns the edges whose target is id, in insertion order.
 func (g *Graph) InEdges(id ElemID) []*Edge {
-	var out []*Edge
-	for _, eid := range g.edgeIDs {
-		if e := g.edges[eid]; e.Tgt == id {
-			out = append(out, e)
-		}
+	ids := g.inAdj[id]
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]*Edge, len(ids))
+	for i, eid := range ids {
+		out[i] = g.edges[eid]
 	}
 	return out
 }
 
 // OutEdges returns the edges whose source is id, in insertion order.
 func (g *Graph) OutEdges(id ElemID) []*Edge {
-	var out []*Edge
-	for _, eid := range g.edgeIDs {
-		if e := g.edges[eid]; e.Src == id {
-			out = append(out, e)
-		}
+	ids := g.outAdj[id]
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]*Edge, len(ids))
+	for i, eid := range ids {
+		out[i] = g.edges[eid]
 	}
 	return out
 }
 
-// Degree returns in-degree plus out-degree of a node.
+// Degree returns in-degree plus out-degree of a node (self-loops count
+// twice).
 func (g *Graph) Degree(id ElemID) int {
-	d := 0
-	for _, eid := range g.edgeIDs {
-		e := g.edges[eid]
-		if e.Src == id {
-			d++
-		}
-		if e.Tgt == id {
-			d++
-		}
-	}
-	return d
+	return len(g.inAdj[id]) + len(g.outAdj[id])
 }
 
 // RemoveEdge deletes an edge. It is a no-op for unknown ids.
 func (g *Graph) RemoveEdge(id ElemID) {
-	if g.edges[id] == nil {
+	e := g.edges[id]
+	if e == nil {
 		return
 	}
 	delete(g.edges, id)
 	g.edgeIDs = deleteID(g.edgeIDs, id)
+	g.outAdj[e.Src] = deleteID(g.outAdj[e.Src], id)
+	g.inAdj[e.Tgt] = deleteID(g.inAdj[e.Tgt], id)
+	g.invalidateCanon()
 }
 
 // RemoveNode deletes a node and all edges incident to it.
@@ -255,13 +291,17 @@ func (g *Graph) RemoveNode(id ElemID) {
 	if g.nodes[id] == nil {
 		return
 	}
-	for _, e := range g.Edges() {
-		if e.Src == id || e.Tgt == id {
-			g.RemoveEdge(e.ID)
-		}
+	incident := make([]ElemID, 0, len(g.outAdj[id])+len(g.inAdj[id]))
+	incident = append(incident, g.outAdj[id]...)
+	incident = append(incident, g.inAdj[id]...)
+	for _, eid := range incident {
+		g.RemoveEdge(eid)
 	}
+	delete(g.outAdj, id)
+	delete(g.inAdj, id)
 	delete(g.nodes, id)
 	g.nodeIDs = deleteID(g.nodeIDs, id)
+	g.invalidateCanon()
 }
 
 func deleteID(ids []ElemID, id ElemID) []ElemID {

@@ -17,8 +17,8 @@ func SimilarDirect(g1, g2 *graph.Graph) (Mapping, bool) {
 	if !graph.SameLabelCounts(g1, g2) {
 		return nil, false
 	}
-	c1 := graph.WLColors(g1, 3)
-	c2 := graph.WLColors(g2, 3)
+	c1 := graph.WLColors(g1, graph.CanonRounds)
+	c2 := graph.WLColors(g2, graph.CanonRounds)
 
 	// Candidate sets per G1 node, ordered smallest-first for fail-fast.
 	nodes1 := g1.Nodes()

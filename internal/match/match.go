@@ -12,6 +12,19 @@
 //     graph into the foreground graph minimizing mismatched properties;
 //   - Subtract: removes the embedded background from the foreground,
 //     retaining dummy nodes for pre-existing endpoints of result edges.
+//
+// # Fingerprint-then-confirm contract
+//
+// Similar consults graph.ShapeFingerprint before any search. The
+// fingerprint check is a necessary-condition filter only: unequal
+// fingerprints prove non-similarity, but equal fingerprints never
+// certify similarity — a confirming engine always has the final word.
+// The confirmer is the forced-mapping verifier when the WL refinement
+// is discrete on both graphs (the colour-respecting candidate mapping
+// is unique, so an O(V+E) verification decides the pair without any
+// search), and otherwise the ASP solver. SimilarASP and SimilarDirect
+// are confirmation engines that bypass the fingerprint filter entirely;
+// the differential test harness asserts all decision paths agree.
 package match
 
 import (
@@ -52,17 +65,45 @@ func (enc *encoding) decode(sol *asp.Solution) Mapping {
 }
 
 // Similar reports whether g1 and g2 are similar (same shape and labels,
-// properties ignored) and returns a witnessing isomorphism.
+// properties ignored) and returns a witnessing isomorphism. It is the
+// production decision path: cheap invariants first (counts, label
+// multisets, memoized shape fingerprints — necessary conditions only),
+// then the forced-mapping verifier when the WL colouring is discrete,
+// and the ASP solver only when symmetry leaves a genuine choice.
 func Similar(g1, g2 *graph.Graph) (Mapping, bool) {
-	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+	if !sameShape(g1, g2) {
 		return nil, false
 	}
-	if !graph.SameLabelCounts(g1, g2) {
+	if g1.Fingerprint() != g2.Fingerprint() {
 		return nil, false
 	}
-	if graph.ShapeFingerprint(g1) != graph.ShapeFingerprint(g2) {
+	if m, ok, decided := similarForced(g1, g2); decided {
+		return m, ok
+	}
+	return solveIso(g1, g2)
+}
+
+// SimilarASP decides similarity purely through the ASP solver (after
+// the trivially sound count/label prechecks). It never consults shape
+// fingerprints, making it an independent oracle for the differential
+// harness and the faithful reproduction of the paper's clingo path.
+func SimilarASP(g1, g2 *graph.Graph) (Mapping, bool) {
+	if !sameShape(g1, g2) {
 		return nil, false
 	}
+	return solveIso(g1, g2)
+}
+
+// sameShape checks the trivially sound similarity preconditions:
+// element counts and label multisets.
+func sameShape(g1, g2 *graph.Graph) bool {
+	return g1.NumNodes() == g2.NumNodes() &&
+		g1.NumEdges() == g2.NumEdges() &&
+		graph.SameLabelCounts(g1, g2)
+}
+
+// solveIso grounds Listing 3 and runs the ASP solver.
+func solveIso(g1, g2 *graph.Graph) (Mapping, bool) {
 	enc, err := encodeIso(g1, g2, nil)
 	if err != nil {
 		return nil, false
@@ -224,8 +265,8 @@ func keepCommonProps(out *graph.Graph, id graph.ElemID, mine, theirs graph.Prope
 // WL-colour pruning is sound here: any label-preserving isomorphism maps
 // nodes to nodes of the same refined colour.
 func encodeIso(g1, g2 *graph.Graph, wf weightFunc) (*encoding, error) {
-	c1 := graph.WLColors(g1, 3)
-	c2 := graph.WLColors(g2, 3)
+	c1 := graph.WLColors(g1, graph.CanonRounds)
+	c2 := graph.WLColors(g2, graph.CanonRounds)
 	p := asp.NewProblem()
 	enc := &encoding{problem: p}
 

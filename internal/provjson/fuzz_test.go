@@ -1,0 +1,35 @@
+package provjson
+
+import (
+	"testing"
+
+	"provmark/internal/graph"
+)
+
+// FuzzProvJSONRoundTrip checks that any PROV-JSON document the parser
+// accepts survives a Marshal/Unmarshal round trip unchanged: the graph
+// model loses no information the parser captured, and Marshal never
+// emits output the parser rejects.
+func FuzzProvJSONRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"entity":{"e1":{"prov:type":"file"}},"activity":{"a1":{}},"used":{"u1":{"prov:activity":"a1","prov:entity":"e1","ts":"3"}}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"agent":{"g":{}},"custom":{"c":{"prov:from":"g","prov:to":"g","weight":"2"}}}`))
+	f.Add([]byte(`{"entity":{"a":{},"b":{}},"wasDerivedFrom":{"d":{"prov:generatedEntity":"a","prov:usedEntity":"b"}}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g1, err := Unmarshal(data)
+		if err != nil {
+			t.Skip() // not a parseable document
+		}
+		out, err := Marshal(g1)
+		if err != nil {
+			t.Fatalf("marshal of parsed graph failed: %v\ninput: %s", err, data)
+		}
+		g2, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-parse of marshalled output failed: %v\noutput: %s", err, out)
+		}
+		if !graph.Equal(g1, g2) {
+			t.Fatalf("round trip changed the graph:\nbefore:\n%s\nafter:\n%s\nserialized:\n%s", g1, g2, out)
+		}
+	})
+}

@@ -104,6 +104,13 @@ func (m Matrix) Stream(ctx context.Context) (<-chan MatrixResult, error) {
 		workers = total
 	}
 
+	// Every cell of the run shares one classification engine; callers
+	// that re-run a matrix over retained graphs reuse its verdicts. A
+	// WithClassifier in m.Pipeline (applied later) wins.
+	pipeline := make([]Option, 0, len(m.Pipeline)+1)
+	pipeline = append(pipeline, WithClassifier(NewClassifier()))
+	pipeline = append(pipeline, m.Pipeline...)
+
 	out := make(chan MatrixResult)
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -114,7 +121,7 @@ func (m Matrix) Stream(ctx context.Context) (<-chan MatrixResult, error) {
 			for i := range next {
 				rec := recs[i/len(m.Benchmarks)]
 				prog := m.Benchmarks[i%len(m.Benchmarks)]
-				res, err := NewContext(rec, m.Pipeline...).RunContext(ctx, prog)
+				res, err := NewContext(rec, pipeline...).RunContext(ctx, prog)
 				cell := MatrixResult{
 					Index:     i,
 					Tool:      rec.Name(),

@@ -11,7 +11,19 @@ const (
 	StageTransformation
 	StageGeneralization
 	StageComparison
+	// StageClassification is the similarity-classification sub-step of
+	// the generalization stage (appended after the paper's four stages
+	// so existing stage numbering is stable). Its durations are already
+	// included in the StageGeneralization totals; observers that sum
+	// stages must skip sub-stages (see Substage).
+	StageClassification
 )
+
+// Substage reports whether the stage is a sub-step whose duration is
+// contained in a top-level stage's event. Observers summing stage
+// durations to a pipeline total must skip sub-stage events or the
+// contained time is double-counted.
+func (s Stage) Substage() bool { return s == StageClassification }
 
 // String names the stage as the paper does.
 func (s Stage) String() string {
@@ -24,6 +36,8 @@ func (s Stage) String() string {
 		return "generalization"
 	case StageComparison:
 		return "comparison"
+	case StageClassification:
+		return "classification"
 	}
 	return "unknown"
 }
@@ -83,6 +97,19 @@ func WithKeepNative(keep bool) Option {
 // (Section 3.4); zero values mean Smallest.
 func WithPairExtremes(bg, fg Extreme) Option {
 	return func(c *Config) { c.BGPair, c.FGPair = bg, fg }
+}
+
+// WithClassifier installs a shared similarity classification engine.
+// Runners created with the same engine reuse fingerprint work and
+// pairwise similarity verdicts; the Matrix runner injects one engine
+// across all cells of a run. A nil engine is ignored (each runner then
+// gets a private one).
+func WithClassifier(c *Classifier) Option {
+	return func(cfg *Config) {
+		if c != nil {
+			cfg.Classifier = c
+		}
+	}
 }
 
 // WithStageObserver installs a per-stage completion hook; successive

@@ -67,6 +67,11 @@ type Config struct {
 	// mix leaks extra structure into the result. Exposed for the
 	// ablation benchmarks.
 	BGPair, FGPair Extreme
+	// Classifier is the similarity classification engine used by the
+	// generalization stage. Nil gets a private engine per runner; the
+	// Matrix runner injects one shared engine so pairwise verdicts and
+	// fingerprint work are reused across cells.
+	Classifier *Classifier
 }
 
 // StageTimes records per-stage wall-clock durations (Figures 5–10).
@@ -125,6 +130,7 @@ var ErrInconsistentTrials = errors.New("provmark: no two consistent trial graphs
 type Runner struct {
 	rec capture.RecorderContext
 	cfg Config
+	cls *Classifier
 }
 
 // New builds a pipeline runner for a recorder, configured by
@@ -142,14 +148,21 @@ func NewContext(rec capture.RecorderContext, opts ...Option) *Runner {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	return &Runner{rec: rec, cfg: cfg}
+	return &Runner{rec: rec, cfg: cfg, cls: orNewClassifier(cfg.Classifier)}
 }
 
 // NewRunner builds a pipeline runner from a raw Config. Legacy
 // constructor kept for internal tests; new call sites use New with
 // functional options.
 func NewRunner(rec capture.Recorder, cfg Config) *Runner {
-	return &Runner{rec: capture.WithContext(rec), cfg: cfg}
+	return &Runner{rec: capture.WithContext(rec), cfg: cfg, cls: orNewClassifier(cfg.Classifier)}
+}
+
+func orNewClassifier(c *Classifier) *Classifier {
+	if c == nil {
+		return NewClassifier()
+	}
+	return c
 }
 
 // observe reports a completed (or failed) stage to the observer.
@@ -223,13 +236,13 @@ func (r *Runner) finish(ctx context.Context, prog benchprog.Program, res *Result
 func (r *Runner) generalizeAndCompare(prog benchprog.Program, res *Result, bgGraphs, fgGraphs []*graph.Graph) (*Result, error) {
 	// Stage 3: generalization.
 	start := time.Now()
-	bg, err := r.generalize(bgGraphs, orSmallest(r.cfg.BGPair))
+	bg, err := r.generalize(prog, bgGraphs, orSmallest(r.cfg.BGPair))
 	if err != nil {
 		err = fmt.Errorf("%w (bg of %s)", err, prog.Name)
 		r.observe(prog, StageGeneralization, time.Since(start), err)
 		return nil, err
 	}
-	fg, err := r.generalize(fgGraphs, orSmallest(r.cfg.FGPair))
+	fg, err := r.generalize(prog, fgGraphs, orSmallest(r.cfg.FGPair))
 	if err != nil {
 		err = fmt.Errorf("%w (fg of %s)", err, prog.Name)
 		r.observe(prog, StageGeneralization, time.Since(start), err)
@@ -341,7 +354,7 @@ func orSmallest(e Extreme) Extreme {
 // obviously incomplete graphs, partition trials into similarity
 // classes, discard singleton classes (failed runs), pick the pair at
 // the configured size extreme, and unify it.
-func (r *Runner) generalize(trials []*graph.Graph, extreme Extreme) (*graph.Graph, error) {
+func (r *Runner) generalize(prog benchprog.Program, trials []*graph.Graph, extreme Extreme) (*graph.Graph, error) {
 	filter := r.rec.FilterGraphs()
 	if r.cfg.FilterGraphs != nil {
 		filter = *r.cfg.FilterGraphs
@@ -360,7 +373,7 @@ func (r *Runner) generalize(trials []*graph.Graph, extreme Extreme) (*graph.Grap
 			trials = kept
 		}
 	}
-	g1, g2, err := SelectPairExtreme(trials, extreme)
+	g1, g2, err := r.selectPair(prog, trials, extreme)
 	if err != nil {
 		return nil, err
 	}
@@ -369,6 +382,16 @@ func (r *Runner) generalize(trials []*graph.Graph, extreme Extreme) (*graph.Grap
 		return nil, fmt.Errorf("provmark: generalization: %w", err)
 	}
 	return gen, nil
+}
+
+// selectPair classifies the trials through the runner's engine —
+// fanning fingerprint buckets out over the WithParallelism worker
+// bound — and reports the classification sub-step to the observer.
+func (r *Runner) selectPair(prog benchprog.Program, trials []*graph.Graph, extreme Extreme) (*graph.Graph, *graph.Graph, error) {
+	start := time.Now()
+	classes := r.cls.Classes(trials, r.cfg.Parallelism)
+	r.observe(prog, StageClassification, time.Since(start), nil)
+	return pairFromClasses(trials, classes, extreme)
 }
 
 // SelectPair partitions trial graphs into similarity classes, discards
@@ -380,7 +403,12 @@ func SelectPair(trials []*graph.Graph) (*graph.Graph, *graph.Graph, error) {
 
 // SelectPairExtreme is SelectPair with a configurable size preference.
 func SelectPairExtreme(trials []*graph.Graph, extreme Extreme) (*graph.Graph, *graph.Graph, error) {
-	classes := SimilarityClasses(trials)
+	return pairFromClasses(trials, SimilarityClasses(trials), extreme)
+}
+
+// pairFromClasses picks the consistent class at the configured size
+// extreme and returns its first two members.
+func pairFromClasses(trials []*graph.Graph, classes [][]int, extreme Extreme) (*graph.Graph, *graph.Graph, error) {
 	best := -1
 	for i, c := range classes {
 		if len(c) < 2 {
@@ -402,23 +430,12 @@ func SelectPairExtreme(trials []*graph.Graph, extreme Extreme) (*graph.Graph, *g
 	return trials[c[0]], trials[c[1]], nil
 }
 
-// SimilarityClasses groups trial indices by graph similarity.
+// SimilarityClasses groups trial indices by graph similarity: classes
+// ordered by first member, members ascending. It routes through a
+// throwaway classification engine; pipeline runs use the runner's
+// persistent engine so verdicts are cached across stages and cells.
 func SimilarityClasses(trials []*graph.Graph) [][]int {
-	var classes [][]int
-	for i, g := range trials {
-		placed := false
-		for ci, c := range classes {
-			if _, ok := match.Similar(trials[c[0]], g); ok {
-				classes[ci] = append(classes[ci], i)
-				placed = true
-				break
-			}
-		}
-		if !placed {
-			classes = append(classes, []int{i})
-		}
-	}
-	return classes
+	return NewClassifier().Classes(trials, 1)
 }
 
 // compare performs stage 4 on a result whose FG/BG are set.
