@@ -5,6 +5,11 @@
 // benchmarks are in flight at once. With -store it also saves every
 // benchmark graph into a regression store and reports differences from
 // stored baselines (the Charlie use case).
+//
+// With -remote URL the suite is submitted as a job to a provmarkd
+// instance instead of executing locally; cells stream back over the
+// /v1 NDJSON API and feed the same reporting pipeline, so local and
+// remote runs produce identical output.
 package main
 
 import (
@@ -18,8 +23,9 @@ import (
 
 	"provmark/internal/benchprog"
 	"provmark/internal/capture"
-	"provmark/internal/graph"
+	"provmark/internal/jobs/client"
 	"provmark/internal/provmark"
+	"provmark/internal/wire"
 
 	// Backends register themselves with the capture registry.
 	_ "provmark/internal/capture/camflow"
@@ -49,6 +55,7 @@ func run(ctx context.Context, args []string) error {
 	htmlDir := fs.String("html", "", "write per-benchmark HTML pages and an index to this directory")
 	timeLog := fs.String("timelog", "", "append per-benchmark stage timings to this file (A.6.4 format)")
 	fast := fs.Bool("fast", true, "use cheap storage costs")
+	remote := fs.String("remote", "", "provmarkd base URL (e.g. http://localhost:8177); run the suite as a remote job")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,64 +85,21 @@ func run(ctx context.Context, args []string) error {
 		defer timeLogFile.Close()
 	}
 
-	progs := make([]benchprog.Program, 0)
-	for _, name := range benchprog.Names() {
-		prog, _ := benchprog.ByName(name)
-		progs = append(progs, prog)
-	}
-	m := provmark.Matrix{
-		Tools:      []string{*tool},
-		Capture:    capture.Options{Fast: *fast},
-		Benchmarks: progs,
-		Workers:    *parallel,
-		Pipeline:   []provmark.Option{provmark.WithTrials(*trials)},
-	}
-	results, err := m.Stream(ctx)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("batch run: %s\n", *tool)
-	for cell := range results {
-		if cell.Err != nil {
-			fmt.Printf("%-12s ERROR %v\n", cell.Benchmark, cell.Err)
-			continue
+	rep := &reporter{tool: *tool, store: store, index: index, timeLog: timeLogFile}
+
+	if *remote != "" {
+		// Cell concurrency is the server's pool to manage; the local
+		// -parallel knob (benchmarks in flight) does not translate.
+		if *parallel != 1 {
+			fmt.Fprintln(os.Stderr, "provmark-batch: -parallel is ignored with -remote (the server's -workers bounds cell concurrency)")
 		}
-		res := cell.Result
-		status := "empty"
-		if !res.Empty {
-			status = graph.Summarize(res.Target).String()
+		if err := runRemote(ctx, *remote, *tool, *fast, *trials, rep); err != nil {
+			return err
 		}
-		if index != nil {
-			if err := index.Add(res); err != nil {
-				return err
-			}
+	} else {
+		if err := runLocal(ctx, *tool, *fast, *trials, *parallel, rep); err != nil {
+			return err
 		}
-		if timeLogFile != nil {
-			if _, err := fmt.Fprintln(timeLogFile, provmark.TimingLogLine(res)); err != nil {
-				return err
-			}
-		}
-		regression := ""
-		if store != nil && !res.Empty {
-			diff, err := store.Check(*tool, cell.Benchmark, res.Target)
-			switch {
-			case errors.Is(err, provmark.ErrNoBaseline):
-				if err := store.Save(*tool, cell.Benchmark, res.Target); err != nil {
-					return err
-				}
-				regression = "baseline saved"
-			case err != nil:
-				return err
-			case diff.Changed:
-				regression = "REGRESSION: " + diff.Detail
-			default:
-				regression = "matches baseline"
-			}
-		}
-		fmt.Printf("%-12s %-14s %s\n", cell.Benchmark, status, regression)
-	}
-	if err := ctx.Err(); err != nil {
-		return err
 	}
 	if index != nil {
 		path, err := index.Flush()
@@ -144,5 +108,114 @@ func run(ctx context.Context, args []string) error {
 		}
 		fmt.Printf("html report: %s\n", path)
 	}
+	return nil
+}
+
+// runLocal executes the suite as a streaming matrix run in-process.
+func runLocal(ctx context.Context, tool string, fast bool, trials, parallel int, rep *reporter) error {
+	progs := make([]benchprog.Program, 0)
+	for _, name := range benchprog.Names() {
+		prog, _ := benchprog.ByName(name)
+		progs = append(progs, prog)
+	}
+	m := provmark.Matrix{
+		Tools:      []string{tool},
+		Capture:    capture.Options{Fast: fast},
+		Benchmarks: progs,
+		Workers:    parallel,
+		Pipeline:   []provmark.Option{provmark.WithTrials(trials)},
+	}
+	results, err := m.Stream(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("batch run: %s\n", tool)
+	for cell := range results {
+		if err := rep.cell(provmark.ToWireCell(cell)); err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// runRemote submits the suite as a provmarkd job and streams its cells
+// through the same reporter as a local run, so both modes produce
+// identical output.
+func runRemote(ctx context.Context, base, tool string, fast bool, trials int, rep *reporter) error {
+	c := client.New(base, nil)
+	if err := c.Health(ctx); err != nil {
+		return err
+	}
+	spec := &wire.JobSpec{
+		Tools:   []string{tool},
+		Capture: &wire.CaptureOptions{Fast: fast},
+		Trials:  trials,
+	}
+	fmt.Printf("batch run: %s (remote %s)\n", tool, base)
+	status, err := c.Run(ctx, spec, rep.cell)
+	if err != nil {
+		return err
+	}
+	if status.State != wire.JobDone {
+		return fmt.Errorf("remote job %s ended %s (%d/%d cells, %d failed)",
+			status.ID, status.State, status.Completed, status.Total, status.Failed)
+	}
+	return nil
+}
+
+// reporter prints one line per completed cell and feeds the optional
+// sinks (regression store, HTML index, timing log). It consumes the
+// wire form directly — local cells are converted once, remote cells
+// arrive in it — so both modes share one path and graphs are only
+// materialized when the regression store needs them.
+type reporter struct {
+	tool    string
+	store   *provmark.Store
+	index   *provmark.IndexWriter
+	timeLog *os.File
+}
+
+func (p *reporter) cell(cell *wire.MatrixResult) error {
+	if cell.Err != "" {
+		fmt.Printf("%-12s ERROR %s\n", cell.Benchmark, cell.Err)
+		return nil
+	}
+	res := cell.Result
+	status := "empty"
+	if !res.Empty {
+		status = res.Target.Summary()
+	}
+	if p.index != nil {
+		if err := p.index.AddWire(res); err != nil {
+			return err
+		}
+	}
+	if p.timeLog != nil {
+		if _, err := fmt.Fprintln(p.timeLog, provmark.TimingLogLineWire(res)); err != nil {
+			return err
+		}
+	}
+	regression := ""
+	if p.store != nil && !res.Empty {
+		target, err := res.Target.Build()
+		if err != nil {
+			return err
+		}
+		diff, err := p.store.Check(p.tool, cell.Benchmark, target)
+		switch {
+		case errors.Is(err, provmark.ErrNoBaseline):
+			if err := p.store.Save(p.tool, cell.Benchmark, target); err != nil {
+				return err
+			}
+			regression = "baseline saved"
+		case err != nil:
+			return err
+		case diff.Changed:
+			regression = "REGRESSION: " + diff.Detail
+		default:
+			regression = "matches baseline"
+		}
+	}
+	fmt.Printf("%-12s %-14s %s\n", cell.Benchmark, status, regression)
 	return nil
 }

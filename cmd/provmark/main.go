@@ -48,7 +48,7 @@ func run(ctx context.Context, args []string) error {
 	benchName := fs.String("bench", "", "benchmark name (see -list)")
 	trials := fs.Int("trials", 0, "trials per variant (0 = tool default)")
 	parallel := fs.Int("parallel", 1, "concurrent recording workers per variant")
-	resultType := fs.String("result", "rb", "result type: rb (benchmark), rg (with generalized graphs), rh (html), rd (styled Graphviz figure)")
+	resultType := fs.String("result", "rb", "result type: rb (benchmark), rg (with generalized graphs), rh (html), rj (wire JSON), rd (styled Graphviz figure)")
 	list := fs.Bool("list", false, "list available benchmarks and exit")
 	backends := fs.Bool("backends", false, "list registered capture backends and exit")
 	verbose := fs.Bool("v", false, "log per-stage progress and timings to stderr")
@@ -105,6 +105,8 @@ func run(ctx context.Context, args []string) error {
 		rt = provmark.WithGeneralized
 	case "rh":
 		rt = provmark.HTMLPage
+	case "rj":
+		rt = provmark.JSON
 	case "rd":
 		fmt.Print(provmark.RenderFigureDOT(res))
 		return nil

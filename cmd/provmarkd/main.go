@@ -1,0 +1,76 @@
+// Command provmarkd serves the ProvMark (tools × benchmarks)
+// expressiveness matrix over HTTP: clients submit matrix jobs in the
+// versioned wire vocabulary, stream cells as NDJSON while they
+// complete, and share one deduplicating result store and one
+// similarity-classification engine across all jobs.
+//
+// Endpoints:
+//
+//	POST /v1/jobs                submit a wire.JobSpec
+//	GET  /v1/jobs/{id}           job status
+//	GET  /v1/jobs/{id}/stream    NDJSON cell stream (owner; cancels on disconnect)
+//	GET  /v1/results/{cell}      stored cell result by dedup key
+//	GET  /healthz                liveness
+//
+// provmark-batch --remote is the matching client.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"provmark/internal/jobs"
+
+	// Backends register themselves with the capture registry.
+	_ "provmark/internal/capture/camflow"
+	_ "provmark/internal/capture/opus"
+	_ "provmark/internal/capture/spade"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "provmarkd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("provmarkd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8177", "listen address")
+	workers := fs.Int("workers", 0, "cells in flight across all jobs (0 = GOMAXPROCS)")
+	storeSize := fs.Int("store-size", jobs.DefaultStoreSize, "max cached cell results")
+	maxJobs := fs.Int("max-jobs", jobs.DefaultMaxJobs, "retained jobs; oldest finished jobs are evicted beyond this")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m := jobs.NewManager(jobs.Config{Workers: *workers, StoreSize: *storeSize, MaxJobs: *maxJobs})
+	defer m.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: jobs.NewServer(m)}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("provmarkd: serving /v1 on %s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}

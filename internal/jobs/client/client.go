@@ -1,0 +1,177 @@
+// Package client is the Go client for provmarkd's /v1 job API. It
+// speaks only the versioned wire vocabulary (internal/wire), so local
+// and remote execution share one schema; provmark-batch uses it for
+// its --remote mode.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"provmark/internal/wire"
+)
+
+// maxLineBytes bounds one NDJSON stream line (cells embed three
+// graphs; generous but finite).
+const maxLineBytes = 32 << 20
+
+// Client talks to one provmarkd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for a base URL like "http://host:8177". A nil
+// http.Client selects http.DefaultClient.
+func New(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// Health checks GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	resp, err := c.get(ctx, "/healthz")
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("provmarkd health: %s", resp.Status)
+	}
+	return nil
+}
+
+// Submit posts a job spec and returns the accepted job's status.
+func (c *Client) Submit(ctx context.Context, spec *wire.JobSpec) (*wire.JobStatus, error) {
+	body, err := wire.EncodeJobSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, httpError("submit job", resp)
+	}
+	return decodeStatus(resp.Body)
+}
+
+// Status fetches GET /v1/jobs/{id}.
+func (c *Client) Status(ctx context.Context, id string) (*wire.JobStatus, error) {
+	resp, err := c.get(ctx, "/v1/jobs/"+id)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("job status", resp)
+	}
+	return decodeStatus(resp.Body)
+}
+
+// Result fetches a stored cell result by dedup key.
+func (c *Client) Result(ctx context.Context, cellKey string) (*wire.Result, error) {
+	resp, err := c.get(ctx, "/v1/results/"+cellKey)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("cell result", resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeResult(bytes.TrimSpace(data))
+}
+
+// Stream follows GET /v1/jobs/{id}/stream, invoking fn for every
+// decoded cell. It returns when the stream ends, ctx is done, or fn
+// errors; aborting a stream tells the server to cancel the job (the
+// stream client owns the job).
+func (c *Client) Stream(ctx context.Context, id string, fn func(*wire.MatrixResult) error) error {
+	resp, err := c.get(ctx, "/v1/jobs/"+id+"/stream")
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return httpError("job stream", resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		cell, err := wire.DecodeMatrixResult(line)
+		if err != nil {
+			return fmt.Errorf("provmarkd stream: %w", err)
+		}
+		if err := fn(cell); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("provmarkd stream: %w", err)
+	}
+	return nil
+}
+
+// Run submits a spec, streams every cell through fn, and returns the
+// job's final status.
+func (c *Client) Run(ctx context.Context, spec *wire.JobSpec, fn func(*wire.MatrixResult) error) (*wire.JobStatus, error) {
+	status, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Stream(ctx, status.ID, fn); err != nil {
+		return nil, err
+	}
+	return c.Status(ctx, status.ID)
+}
+
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.hc.Do(req)
+}
+
+func decodeStatus(r io.Reader) (*wire.JobStatus, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeJobStatus(bytes.TrimSpace(data))
+}
+
+func httpError(op string, resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	return fmt.Errorf("provmarkd %s: %s: %s", op, resp.Status, bytes.TrimSpace(msg))
+}
+
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

@@ -1,0 +1,157 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"provmark/internal/capture"
+	"provmark/internal/wire"
+)
+
+// maxSpecBytes bounds a POST /v1/jobs body.
+const maxSpecBytes = 1 << 20
+
+// NewServer builds the /v1 HTTP surface of provmarkd over a manager:
+//
+//	POST /v1/jobs                submit a wire.JobSpec, returns wire.JobStatus
+//	GET  /v1/jobs/{id}           job status
+//	GET  /v1/jobs/{id}/stream    NDJSON of wire.MatrixResult as cells complete
+//	GET  /v1/results/{cell}      a stored cell result by dedup key
+//	GET  /healthz                liveness + registered backends
+//
+// A stream client owns its job: disconnecting mid-stream cancels the
+// job and releases its workers, unless the stream was opened with
+// ?detach=1 (a passive observer).
+func NewServer(m *Manager) http.Handler {
+	s := &server{m: m}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.job)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.stream)
+	mux.HandleFunc("GET /v1/results/{cell}", s.result)
+	mux.HandleFunc("GET /healthz", s.health)
+	return mux
+}
+
+type server struct {
+	m *Manager
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		http.Error(w, "request body too large or unreadable", http.StatusBadRequest)
+		return
+	}
+	spec, err := wire.DecodeJobSpec(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	job, err := s.m.Submit(spec)
+	switch {
+	case errors.Is(err, ErrBadSpec):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	case errors.Is(err, ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, func() ([]byte, error) {
+		return wire.EncodeJobStatus(job.Status())
+	})
+}
+
+func (s *server) job(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.m.Job(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, func() ([]byte, error) {
+		return wire.EncodeJobStatus(job.Status())
+	})
+}
+
+func (s *server) stream(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.m.Job(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	// ?detach=1 (or true) observes without owning; absent, empty, 0 and
+	// false mean owner semantics. Anything else is rejected rather than
+	// guessed — a misspelt observer must not cancel someone else's job
+	// on disconnect.
+	detach := false
+	if v := r.URL.Query().Get("detach"); v != "" {
+		var err error
+		if detach, err = strconv.ParseBool(v); err != nil {
+			http.Error(w, "detach must be a boolean", http.StatusBadRequest)
+			return
+		}
+	}
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	if canFlush {
+		flusher.Flush()
+	}
+	for cellRes := range job.Watch(r.Context()) {
+		line, err := wire.EncodeMatrixResult(&cellRes)
+		if err != nil {
+			break
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			break
+		}
+		if canFlush {
+			flusher.Flush()
+		}
+	}
+	// The watch closed: either the job settled, or the client went
+	// away. A vanished owner cancels the job so its cells stop
+	// occupying pool workers.
+	if !detach {
+		select {
+		case <-job.Done():
+		default:
+			job.Cancel()
+		}
+	}
+}
+
+func (s *server) result(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.m.Store().Peek(r.PathValue("cell"))
+	if !ok {
+		http.Error(w, "no stored result for cell", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, func() ([]byte, error) {
+		return wire.EncodeResult(res)
+	})
+}
+
+func (s *server) health(w http.ResponseWriter, r *http.Request) {
+	st := s.m.Store().Stats()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"status":"ok","schema":%d,"backends":%d,"store":{"hits":%d,"misses":%d}}`+"\n",
+		wire.SchemaVersion, len(capture.Backends()), st.Hits, st.Misses)
+}
+
+func writeJSON(w http.ResponseWriter, status int, encode func() ([]byte, error)) {
+	data, err := encode()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}

@@ -1,0 +1,114 @@
+package jobs
+
+import (
+	"container/list"
+	"sync"
+
+	"provmark/internal/wire"
+)
+
+// DefaultStoreSize bounds the shared result store when the manager's
+// configuration does not say otherwise.
+const DefaultStoreSize = 1024
+
+// Store is the size-bounded, LRU-evicting result store shared by every
+// job of a manager. It deduplicates identical (tool, benchmark,
+// options) cells: a cell whose key is present is served from the store
+// without re-running the pipeline. Stored results are shared pointers
+// and must be treated as immutable.
+type Store struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	lru     list.List // front = most recently used
+	stats   StoreStats
+}
+
+// StoreStats counts store traffic; the Hits counter is how tests (and
+// operators) observe deduplication.
+type StoreStats struct {
+	Hits      int64
+	Misses    int64
+	Puts      int64
+	Evictions int64
+}
+
+type storeEntry struct {
+	key string
+	res *wire.Result
+}
+
+// NewStore builds a result store bounded to max entries; max < 1
+// selects DefaultStoreSize.
+func NewStore(max int) *Store {
+	if max < 1 {
+		max = DefaultStoreSize
+	}
+	return &Store{max: max, entries: make(map[string]*list.Element)}
+}
+
+// Get returns the stored result for a cell key and counts a hit or a
+// miss. A hit refreshes the entry's recency.
+func (s *Store) Get(key string) (*wire.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		s.stats.Misses++
+		return nil, false
+	}
+	s.stats.Hits++
+	s.lru.MoveToFront(el)
+	return el.Value.(*storeEntry).res, true
+}
+
+// Peek returns the stored result without touching recency or the
+// hit/miss counters — the read path of GET /v1/results/{cell}, which
+// must not skew the dedup statistics jobs are measured by.
+func (s *Store) Peek(key string) (*wire.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*storeEntry).res, true
+}
+
+// Put stores a cell result, evicting the least recently used entry
+// when the bound is exceeded. Re-putting an existing key refreshes its
+// value and recency.
+func (s *Store) Put(key string, res *wire.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*storeEntry).res = res
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[key] = s.lru.PushFront(&storeEntry{key: key, res: res})
+	s.stats.Puts++
+	for len(s.entries) > s.max {
+		oldest := s.lru.Back()
+		if oldest == nil {
+			break
+		}
+		s.lru.Remove(oldest)
+		delete(s.entries, oldest.Value.(*storeEntry).key)
+		s.stats.Evictions++
+	}
+}
+
+// Len reports the number of stored results.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -1,0 +1,56 @@
+package jobs_test
+
+import (
+	"fmt"
+	"testing"
+
+	"provmark/internal/jobs"
+	"provmark/internal/wire"
+)
+
+func TestStoreBoundAndStats(t *testing.T) {
+	s := jobs.NewStore(3)
+	mk := func(i int) *wire.Result {
+		return &wire.Result{Schema: wire.SchemaVersion, Tool: "t", Benchmark: fmt.Sprintf("b%d", i)}
+	}
+	if _, ok := s.Get("k0"); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	for i := 0; i < 4; i++ {
+		s.Put(fmt.Sprintf("k%d", i), mk(i))
+	}
+	if s.Len() != 3 {
+		t.Fatalf("store size = %d, want bound 3", s.Len())
+	}
+	// k0 is the least recently used entry and must have been evicted.
+	if _, ok := s.Get("k0"); ok {
+		t.Error("LRU entry not evicted")
+	}
+	if r, ok := s.Get("k3"); !ok || r.Benchmark != "b3" {
+		t.Errorf("latest entry missing: %v %v", r, ok)
+	}
+	// Recency: touch k1, insert k4 — k2 (now oldest) is evicted.
+	if _, ok := s.Get("k1"); !ok {
+		t.Fatal("k1 missing")
+	}
+	s.Put("k4", mk(4))
+	if _, ok := s.Peek("k2"); ok {
+		t.Error("k2 should have been evicted after k1 was refreshed")
+	}
+	if _, ok := s.Peek("k1"); !ok {
+		t.Error("recently used k1 evicted")
+	}
+	st := s.Stats()
+	if st.Puts != 5 || st.Evictions != 2 {
+		t.Errorf("stats = %+v, want 5 puts / 2 evictions", st)
+	}
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 2 hits / 2 misses", st)
+	}
+	// Peek never moves the counters.
+	s.Peek("k1")
+	s.Peek("nope")
+	if got := s.Stats(); got.Hits != st.Hits || got.Misses != st.Misses {
+		t.Errorf("Peek moved counters: %+v vs %+v", got, st)
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"provmark/internal/graph"
+	"provmark/internal/wire"
 )
 
 // RenderFigureDOT renders a benchmark result graph in the styling of
@@ -14,29 +14,37 @@ import (
 // comparison stage. The output is self-contained Graphviz DOT suitable
 // for dot -Tsvg.
 func RenderFigureDOT(res *Result) string {
+	return RenderFigureDOTWire(ToWire(res))
+}
+
+// RenderFigureDOTWire is RenderFigureDOT for a result already in wire
+// form (e.g. a decoded provmarkd stream cell).
+func RenderFigureDOTWire(w *wire.Result) string {
 	var b strings.Builder
-	name := sanitize(res.Tool + "_" + res.Benchmark)
+	name := sanitize(w.Tool + "_" + w.Benchmark)
 	fmt.Fprintf(&b, "digraph %s {\n", name)
-	fmt.Fprintf(&b, "  graph [rankdir=\"TB\" label=%q];\n", res.Tool+": "+res.Benchmark)
+	fmt.Fprintf(&b, "  graph [rankdir=\"TB\" label=%q];\n", w.Tool+": "+w.Benchmark)
 	fmt.Fprintf(&b, "  node [style=\"filled\"];\n")
-	if res.Empty {
-		fmt.Fprintf(&b, "  \"empty\" [label=%q shape=\"plaintext\" style=\"\"];\n", "empty: "+string(res.Reason))
+	if w.Empty {
+		fmt.Fprintf(&b, "  \"empty\" [label=%q shape=\"plaintext\" style=\"\"];\n", "empty: "+w.Reason)
 		b.WriteString("}\n")
 		return b.String()
 	}
-	for _, n := range res.Target.Nodes() {
-		shape, color := styleFor(n)
-		fmt.Fprintf(&b, "  %q [label=%q shape=%q fillcolor=%q];\n",
-			string(n.ID), nodeCaption(n), shape, color)
-	}
-	for _, e := range res.Target.Edges() {
-		caption := e.Label
-		if op := e.Props["operation"]; op != "" {
-			caption += "\n" + op
-		} else if op := e.Props["cf:type"]; op != "" {
-			caption += "\n" + op
+	if w.Target != nil {
+		for _, n := range w.Target.Nodes {
+			shape, color := styleFor(n)
+			fmt.Fprintf(&b, "  %q [label=%q shape=%q fillcolor=%q];\n",
+				n.ID, nodeCaption(n), shape, color)
 		}
-		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", string(e.Src), string(e.Tgt), caption)
+		for _, e := range w.Target.Edges {
+			caption := e.Label
+			if op := e.Props["operation"]; op != "" {
+				caption += "\n" + op
+			} else if op := e.Props["cf:type"]; op != "" {
+				caption += "\n" + op
+			}
+			fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", e.Src, e.Tgt, caption)
+		}
 	}
 	b.WriteString("}\n")
 	return b.String()
@@ -44,7 +52,7 @@ func RenderFigureDOT(res *Result) string {
 
 // styleFor maps the three tools' vocabularies onto the paper's visual
 // language.
-func styleFor(n *graph.Node) (shape, color string) {
+func styleFor(n wire.Node) (shape, color string) {
 	switch n.Label {
 	case "Process", "activity", "SyscallEvent":
 		return "box", "lightblue"
@@ -58,7 +66,7 @@ func styleFor(n *graph.Node) (shape, color string) {
 }
 
 // nodeCaption picks the most informative identity line per node kind.
-func nodeCaption(n *graph.Node) string {
+func nodeCaption(n wire.Node) string {
 	parts := []string{n.Label}
 	for _, key := range []string{"path", "cf:pathname", "name", "pid", "cf:pid", "call", "fd", "of", "prov:type", "stands_for"} {
 		if v, ok := n.Props[key]; ok {
@@ -90,12 +98,20 @@ func sanitize(s string) string {
 // TimingLogLine renders one /tmp/time.log record in the format the
 // paper's appendix documents (A.6.4): tool, syscall, then the four
 // per-subsystem durations in seconds as floating-point numbers, comma
-// separated.
+// separated. (Classification is a sub-stage of generalization and is
+// already contained in the third figure.)
 func TimingLogLine(res *Result) string {
+	return TimingLogLineWire(ToWire(res))
+}
+
+// TimingLogLineWire is TimingLogLine for a result in wire form.
+func TimingLogLineWire(w *wire.Result) string {
+	t := w.Times
+	const nsPerSec = 1e9
 	return fmt.Sprintf("%s,%s,%.6f,%.6f,%.6f,%.6f",
-		res.Tool, res.Benchmark,
-		res.Times.Recording.Seconds(),
-		res.Times.Transformation.Seconds(),
-		res.Times.Generalization.Seconds(),
-		res.Times.Comparison.Seconds())
+		w.Tool, w.Benchmark,
+		float64(t.RecordingNS)/nsPerSec,
+		float64(t.TransformationNS)/nsPerSec,
+		float64(t.GeneralizationNS)/nsPerSec,
+		float64(t.ComparisonNS)/nsPerSec)
 }

@@ -6,7 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 
-	"provmark/internal/graph"
+	"provmark/internal/wire"
 )
 
 // IndexWriter collects per-benchmark HTML reports during a batch run
@@ -35,14 +35,21 @@ func NewIndexWriter(dir, tool string) (*IndexWriter, error) {
 
 // Add writes one benchmark's HTML page and records it for the index.
 func (w *IndexWriter) Add(res *Result) error {
+	return w.AddWire(ToWire(res))
+}
+
+// AddWire is Add for a result already in wire form (e.g. a decoded
+// provmarkd stream cell): both the page and the index row render from
+// the wire encoding.
+func (w *IndexWriter) AddWire(res *wire.Result) error {
 	file := fmt.Sprintf("%s_%s.html", w.tool, res.Benchmark)
-	page := Render(res, HTMLPage)
+	page := RenderWire(res, HTMLPage)
 	if err := os.WriteFile(filepath.Join(w.dir, file), []byte(page), 0o644); err != nil {
 		return fmt.Errorf("provmark: index: %w", err)
 	}
-	summary := "empty (" + string(res.Reason) + ")"
+	summary := "empty (" + res.Reason + ")"
 	if !res.Empty {
-		summary = graph.Summarize(res.Target).String()
+		summary = res.Target.Summary()
 	}
 	w.entries = append(w.entries, indexEntry{
 		benchmark: res.Benchmark,

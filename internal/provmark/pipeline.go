@@ -80,9 +80,17 @@ type StageTimes struct {
 	Transformation time.Duration
 	Generalization time.Duration
 	Comparison     time.Duration
+	// Classification is the similarity-classification sub-stage of
+	// generalization (both variants summed). Its time is contained in
+	// Generalization, so Total must not add it a second time; it is
+	// recorded separately so reports can show where generalization
+	// time goes.
+	Classification time.Duration
 }
 
-// Total sums all stages.
+// Total sums the four top-level stages. Sub-stage durations
+// (Classification) are already contained in their parent stage and
+// are not added again.
 func (t StageTimes) Total() time.Duration {
 	return t.Recording + t.Transformation + t.Generalization + t.Comparison
 }
@@ -236,13 +244,13 @@ func (r *Runner) finish(ctx context.Context, prog benchprog.Program, res *Result
 func (r *Runner) generalizeAndCompare(prog benchprog.Program, res *Result, bgGraphs, fgGraphs []*graph.Graph) (*Result, error) {
 	// Stage 3: generalization.
 	start := time.Now()
-	bg, err := r.generalize(prog, bgGraphs, orSmallest(r.cfg.BGPair))
+	bg, err := r.generalize(prog, bgGraphs, orSmallest(r.cfg.BGPair), &res.Times)
 	if err != nil {
 		err = fmt.Errorf("%w (bg of %s)", err, prog.Name)
 		r.observe(prog, StageGeneralization, time.Since(start), err)
 		return nil, err
 	}
-	fg, err := r.generalize(prog, fgGraphs, orSmallest(r.cfg.FGPair))
+	fg, err := r.generalize(prog, fgGraphs, orSmallest(r.cfg.FGPair), &res.Times)
 	if err != nil {
 		err = fmt.Errorf("%w (fg of %s)", err, prog.Name)
 		r.observe(prog, StageGeneralization, time.Since(start), err)
@@ -354,7 +362,7 @@ func orSmallest(e Extreme) Extreme {
 // obviously incomplete graphs, partition trials into similarity
 // classes, discard singleton classes (failed runs), pick the pair at
 // the configured size extreme, and unify it.
-func (r *Runner) generalize(prog benchprog.Program, trials []*graph.Graph, extreme Extreme) (*graph.Graph, error) {
+func (r *Runner) generalize(prog benchprog.Program, trials []*graph.Graph, extreme Extreme, times *StageTimes) (*graph.Graph, error) {
 	filter := r.rec.FilterGraphs()
 	if r.cfg.FilterGraphs != nil {
 		filter = *r.cfg.FilterGraphs
@@ -373,7 +381,7 @@ func (r *Runner) generalize(prog benchprog.Program, trials []*graph.Graph, extre
 			trials = kept
 		}
 	}
-	g1, g2, err := r.selectPair(prog, trials, extreme)
+	g1, g2, err := r.selectPair(prog, trials, extreme, times)
 	if err != nil {
 		return nil, err
 	}
@@ -386,11 +394,17 @@ func (r *Runner) generalize(prog benchprog.Program, trials []*graph.Graph, extre
 
 // selectPair classifies the trials through the runner's engine —
 // fanning fingerprint buckets out over the WithParallelism worker
-// bound — and reports the classification sub-step to the observer.
-func (r *Runner) selectPair(prog benchprog.Program, trials []*graph.Graph, extreme Extreme) (*graph.Graph, *graph.Graph, error) {
+// bound — reports the classification sub-step to the observer, and
+// accumulates its duration into the result's StageTimes (both
+// variants' classifications sum into one Classification figure).
+func (r *Runner) selectPair(prog benchprog.Program, trials []*graph.Graph, extreme Extreme, times *StageTimes) (*graph.Graph, *graph.Graph, error) {
 	start := time.Now()
 	classes := r.cls.Classes(trials, r.cfg.Parallelism)
-	r.observe(prog, StageClassification, time.Since(start), nil)
+	d := time.Since(start)
+	if times != nil {
+		times.Classification += d
+	}
+	r.observe(prog, StageClassification, d, nil)
 	return pairFromClasses(trials, classes, extreme)
 }
 

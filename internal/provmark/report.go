@@ -3,9 +3,10 @@ package provmark
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"provmark/internal/datalog"
-	"provmark/internal/graph"
+	"provmark/internal/wire"
 )
 
 // ResultType selects what a report includes, mirroring the CLI's rb /
@@ -20,56 +21,114 @@ const (
 	WithGeneralized
 	// HTMLPage renders a minimal HTML page with all three graphs.
 	HTMLPage
+	// JSON renders the canonical wire encoding (one line, trailing
+	// newline) — byte-identical to the cell payload provmarkd serves.
+	JSON
 )
 
-// Render produces the textual (or HTML) report for a result.
+// Render produces the textual, HTML or JSON report for a result. All
+// flavours render from the versioned wire form, so a report generated
+// locally and one generated from a decoded provmarkd stream agree
+// byte for byte.
 func Render(res *Result, rt ResultType) string {
+	return RenderWire(ToWire(res), rt)
+}
+
+// RenderWire is Render for a result already in wire form (e.g. a
+// decoded provmarkd stream cell).
+func RenderWire(w *wire.Result, rt ResultType) string {
 	var b strings.Builder
 	switch rt {
+	case JSON:
+		// Encoding a schema-stamped wire value cannot fail: the value
+		// contains only maps, slices and scalars.
+		data, err := wire.EncodeResult(w)
+		if err != nil {
+			return ""
+		}
+		b.Write(data)
+		b.WriteByte('\n')
 	case HTMLPage:
-		renderHTML(&b, res)
+		renderHTML(&b, w)
 	case WithGeneralized:
-		renderText(&b, res, true)
+		renderText(&b, w, true)
 	default:
-		renderText(&b, res, false)
+		renderText(&b, w, false)
 	}
 	return b.String()
 }
 
-func renderText(b *strings.Builder, res *Result, withGeneralized bool) {
-	fmt.Fprintf(b, "benchmark %s under %s (%d trials)\n", res.Benchmark, res.Tool, res.Trials)
-	if res.Empty {
-		fmt.Fprintf(b, "result: EMPTY — %s\n", res.Reason)
-	} else {
-		fmt.Fprintf(b, "result: %s (embedding cost %d)\n", graph.Summarize(res.Target), res.Cost)
-		b.WriteString(indent(res.Target.String()))
-		b.WriteString("datalog:\n")
-		b.WriteString(indent(datalog.Print(res.Target, "result")))
+// generalizedGraphs is the shared traversal order of the generalized
+// graphs in a wire result, used by both the text and HTML renderers.
+func generalizedGraphs(w *wire.Result) []struct {
+	title string
+	g     *wire.Graph
+} {
+	return []struct {
+		title string
+		g     *wire.Graph
+	}{
+		{"generalized foreground", w.FG},
+		{"generalized background", w.BG},
 	}
-	if withGeneralized {
-		fmt.Fprintf(b, "generalized foreground: %s\n", graph.Summarize(res.FG))
-		b.WriteString(indent(res.FG.String()))
-		fmt.Fprintf(b, "generalized background: %s\n", graph.Summarize(res.BG))
-		b.WriteString(indent(res.BG.String()))
-	}
-	fmt.Fprintf(b, "stage times: transform=%v generalize=%v compare=%v\n",
-		res.Times.Transformation, res.Times.Generalization, res.Times.Comparison)
 }
 
-func renderHTML(b *strings.Builder, res *Result) {
-	fmt.Fprintf(b, "<html><head><title>ProvMark: %s / %s</title></head><body>\n", res.Tool, res.Benchmark)
-	fmt.Fprintf(b, "<h1>%s under %s</h1>\n", htmlEscape(res.Benchmark), htmlEscape(res.Tool))
-	if res.Empty {
-		fmt.Fprintf(b, "<p><b>Empty result:</b> %s</p>\n", htmlEscape(string(res.Reason)))
+func renderText(b *strings.Builder, w *wire.Result, withGeneralized bool) {
+	fmt.Fprintf(b, "benchmark %s under %s (%d trials)\n", w.Benchmark, w.Tool, w.Trials)
+	if w.Empty {
+		fmt.Fprintf(b, "result: EMPTY — %s\n", w.Reason)
+	} else {
+		fmt.Fprintf(b, "result: %s (embedding cost %d)\n", w.Target.Summary(), w.Cost)
+		b.WriteString(indent(w.Target.String()))
+		b.WriteString("datalog:\n")
+		b.WriteString(indent(datalogText(w.Target)))
+	}
+	if withGeneralized {
+		for _, sec := range generalizedGraphs(w) {
+			fmt.Fprintf(b, "%s: %s\n", sec.title, sec.g.Summary())
+			b.WriteString(indent(sec.g.String()))
+		}
+	}
+	t := w.Times
+	fmt.Fprintf(b, "stage times: record=%v transform=%v generalize=%v (classify=%v) compare=%v total=%v\n",
+		time.Duration(t.RecordingNS), time.Duration(t.TransformationNS),
+		time.Duration(t.GeneralizationNS), time.Duration(t.ClassificationNS),
+		time.Duration(t.ComparisonNS), time.Duration(t.TotalNS))
+}
+
+func renderHTML(b *strings.Builder, w *wire.Result) {
+	fmt.Fprintf(b, "<html><head><title>ProvMark: %s / %s</title></head><body>\n", w.Tool, w.Benchmark)
+	fmt.Fprintf(b, "<h1>%s under %s</h1>\n", htmlEscape(w.Benchmark), htmlEscape(w.Tool))
+	if w.Empty {
+		fmt.Fprintf(b, "<p><b>Empty result:</b> %s</p>\n", htmlEscape(w.Reason))
 	} else {
 		fmt.Fprintf(b, "<h2>Benchmark graph (%s)</h2><pre>%s</pre>\n",
-			graph.Summarize(res.Target), htmlEscape(res.Target.String()))
+			w.Target.Summary(), htmlEscape(w.Target.String()))
 	}
-	fmt.Fprintf(b, "<h2>Generalized foreground (%s)</h2><pre>%s</pre>\n",
-		graph.Summarize(res.FG), htmlEscape(res.FG.String()))
-	fmt.Fprintf(b, "<h2>Generalized background (%s)</h2><pre>%s</pre>\n",
-		graph.Summarize(res.BG), htmlEscape(res.BG.String()))
+	for _, sec := range generalizedGraphs(w) {
+		fmt.Fprintf(b, "<h2>%s (%s)</h2><pre>%s</pre>\n",
+			titleCase(sec.title), sec.g.Summary(), htmlEscape(sec.g.String()))
+	}
 	b.WriteString("</body></html>\n")
+}
+
+// datalogText renders the Datalog view of a wire graph. The datalog
+// printer operates on the property-graph model, so the wire graph is
+// materialized first; wire graphs decoded by the strict decoder (and
+// all graphs produced by ToWire) build cleanly.
+func datalogText(w *wire.Graph) string {
+	g, err := w.Build()
+	if err != nil {
+		return "error: " + err.Error() + "\n"
+	}
+	return datalog.Print(g, "result")
+}
+
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
 }
 
 func indent(s string) string {

@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"provmark/internal/graph"
+)
+
+// FromGraph converts a property graph to its wire form, preserving
+// insertion order so renderings derived from either form agree.
+// A nil graph maps to a nil wire graph.
+func FromGraph(g *graph.Graph) *Graph {
+	if g == nil {
+		return nil
+	}
+	w := &Graph{}
+	for _, n := range g.Nodes() {
+		w.Nodes = append(w.Nodes, Node{
+			ID:    string(n.ID),
+			Label: n.Label,
+			Props: cloneProps(n.Props),
+		})
+	}
+	for _, e := range g.Edges() {
+		w.Edges = append(w.Edges, Edge{
+			ID:    string(e.ID),
+			Src:   string(e.Src),
+			Tgt:   string(e.Tgt),
+			Label: e.Label,
+			Props: cloneProps(e.Props),
+		})
+	}
+	return w
+}
+
+// Build materializes a wire graph back into the property-graph model,
+// validating identifier uniqueness and edge endpoints. A nil receiver
+// builds to a nil graph.
+func (w *Graph) Build() (*graph.Graph, error) {
+	if w == nil {
+		return nil, nil
+	}
+	g := graph.New()
+	for _, n := range w.Nodes {
+		if err := g.InsertNode(graph.ElemID(n.ID), n.Label, graph.Properties(cloneProps(n.Props))); err != nil {
+			return nil, fmt.Errorf("wire: build graph: %w", err)
+		}
+	}
+	for _, e := range w.Edges {
+		if err := g.InsertEdge(graph.ElemID(e.ID), graph.ElemID(e.Src), graph.ElemID(e.Tgt), e.Label, graph.Properties(cloneProps(e.Props))); err != nil {
+			return nil, fmt.Errorf("wire: build graph: %w", err)
+		}
+	}
+	return g, nil
+}
+
+// NumNodes reports the node count; nil-safe.
+func (w *Graph) NumNodes() int {
+	if w == nil {
+		return 0
+	}
+	return len(w.Nodes)
+}
+
+// NumEdges reports the edge count; nil-safe.
+func (w *Graph) NumEdges() int {
+	if w == nil {
+		return 0
+	}
+	return len(w.Edges)
+}
+
+// Summary renders the "XnYeZp" element/property count summary the
+// report tables use (the wire-form equivalent of graph.Summarize).
+func (w *Graph) Summary() string {
+	props := 0
+	if w != nil {
+		for _, n := range w.Nodes {
+			props += len(n.Props)
+		}
+		for _, e := range w.Edges {
+			props += len(e.Props)
+		}
+	}
+	return fmt.Sprintf("%dn/%de/%dp", w.NumNodes(), w.NumEdges(), props)
+}
+
+// String renders the same compact human-readable description as
+// graph.(*Graph).String, from the wire form.
+func (w *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph{%d nodes, %d edges}\n", w.NumNodes(), w.NumEdges())
+	if w == nil {
+		return b.String()
+	}
+	for _, n := range w.Nodes {
+		fmt.Fprintf(&b, "  node %s [%s]%s\n", n.ID, n.Label, propString(n.Props))
+	}
+	for _, e := range w.Edges {
+		fmt.Fprintf(&b, "  edge %s: %s -%s-> %s%s\n", e.ID, e.Src, e.Label, e.Tgt, propString(e.Props))
+	}
+	return b.String()
+}
+
+func propString(p map[string]string) string {
+	if len(p) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(p))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, p[k]))
+	}
+	return " {" + strings.Join(parts, ", ") + "}"
+}
+
+func cloneProps(p map[string]string) map[string]string {
+	if p == nil {
+		return nil
+	}
+	out := make(map[string]string, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzWireRoundTrip checks the wire schema's core guarantee: any bytes
+// the strict decoders accept re-encode canonically and decode back to
+// the identical value — decode(encode(x)) == x for Result and
+// MatrixResult alike. Seeds live under testdata/fuzz/FuzzWireRoundTrip
+// and replay as regular test cases on every go test run.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"schema":1,"tool":"spade","benchmark":"creat","trials":2,"empty":false,"cost":1,"times":{"recording_ns":5,"transformation_ns":4,"generalization_ns":3,"classification_ns":2,"comparison_ns":1,"total_ns":13},"target":{"nodes":[{"id":"n1","label":"Process","props":{"pid":"7"}}]}}`))
+	f.Add([]byte(`{"schema":1,"tool":"camflow","benchmark":"open","trials":2,"empty":true,"reason":"fg similar to bg (activity not recorded)","cost":0,"times":{"recording_ns":0,"transformation_ns":0,"generalization_ns":0,"classification_ns":0,"comparison_ns":0,"total_ns":0}}`))
+	f.Add([]byte(`{"schema":1,"index":4,"tool":"opus","benchmark":"close","cell":"deadbeef","cached":true,"result":{"schema":1,"tool":"opus","benchmark":"close","trials":2,"empty":false,"cost":0,"times":{"recording_ns":1,"transformation_ns":1,"generalization_ns":1,"classification_ns":0,"comparison_ns":1,"total_ns":4},"target":{"nodes":[{"id":"n1","label":"entity"}]}}}`))
+	f.Add([]byte(`{"schema":1,"index":0,"tool":"spade","benchmark":"kill","err":"provmark: recording: context canceled"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checked := false
+		if r, err := DecodeResult(data); err == nil {
+			checked = true
+			out, err := EncodeResult(r)
+			if err != nil {
+				t.Fatalf("encode of decoded result failed: %v\ninput: %s", err, data)
+			}
+			back, err := DecodeResult(out)
+			if err != nil {
+				t.Fatalf("re-decode of encoded result failed: %v\noutput: %s", err, out)
+			}
+			if !reflect.DeepEqual(r, back) {
+				t.Fatalf("result round trip changed the value:\nbefore: %+v\nafter:  %+v\nwire: %s", r, back, out)
+			}
+		}
+		if m, err := DecodeMatrixResult(data); err == nil {
+			checked = true
+			out, err := EncodeMatrixResult(m)
+			if err != nil {
+				t.Fatalf("encode of decoded matrix result failed: %v\ninput: %s", err, data)
+			}
+			back, err := DecodeMatrixResult(out)
+			if err != nil {
+				t.Fatalf("re-decode of encoded matrix result failed: %v\noutput: %s", err, out)
+			}
+			if !reflect.DeepEqual(m, back) {
+				t.Fatalf("matrix round trip changed the value:\nbefore: %+v\nafter:  %+v\nwire: %s", m, back, out)
+			}
+		}
+		if !checked {
+			t.Skip() // not a decodable document
+		}
+	})
+}
