@@ -56,8 +56,26 @@ func run(ctx context.Context, args []string) error {
 	timeLog := fs.String("timelog", "", "append per-benchmark stage timings to this file (A.6.4 format)")
 	fast := fs.Bool("fast", true, "use cheap storage costs")
 	remote := fs.String("remote", "", "provmarkd base URL (e.g. http://localhost:8177); run the suite as a remote job")
+	scenarioPath := fs.String("scenario", "", "append a declarative scenario (JSON file) to the suite")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var scenarios []benchprog.Scenario
+	if *scenarioPath != "" {
+		s, err := benchprog.DecodeScenarioFile(*scenarioPath)
+		if err != nil {
+			return err
+		}
+		// The suite's rows are keyed by name (reporter lines, regression
+		// store); a scenario shadowing a Table 1 benchmark would corrupt
+		// that benchmark's baseline. provmarkd rejects the same collision
+		// server-side — fail fast locally with matching semantics.
+		for _, name := range benchprog.Names() {
+			if name == s.Name {
+				return fmt.Errorf("scenario name %q shadows a suite benchmark", s.Name)
+			}
+		}
+		scenarios = append(scenarios, *s)
 	}
 	var store *provmark.Store
 	if *storeDir != "" {
@@ -93,11 +111,11 @@ func run(ctx context.Context, args []string) error {
 		if *parallel != 1 {
 			fmt.Fprintln(os.Stderr, "provmark-batch: -parallel is ignored with -remote (the server's -workers bounds cell concurrency)")
 		}
-		if err := runRemote(ctx, *remote, *tool, *fast, *trials, rep); err != nil {
+		if err := runRemote(ctx, *remote, *tool, *fast, *trials, scenarios, rep); err != nil {
 			return err
 		}
 	} else {
-		if err := runLocal(ctx, *tool, *fast, *trials, *parallel, rep); err != nil {
+		if err := runLocal(ctx, *tool, *fast, *trials, *parallel, scenarios, rep); err != nil {
 			return err
 		}
 	}
@@ -112,7 +130,7 @@ func run(ctx context.Context, args []string) error {
 }
 
 // runLocal executes the suite as a streaming matrix run in-process.
-func runLocal(ctx context.Context, tool string, fast bool, trials, parallel int, rep *reporter) error {
+func runLocal(ctx context.Context, tool string, fast bool, trials, parallel int, scenarios []benchprog.Scenario, rep *reporter) error {
 	progs := make([]benchprog.Program, 0)
 	for _, name := range benchprog.Names() {
 		prog, _ := benchprog.ByName(name)
@@ -122,6 +140,7 @@ func runLocal(ctx context.Context, tool string, fast bool, trials, parallel int,
 		Tools:      []string{tool},
 		Capture:    capture.Options{Fast: fast},
 		Benchmarks: progs,
+		Scenarios:  scenarios,
 		Workers:    parallel,
 		Pipeline:   []provmark.Option{provmark.WithTrials(trials)},
 	}
@@ -141,15 +160,21 @@ func runLocal(ctx context.Context, tool string, fast bool, trials, parallel int,
 // runRemote submits the suite as a provmarkd job and streams its cells
 // through the same reporter as a local run, so both modes produce
 // identical output.
-func runRemote(ctx context.Context, base, tool string, fast bool, trials int, rep *reporter) error {
+func runRemote(ctx context.Context, base, tool string, fast bool, trials int, scenarios []benchprog.Scenario, rep *reporter) error {
 	c := client.New(base, nil)
 	if err := c.Health(ctx); err != nil {
 		return err
 	}
 	spec := &wire.JobSpec{
-		Tools:   []string{tool},
-		Capture: &wire.CaptureOptions{Fast: fast},
-		Trials:  trials,
+		Tools:     []string{tool},
+		Capture:   &wire.CaptureOptions{Fast: fast},
+		Trials:    trials,
+		Scenarios: scenarios,
+	}
+	if len(scenarios) > 0 {
+		// A scenario-only spec runs just its scenarios; name the full
+		// suite explicitly so the batch still covers Table 1.
+		spec.Benchmarks = benchprog.Names()
 	}
 	fmt.Printf("batch run: %s (remote %s)\n", tool, base)
 	status, err := c.Run(ctx, spec, rep.cell)

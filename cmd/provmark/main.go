@@ -4,10 +4,13 @@
 // Usage:
 //
 //	provmark -tool spade -bench rename [-trials 2] [-result rb|rg|rh]
+//	provmark -tool spade -scenario my-scenario.json
 //
 // Tools: spade (DOT output), opus (Neo4j-sim output), camflow
-// (PROV-JSON output). Benchmarks: any Table 1 syscall name, or one of
-// the extra programs rename-failed, privesc, scale1..scale8.
+// (PROV-JSON output). Benchmarks: any Table 1 syscall name, one of
+// the extra programs rename-failed, privesc, scale1..scale8, or a
+// declarative scenario file (-scenario) in the JSON vocabulary of
+// internal/benchprog.
 package main
 
 import (
@@ -46,6 +49,7 @@ func run(ctx context.Context, args []string) error {
 	tool := fs.String("tool", "spade", "capture backend (see -backends) or profile name (spg, opu, cam)")
 	configPath := fs.String("config", "", "profile configuration file (INI, Appendix A.4 format)")
 	benchName := fs.String("bench", "", "benchmark name (see -list)")
+	scenarioPath := fs.String("scenario", "", "run a declarative scenario from this JSON file instead of -bench")
 	trials := fs.Int("trials", 0, "trials per variant (0 = tool default)")
 	parallel := fs.Int("parallel", 1, "concurrent recording workers per variant")
 	resultType := fs.String("result", "rb", "result type: rb (benchmark), rg (with generalized graphs), rh (html), rj (wire JSON), rd (styled Graphviz figure)")
@@ -67,16 +71,22 @@ func run(ctx context.Context, args []string) error {
 			prog, _ := benchprog.ByName(name)
 			fmt.Printf("%d %-12s %s\n", prog.Group, name, prog.Desc)
 		}
-		fmt.Println("extra: rename-failed, privesc, reads8, scale1, scale2, scale4, scale8")
+		fmt.Println("extra: " + strings.Join(benchprog.ScenarioNames(benchprog.KindExtra), ", "))
 		for _, p := range benchprog.FailureCases() {
 			fmt.Printf("%d %-16s %s\n", p.Group, p.Name, p.Desc)
 		}
 		return nil
 	}
-	if *benchName == "" {
-		return fmt.Errorf("missing -bench (try -list)")
+	if (*benchName == "") == (*scenarioPath == "") {
+		return fmt.Errorf("need exactly one of -bench (try -list) and -scenario")
 	}
-	prog, err := lookupProgram(*benchName)
+	var prog benchprog.Program
+	var err error
+	if *scenarioPath != "" {
+		prog, err = loadScenario(*scenarioPath)
+	} else {
+		prog, err = lookupProgram(*benchName)
+	}
 	if err != nil {
 		return err
 	}
@@ -139,18 +149,24 @@ func resolveRecorder(tool, configPath string, fast bool) (capture.Recorder, erro
 	return capture.Open(tool, capture.Options{Fast: fast})
 }
 
+// loadScenario reads a declarative scenario file through the strict
+// codec and compiles it.
+func loadScenario(path string) (benchprog.Program, error) {
+	s, err := benchprog.DecodeScenarioFile(path)
+	if err != nil {
+		return benchprog.Program{}, err
+	}
+	return s.Compile()
+}
+
 func lookupProgram(name string) (benchprog.Program, error) {
+	// The registry resolves every named program: Table 2, the extras,
+	// and the failure cases. Only the parameterized families (readsN,
+	// scaleN at unregistered N) need generator fallbacks.
 	if prog, ok := benchprog.ByName(name); ok {
 		return prog, nil
 	}
-	if prog, ok := benchprog.FailureCaseByName(name); ok {
-		return prog, nil
-	}
 	switch {
-	case name == "rename-failed":
-		return benchprog.FailedRename(), nil
-	case name == "privesc":
-		return benchprog.PrivilegeEscalation(), nil
 	case strings.HasPrefix(name, "reads"):
 		n, err := strconv.Atoi(name[len("reads"):])
 		if err != nil || n < 1 {

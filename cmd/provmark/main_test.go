@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -76,6 +78,30 @@ func TestRunEndToEnd(t *testing.T) {
 	} {
 		if err := run(context.Background(), bad); err == nil {
 			t.Errorf("accepted %v", bad)
+		}
+	}
+}
+
+func TestRunScenarioFile(t *testing.T) {
+	// The checked-in example scenario runs through -scenario.
+	if err := run(context.Background(), []string{"-tool", "spade", "-scenario", "../../examples/customscenario/scenario.json", "-fast"}); err != nil {
+		t.Fatal(err)
+	}
+	// A scenario the strict codec refuses is rejected up front.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name":"x","steps":[{"op":"mount"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-tool", "spade", "-scenario", bad}); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+	// -bench and -scenario are mutually exclusive; one is required.
+	for _, args := range [][]string{
+		{"-tool", "spade", "-bench", "creat", "-scenario", bad},
+		{"-tool", "spade"},
+	} {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("accepted %v", args)
 		}
 	}
 }

@@ -1,15 +1,17 @@
 // Command provmarkd serves the ProvMark (tools × benchmarks)
 // expressiveness matrix over HTTP: clients submit matrix jobs in the
-// versioned wire vocabulary, stream cells as NDJSON while they
-// complete, and share one deduplicating result store and one
+// versioned wire vocabulary — naming registered benchmarks and/or
+// carrying inline declarative scenarios — stream cells as NDJSON while
+// they complete, and share one deduplicating result store and one
 // similarity-classification engine across all jobs.
 //
 // Endpoints:
 //
-//	POST /v1/jobs                submit a wire.JobSpec
+//	POST /v1/jobs                submit a wire.JobSpec (benchmarks and/or inline scenarios)
 //	GET  /v1/jobs/{id}           job status
 //	GET  /v1/jobs/{id}/stream    NDJSON cell stream (owner; cancels on disconnect)
 //	GET  /v1/results/{cell}      stored cell result by dedup key
+//	GET  /v1/stats               store counters + retained jobs by state
 //	GET  /healthz                liveness
 //
 // provmark-batch --remote is the matching client.

@@ -84,7 +84,8 @@ func TestVariantString(t *testing.T) {
 
 func TestScaleProgram(t *testing.T) {
 	prog := ScaleProgram(4)
-	if prog.Name != "scale4" || len(prog.Steps) != 4 {
+	// One instruction per syscall: 4 creat+unlink pairs.
+	if prog.Name != "scale4" || len(prog.Steps) != 8 {
 		t.Fatalf("scale program: %s with %d steps", prog.Name, len(prog.Steps))
 	}
 	k := oskernel.New()

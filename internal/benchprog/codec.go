@@ -1,0 +1,157 @@
+package benchprog
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"provmark/internal/oskernel"
+)
+
+// The scenario codec is strict and canonical in the internal/wire
+// sense: encoding the same scenario twice yields byte-identical JSON
+// (struct fields in declaration order, flags normalized, empties
+// omitted), and decoding rejects unknown fields, trailing data, and
+// scenarios the validator refuses. decode(encode(x)) == x holds for
+// every scenario a decoder accepts, which is what makes scenario
+// content safe to hash into dedup cell keys.
+
+// EncodeScenario renders the canonical JSON encoding of a scenario.
+// The scenario is validated and normalized (the receiver is not
+// mutated) before encoding.
+func EncodeScenario(s *Scenario) ([]byte, error) {
+	if s == nil {
+		return nil, fmt.Errorf("benchprog: encode: nil scenario")
+	}
+	v := s.Clone()
+	v.normalize()
+	if err := v.Validate(); err != nil {
+		return nil, fmt.Errorf("benchprog: encode: %w", err)
+	}
+	return json.Marshal(&v)
+}
+
+// DecodeScenario strictly parses a scenario encoding: unknown fields,
+// trailing data, and invalid scenarios are errors. The decoded value
+// is normalized to canonical form.
+func DecodeScenario(data []byte) (*Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("benchprog: decode scenario: %w", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return nil, fmt.Errorf("benchprog: decode scenario: trailing data after JSON value")
+	}
+	s.normalize()
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("benchprog: decode scenario: %w", err)
+	}
+	return &s, nil
+}
+
+// DecodeScenarioFile reads one scenario file through the strict codec
+// — the shared loader behind the CLIs' -scenario flags.
+func DecodeScenarioFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := DecodeScenario(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Canonicalize normalizes the scenario in place to canonical form and
+// validates it — what DecodeScenario does after parsing, exported for
+// embedders (the wire job-spec decoder) that parse scenarios as part
+// of a larger strict document.
+func (s *Scenario) Canonicalize() error {
+	s.normalize()
+	return s.Validate()
+}
+
+// Clone deep-copies the scenario (slices are not shared).
+func (s *Scenario) Clone() Scenario {
+	v := *s
+	v.Setup = append([]SetupOp(nil), s.Setup...)
+	v.Steps = append([]Instr(nil), s.Steps...)
+	for i := range v.Steps {
+		v.Steps[i].Flags = append([]string(nil), v.Steps[i].Flags...)
+		v.Steps[i].Argv = append([]string(nil), v.Steps[i].Argv...)
+	}
+	return v
+}
+
+// normalize rewrites the scenario into canonical form: empty slices
+// collapse to nil, CredUser (the default) to "", Count 1 (the default)
+// to 0, and flag lists to deduplicated canonical order with the
+// zero-valued "rdonly" dropped.
+func (s *Scenario) normalize() {
+	if s.Cred == CredUser {
+		s.Cred = ""
+	}
+	if len(s.Setup) == 0 {
+		s.Setup = nil
+	}
+	if len(s.Steps) == 0 {
+		s.Steps = nil
+	}
+	for i := range s.Steps {
+		in := &s.Steps[i]
+		if in.Proc == "main" {
+			in.Proc = ""
+		}
+		if in.Count == 1 {
+			in.Count = 0
+		}
+		// "child" is the documented save_proc default: spelling it out
+		// must not change the canonical bytes (dedup keys hash them).
+		if in.SaveProc == "child" {
+			if sys, ok := oskernel.Dispatch(in.Op); ok && sys.Returns == oskernel.RProc {
+				in.SaveProc = ""
+			}
+		}
+		in.Flags = canonicalFlags(in.Flags)
+		if len(in.Argv) == 0 {
+			in.Argv = nil
+		}
+	}
+}
+
+// canonicalFlags returns the flag list in canonical order, deduplicated,
+// with "rdonly" (zero) removed; unknown names are preserved at the end
+// in input order for the validator to reject with a precise message.
+func canonicalFlags(flags []string) []string {
+	if len(flags) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(flags))
+	for _, f := range flags {
+		seen[f] = true
+	}
+	out := make([]string, 0, len(flags))
+	for _, f := range openFlagOrder {
+		if seen[f] {
+			out = append(out, f)
+			delete(seen, f)
+		}
+	}
+	delete(seen, "rdonly")
+	for _, f := range flags {
+		if seen[f] {
+			out = append(out, f)
+			delete(seen, f)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package benchprog
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestCodecRoundTripRegistered: every registered scenario encodes
+// canonically and survives a round trip.
+func TestCodecRoundTripRegistered(t *testing.T) {
+	for _, kind := range []Kind{KindTable2, KindExtra, KindFailure} {
+		for _, name := range ScenarioNames(kind) {
+			s, _ := ScenarioByName(name)
+			data, err := EncodeScenario(&s)
+			if err != nil {
+				t.Fatalf("%s: encode: %v", name, err)
+			}
+			data2, err := EncodeScenario(&s)
+			if err != nil || !bytes.Equal(data, data2) {
+				t.Fatalf("%s: encoding not deterministic", name)
+			}
+			dec, err := DecodeScenario(data)
+			if err != nil {
+				t.Fatalf("%s: decode: %v", name, err)
+			}
+			if !reflect.DeepEqual(*dec, s) {
+				t.Errorf("%s: round trip drift:\n got %+v\nwant %+v", name, *dec, s)
+			}
+		}
+	}
+}
+
+func TestCodecStrict(t *testing.T) {
+	if _, err := DecodeScenario([]byte(`{"name":"x","steps":[{"op":"creat","path":"/stage/f","target":true}],"bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := DecodeScenario([]byte(`{"name":"x","steps":[{"op":"creat","path":"/stage/f","target":true}]} trailing`)); err == nil {
+		t.Error("trailing data accepted")
+	}
+	if _, err := DecodeScenario([]byte(`{"name":"x","steps":[{"op":"mount"}]}`)); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+	if _, err := EncodeScenario(nil); err == nil {
+		t.Error("nil scenario encoded")
+	}
+}
+
+// TestCodecNormalizesFlags: flag lists canonicalize (order, dedup,
+// rdonly dropped) so equal scenarios share one encoding.
+func TestCodecNormalizesFlags(t *testing.T) {
+	s := Scenario{Name: "flags", Steps: []Instr{
+		{Op: "open", Path: "/etc/passwd", Flags: []string{"rdonly", "trunc", "wronly", "trunc"}, Errno: "EACCES", Target: true},
+	}}
+	data, err := EncodeScenario(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"flags":["wronly","trunc"]`) {
+		t.Errorf("flags not canonicalized: %s", data)
+	}
+	if len(s.Steps[0].Flags) != 4 {
+		t.Error("EncodeScenario mutated its input")
+	}
+	// Count 1, cred "user", and save_proc "child" are defaults and
+	// normalize away — spelling a default out must not change the
+	// canonical bytes dedup keys hash.
+	s2 := Scenario{Name: "defaults", Cred: CredUser, Steps: []Instr{
+		{Op: "fork", SaveProc: "child", Target: true},
+		{Op: "creat", Path: "/stage/f", Count: 1, Target: true},
+	}}
+	data2, err := EncodeScenario(&s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{"count", "cred", "save_proc"} {
+		if strings.Contains(string(data2), needle) {
+			t.Errorf("default %q not normalized away: %s", needle, data2)
+		}
+	}
+	implicit := Scenario{Name: "defaults", Steps: []Instr{
+		{Op: "fork", Target: true},
+		{Op: "creat", Path: "/stage/f", Target: true},
+	}}
+	data3, err := EncodeScenario(&implicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data2, data3) {
+		t.Errorf("explicit defaults encode differently:\n%s\n%s", data2, data3)
+	}
+}
+
+// FuzzScenarioRoundTrip: any scenario the strict decoder accepts must
+// re-encode canonically and decode back to the same value — the
+// invariant dedup cell keys rely on.
+func FuzzScenarioRoundTrip(f *testing.F) {
+	for _, kind := range []Kind{KindTable2, KindExtra, KindFailure} {
+		for _, name := range ScenarioNames(kind) {
+			s, _ := ScenarioByName(name)
+			data, err := EncodeScenario(&s)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"name":"x","steps":[{"op":"pipe","save_fd":"r","save_fd2":"w"},{"op":"tee","fd":"r","fd2":"w","n":1,"target":true}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeScenario(data)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeScenario(s)
+		if err != nil {
+			t.Fatalf("decoded scenario failed to encode: %v", err)
+		}
+		s2, err := DecodeScenario(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip drift:\n got %+v\nwant %+v", s2, s)
+		}
+		enc2, err := EncodeScenario(s2)
+		if err != nil || !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding not a fixpoint:\n%s\n%s", enc, enc2)
+		}
+	})
+}

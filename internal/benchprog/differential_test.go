@@ -1,0 +1,146 @@
+package benchprog_test
+
+// Differential tests: every benchmark re-expressed on the declarative
+// instruction set must be observationally identical to its frozen
+// closure form. Two levels:
+//
+//  1. Event-stream equality — run closure and scenario forms of every
+//     program (both variants) in fresh kernels and require the exact
+//     same audit/libc/LSM event streams, timestamps included. Stream
+//     equality implies graph equality for every capture tool.
+//  2. Graph-fingerprint equality — run the full four-stage pipeline on
+//     both forms under each capture tool for a spot-check subset and
+//     require identical target/fg/bg shape fingerprints.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"provmark/internal/benchprog"
+	"provmark/internal/capture"
+	"provmark/internal/graph"
+	"provmark/internal/oskernel"
+	"provmark/internal/provmark"
+
+	_ "provmark/internal/capture/camflow"
+	_ "provmark/internal/capture/opus"
+	_ "provmark/internal/capture/spade"
+)
+
+// runStreams executes one program variant in a fresh kernel and
+// returns the captured event stream.
+func runStreams(t *testing.T, prog benchprog.Program, v benchprog.Variant) *oskernel.TapBuffer {
+	t.Helper()
+	k := oskernel.New()
+	tap := &oskernel.TapBuffer{}
+	k.Register(tap)
+	if err := benchprog.Run(k, prog, v); err != nil {
+		t.Fatalf("%s/%s: %v", prog.Name, v, err)
+	}
+	return tap
+}
+
+func assertStreamsEqual(t *testing.T, seed, scn benchprog.Program) {
+	t.Helper()
+	if seed.Name != scn.Name || seed.Group != scn.Group || seed.Desc != scn.Desc {
+		t.Errorf("%s: metadata drift: seed (%q,%d,%q) vs scenario (%q,%d,%q)",
+			seed.Name, seed.Name, seed.Group, seed.Desc, scn.Name, scn.Group, scn.Desc)
+	}
+	for _, v := range []benchprog.Variant{benchprog.Background, benchprog.Foreground} {
+		a := runStreams(t, seed, v)
+		b := runStreams(t, scn, v)
+		if !reflect.DeepEqual(a.AuditEvents, b.AuditEvents) {
+			t.Errorf("%s/%s: audit stream differs (seed %d events, scenario %d)",
+				seed.Name, v, len(a.AuditEvents), len(b.AuditEvents))
+		}
+		if !reflect.DeepEqual(a.LibcEvents, b.LibcEvents) {
+			t.Errorf("%s/%s: libc stream differs (seed %d events, scenario %d)",
+				seed.Name, v, len(a.LibcEvents), len(b.LibcEvents))
+		}
+		if !reflect.DeepEqual(a.LSMEvents, b.LSMEvents) {
+			t.Errorf("%s/%s: LSM stream differs (seed %d events, scenario %d)",
+				seed.Name, v, len(a.LSMEvents), len(b.LSMEvents))
+		}
+	}
+}
+
+// TestScenarioStreamEquivalenceTable2: all Table 2 programs rebuilt on
+// the instruction set replay the seed closures' kernel event streams
+// byte for byte.
+func TestScenarioStreamEquivalenceTable2(t *testing.T) {
+	seeds := benchprog.SeedSuite()
+	if len(seeds) != len(benchprog.Names()) {
+		t.Fatalf("registry has %d Table 2 scenarios, seed suite has %d", len(benchprog.Names()), len(seeds))
+	}
+	for _, seed := range seeds {
+		scn, ok := benchprog.ByName(seed.Name)
+		if !ok {
+			t.Errorf("%s: in seed suite but not in scenario registry", seed.Name)
+			continue
+		}
+		assertStreamsEqual(t, seed, scn)
+	}
+}
+
+// TestScenarioStreamEquivalenceExtras: the extra and failure programs
+// match their seed closures too.
+func TestScenarioStreamEquivalenceExtras(t *testing.T) {
+	assertStreamsEqual(t, benchprog.SeedFailedRename(), benchprog.FailedRename())
+	assertStreamsEqual(t, benchprog.SeedPrivilegeEscalation(), benchprog.PrivilegeEscalation())
+	assertStreamsEqual(t, benchprog.SeedRepeatedReads(8), benchprog.RepeatedReads(8))
+	for _, n := range []int{1, 2, 4, 8} {
+		assertStreamsEqual(t, benchprog.SeedScaleProgram(n), benchprog.ScaleProgram(n))
+	}
+	seedFailures := benchprog.SeedFailureCases()
+	failures := benchprog.FailureCases()
+	if len(seedFailures) != len(failures) {
+		t.Fatalf("failure suite drift: seed %d, registry %d", len(seedFailures), len(failures))
+	}
+	for i := range seedFailures {
+		assertStreamsEqual(t, seedFailures[i], failures[i])
+	}
+}
+
+func fingerprints(t *testing.T, tool string, prog benchprog.Program) [3]string {
+	t.Helper()
+	rec, err := capture.Open(tool, capture.Options{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := provmark.New(rec, provmark.WithTrials(2)).RunContext(context.Background(), prog)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", tool, prog.Name, err)
+	}
+	fp := func(g *graph.Graph) string {
+		if g == nil {
+			return "<nil>"
+		}
+		return graph.ShapeFingerprint(g)
+	}
+	return [3]string{fp(res.Target), fp(res.FG), fp(res.BG)}
+}
+
+// TestScenarioFingerprintEquivalence runs the full pipeline on both
+// forms of every Table 2 program under every registered capture tool
+// and requires identical benchmark-graph fingerprints — the acceptance
+// bar for the instruction-set rewrite.
+func TestScenarioFingerprintEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline differential is not a -short test")
+	}
+	tools := []string{"spade", "opus", "camflow"}
+	for _, seed := range benchprog.SeedSuite() {
+		scn, ok := benchprog.ByName(seed.Name)
+		if !ok {
+			t.Fatalf("%s: not registered", seed.Name)
+		}
+		for _, tool := range tools {
+			got := fingerprints(t, tool, scn)
+			want := fingerprints(t, tool, seed)
+			if got != want {
+				t.Errorf("%s/%s: fingerprint drift: scenario %v, seed %v", tool, seed.Name, got, want)
+			}
+		}
+	}
+}

@@ -7,10 +7,11 @@ import (
 	"provmark/internal/oskernel"
 )
 
-// ScaleProgram builds the scalability benchmark of Section 5.2: the
+// SeedScaleProgram is the frozen closure form of the scalability
+// benchmark of Section 5.2 (reference for differential tests): the
 // target is a create-then-unlink pair repeated `repeat` times (scale1,
 // scale2, scale4, scale8 in Figures 8–10).
-func ScaleProgram(repeat int) Program {
+func SeedScaleProgram(repeat int) Program {
 	steps := make([]Step, 0, repeat)
 	for i := 0; i < repeat; i++ {
 		path := "/stage/scale" + strconv.Itoa(i) + ".txt"
@@ -31,11 +32,12 @@ func ScaleProgram(repeat int) Program {
 	}
 }
 
-// FailedRename is the Section 3.1 "Alice" benchmark: an unprivileged
+// SeedFailedRename is the frozen closure form of the Section 3.1
+// "Alice" benchmark: an unprivileged
 // user attempts to overwrite /etc/passwd by renaming another file. The
 // call fails with EACCES; which tools record the attempt is exactly
 // what the use case probes.
-func FailedRename() Program {
+func SeedFailedRename() Program {
 	return Program{
 		Name:  "rename-failed",
 		Group: 1,
@@ -53,10 +55,11 @@ func FailedRename() Program {
 	}
 }
 
-// RepeatedReads is the Section 3.1 "Bob" benchmark used to probe
+// SeedRepeatedReads is the frozen closure form of the Section 3.1
+// "Bob" benchmark used to probe
 // SPADE's IORuns filter: the target performs `count` consecutive reads
 // of the same file, which the filter should coalesce into one edge.
-func RepeatedReads(count int) Program {
+func SeedRepeatedReads(count int) Program {
 	return Program{
 		Name:  "reads" + strconv.Itoa(count),
 		Group: 1,
@@ -80,10 +83,11 @@ func RepeatedReads(count int) Program {
 	}
 }
 
-// PrivilegeEscalation is the Section 3.1 "Dora" benchmark: a process
+// SeedPrivilegeEscalation is the frozen closure form of the Section
+// 3.1 "Dora" benchmark: a process
 // reads a sensitive file, then escalates privilege (setuid 0) as the
 // target activity, then overwrites the file.
-func PrivilegeEscalation() Program {
+func SeedPrivilegeEscalation() Program {
 	return Program{
 		Name:  "privesc",
 		Group: 3,

@@ -6,12 +6,13 @@ import (
 	"provmark/internal/oskernel"
 )
 
-// FailureCases returns the failure-scenario benchmark suite the Alice
+// SeedFailureCases is the frozen closure form of the failure-scenario
+// benchmark suite the Alice
 // use case sketches: for each case the target syscall is *expected to
 // fail*, and the interesting question is which recorders keep any
 // trace. Each program asserts the failure actually happened (a
 // benchmark whose "failed" call succeeds is a broken benchmark).
-func FailureCases() []Program {
+func SeedFailureCases() []Program {
 	mustFail := func(name string, call func(w *World) (int64, oskernel.Errno), want oskernel.Errno) Step {
 		return step(true, func(w *World) error {
 			ret, errno := call(w)
@@ -102,14 +103,4 @@ func FailureCases() []Program {
 			}, oskernel.EPERM)},
 		},
 	}
-}
-
-// FailureCaseByName looks up one failure benchmark.
-func FailureCaseByName(name string) (Program, bool) {
-	for _, p := range FailureCases() {
-		if p.Name == name {
-			return p, true
-		}
-	}
-	return Program{}, false
 }

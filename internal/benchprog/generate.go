@@ -1,0 +1,217 @@
+package benchprog
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"provmark/internal/oskernel"
+)
+
+// Scenario generators: because benchmark programs are data, new ones
+// can be derived from existing ones. Each combinator returns a fresh,
+// validated scenario; the input is never mutated. Paths may contain
+// the placeholders "{i}" (repeat index) and "{p}" (process index),
+// substituted by the combinators that introduce those dimensions.
+
+// ScaleScenario builds the Section 5.2 scalability benchmark as data:
+// `repeat` create-then-unlink pairs, all target activity.
+func ScaleScenario(repeat int) Scenario {
+	steps := make([]Instr, 0, 2*repeat)
+	for i := 0; i < repeat; i++ {
+		path := "/stage/scale" + strconv.Itoa(i) + ".txt"
+		steps = append(steps,
+			target(Instr{Op: "creat", Path: path}),
+			target(Instr{Op: "unlink", Path: path}),
+		)
+	}
+	return Scenario{
+		Name:  "scale" + strconv.Itoa(repeat),
+		Group: 1,
+		Desc:  fmt.Sprintf("create+unlink repeated %d times", repeat),
+		Steps: steps,
+	}
+}
+
+// RepeatedReadsScenario builds the Section 3.1 "Bob" benchmark as
+// data: `count` consecutive reads of one open file.
+func RepeatedReadsScenario(count int) Scenario {
+	return Scenario{
+		Name:  "reads" + strconv.Itoa(count),
+		Group: 1,
+		Desc:  fmt.Sprintf("%d consecutive reads of one file", count),
+		Setup: setupFileOp(stageFile),
+		Steps: []Instr{openID(), target(Instr{Op: "read", FD: "id", N: 4, Count: count})},
+	}
+}
+
+// Repeat scales a scenario by repeating its target block n times: the
+// background prologue runs once, then n copies of the target
+// instructions. Slots bound inside the target block are renamed per
+// copy so the copies stay independent; references to background slots
+// are shared. "{i}" in paths is replaced by the copy index.
+func Repeat(s Scenario, n int) (Scenario, error) {
+	if n < 1 {
+		return Scenario{}, fmt.Errorf("benchprog: repeat %q: n must be >= 1", s.Name)
+	}
+	out := s.Clone()
+	out.Name = fmt.Sprintf("%s-x%d", s.Name, n)
+	out.Desc = fmt.Sprintf("%s (target repeated %d times)", s.Desc, n)
+	var bg, tgt []Instr
+	for i, in := range out.Steps {
+		if in.Target {
+			tgt = append(tgt, in)
+		} else {
+			// Repeat partitions into prologue-then-targets; a background
+			// instruction *after* a target step (e.g. cleanup) would be
+			// silently hoisted before every copy, changing the program's
+			// meaning. Refuse rather than reorder.
+			if len(tgt) > 0 {
+				return Scenario{}, fmt.Errorf("benchprog: repeat %q: step %d: background instruction after the target block", s.Name, i)
+			}
+			bg = append(bg, in)
+		}
+	}
+	local := localSlots(tgt)
+	steps := append([]Instr(nil), bg...)
+	for i := 0; i < n; i++ {
+		for _, in := range tgt {
+			steps = append(steps, rewriteInstr(in, local, "#"+strconv.Itoa(i), "{i}", strconv.Itoa(i)))
+		}
+	}
+	out.Steps = steps
+	if err := out.Validate(); err != nil {
+		return Scenario{}, fmt.Errorf("benchprog: repeat: %w", err)
+	}
+	return out, nil
+}
+
+// MultiProcess fans a scenario out over n forked children: for each
+// child the main process forks (background scaffolding), then the
+// whole instruction list runs inside that child, slots renamed per
+// child and "{p}" in paths replaced by the child index. Forked
+// children inherit descriptor tables, so per-child slot renaming keeps
+// the copies independent.
+func MultiProcess(s Scenario, n int) (Scenario, error) {
+	if n < 1 {
+		return Scenario{}, fmt.Errorf("benchprog: multiprocess %q: n must be >= 1", s.Name)
+	}
+	out := s.Clone()
+	out.Name = fmt.Sprintf("%s-mp%d", s.Name, n)
+	out.Desc = fmt.Sprintf("%s (in %d forked processes)", s.Desc, n)
+	local := localSlots(out.Steps)
+	var steps []Instr
+	for p := 0; p < n; p++ {
+		proc := "p" + strconv.Itoa(p)
+		steps = append(steps, Instr{Op: "fork", SaveProc: proc})
+		for _, in := range out.Steps {
+			r := rewriteInstr(in, local, "#"+proc, "{p}", strconv.Itoa(p))
+			if r.Proc == "" || r.Proc == "main" {
+				r.Proc = proc
+			}
+			steps = append(steps, r)
+		}
+	}
+	out.Steps = steps
+	if err := out.Validate(); err != nil {
+		return Scenario{}, fmt.Errorf("benchprog: multiprocess: %w", err)
+	}
+	return out, nil
+}
+
+// ExpectFailure derives the failure-injection variant of a scenario:
+// run under the given credentials with every target instruction
+// expected to fail with the given errno (or ErrnoAny). The combinator
+// behind Alice-style "which recorders keep a trace of the denied
+// attempt" suites.
+func ExpectFailure(s Scenario, errno, cred string) (Scenario, error) {
+	if errno == "" {
+		return Scenario{}, fmt.Errorf("benchprog: expectfailure %q: missing errno", s.Name)
+	}
+	out := s.Clone()
+	suffix := errno
+	if e, ok := oskernel.ErrnoByName(errno); ok {
+		suffix = strings.ToLower(e.Error())
+	}
+	out.Name = fmt.Sprintf("%s-%s", s.Name, suffix)
+	out.Desc = fmt.Sprintf("%s (expected to fail: %s)", s.Desc, errno)
+	out.Cred = cred
+	for i := range out.Steps {
+		if out.Steps[i].Target {
+			out.Steps[i].Errno = errno
+		}
+	}
+	out.normalize()
+	if err := out.Validate(); err != nil {
+		return Scenario{}, fmt.Errorf("benchprog: expectfailure: %w", err)
+	}
+	return out, nil
+}
+
+// Shuffle permutes the target instructions of a scenario with a
+// deterministic seed (background order is preserved — prerequisites
+// stay put). It generates order-sensitivity probes; scenarios whose
+// target instructions depend on each other fail validation rather
+// than producing a silently broken program.
+func Shuffle(s Scenario, seed int64) (Scenario, error) {
+	out := s.Clone()
+	out.Name = fmt.Sprintf("%s-shuf%d", s.Name, seed)
+	out.Desc = fmt.Sprintf("%s (target order shuffled, seed %d)", s.Desc, seed)
+	var idx []int
+	for i, in := range out.Steps {
+		if in.Target {
+			idx = append(idx, i)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(idx))
+	steps := append([]Instr(nil), out.Steps...)
+	for i, p := range perm {
+		steps[idx[i]] = out.Steps[idx[p]]
+	}
+	out.Steps = steps
+	if err := out.Validate(); err != nil {
+		return Scenario{}, fmt.Errorf("benchprog: shuffle: %w", err)
+	}
+	return out, nil
+}
+
+// localSlots collects the fd and proc slots bound inside an
+// instruction block — the slots a copying combinator must rename.
+func localSlots(block []Instr) map[string]bool {
+	local := make(map[string]bool)
+	for _, in := range block {
+		if in.SaveFD != "" {
+			local[in.SaveFD] = true
+		}
+		if in.SaveFD2 != "" {
+			local[in.SaveFD2] = true
+		}
+		if sys, ok := oskernel.Dispatch(in.Op); ok && sys.Returns == oskernel.RProc {
+			local[in.saveProcSlot()] = true
+		}
+	}
+	return local
+}
+
+// rewriteInstr renames block-local slots with a suffix and substitutes
+// a path placeholder.
+func rewriteInstr(in Instr, local map[string]bool, suffix, placeholder, value string) Instr {
+	ren := func(slot string) string {
+		if slot != "" && local[slot] {
+			return slot + suffix
+		}
+		return slot
+	}
+	out := in
+	out.FD, out.FD2 = ren(in.FD), ren(in.FD2)
+	out.SaveFD, out.SaveFD2 = ren(in.SaveFD), ren(in.SaveFD2)
+	out.Proc, out.PIDOf = ren(in.Proc), ren(in.PIDOf)
+	if sys, ok := oskernel.Dispatch(in.Op); ok && sys.Returns == oskernel.RProc {
+		out.SaveProc = in.saveProcSlot() + suffix
+	}
+	out.Path = strings.ReplaceAll(in.Path, placeholder, value)
+	out.Path2 = strings.ReplaceAll(in.Path2, placeholder, value)
+	return out
+}

@@ -1,0 +1,210 @@
+package benchprog
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"provmark/internal/oskernel"
+)
+
+func countAudit(t *testing.T, prog Program, syscall string) int {
+	t.Helper()
+	k := oskernel.New()
+	tap := &oskernel.TapBuffer{}
+	k.Register(tap)
+	if err := Run(k, prog, Foreground); err != nil {
+		t.Fatalf("%s: %v", prog.Name, err)
+	}
+	n := 0
+	for _, ev := range tap.AuditEvents {
+		if ev.Syscall == syscall {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRepeatCombinator(t *testing.T) {
+	base, _ := ScenarioByName("creat")
+	rep, err := Repeat(base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "creat-x3" {
+		t.Errorf("name = %q", rep.Name)
+	}
+	// creat of a fixed path repeated 3 times: with {i} templating the
+	// paths separate and every call succeeds.
+	for i := range rep.Steps {
+		rep.Steps[i].Path = strings.Replace(rep.Steps[i].Path, "new.txt", "new{i}.txt", 1)
+	}
+	rep2, err := Repeat(base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep2.Steps {
+		rep2.Steps[i].Path = strings.Replace(rep2.Steps[i].Path, "new.txt", "new{i}.txt", 1)
+	}
+	_ = rep2
+	templated := base.Clone()
+	templated.Steps[0].Path = "/stage/new{i}.txt"
+	rep3, err := Repeat(templated, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := rep3.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countAudit(t, prog, "creat"); got != 3 {
+		t.Errorf("creats = %d, want 3", got)
+	}
+}
+
+// TestRepeatRenamesLocalSlots: slots bound inside the target block are
+// per-copy; references to background slots are shared.
+func TestRepeatRenamesLocalSlots(t *testing.T) {
+	s := Scenario{
+		Name:  "open-close",
+		Setup: setupFileOp(stageFile),
+		Steps: []Instr{
+			target(Instr{Op: "open", Path: stageFile, Flags: []string{"rdwr"}, SaveFD: "fd"}),
+			target(Instr{Op: "close", FD: "fd"}),
+		},
+	}
+	rep, err := Repeat(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps[0].SaveFD != "fd#0" || rep.Steps[1].FD != "fd#0" ||
+		rep.Steps[2].SaveFD != "fd#1" || rep.Steps[3].FD != "fd#1" {
+		t.Errorf("local slots not renamed per copy: %+v", rep.Steps)
+	}
+	prog, err := rep.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countAudit(t, prog, "close"); got != 2 {
+		t.Errorf("closes = %d, want 2", got)
+	}
+}
+
+// TestRepeatRejectsTrailingBackground: a background instruction after
+// the target block would be hoisted before every copy; Repeat refuses
+// instead of silently reordering the program.
+func TestRepeatRejectsTrailingBackground(t *testing.T) {
+	s := Scenario{
+		Name: "with-cleanup",
+		Steps: []Instr{
+			{Op: "creat", Path: "/stage/f.txt"},
+			target(Instr{Op: "chmod", Path: "/stage/f.txt", Mode: 0o600}),
+			{Op: "unlink", Path: "/stage/f.txt"}, // bg cleanup after targets
+		},
+	}
+	if _, err := Repeat(s, 2); err == nil || !strings.Contains(err.Error(), "after the target block") {
+		t.Errorf("trailing background instruction accepted: %v", err)
+	}
+}
+
+func TestMultiProcessCombinator(t *testing.T) {
+	base := Scenario{
+		Name:  "creat-one",
+		Group: 1,
+		Steps: []Instr{target(Instr{Op: "creat", Path: "/stage/mp{p}.txt"})},
+	}
+	mp, err := MultiProcess(base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Name != "creat-one-mp3" {
+		t.Errorf("name = %q", mp.Name)
+	}
+	prog, err := mp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countAudit(t, prog, "creat"); got != 3 {
+		t.Errorf("creats = %d, want 3", got)
+	}
+	// 3 scaffold forks; each creat runs in its own child.
+	if got := countAudit(t, prog, "fork"); got != 3+1 { // +1: Launch's fork
+		t.Errorf("forks = %d, want 4", got)
+	}
+}
+
+func TestExpectFailureCombinator(t *testing.T) {
+	chown, _ := ScenarioByName("chown") // runs as root in the registry
+	failing, err := ExpectFailure(chown, "EPERM", CredUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failing.Name != "chown-eperm" || failing.Cred != "" {
+		t.Errorf("derived %q cred %q", failing.Name, failing.Cred)
+	}
+	prog, err := failing.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(oskernel.New(), prog, Foreground); err != nil {
+		t.Errorf("failure-injected chown: %v", err)
+	}
+	if _, err := ExpectFailure(chown, "", CredUser); err == nil {
+		t.Error("empty errno accepted")
+	}
+}
+
+func TestShuffleCombinator(t *testing.T) {
+	s := ScaleScenario(4)
+	a, err := Shuffle(s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Shuffle(s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Steps, b.Steps) {
+		t.Error("shuffle not deterministic for one seed")
+	}
+	// Background steps keep their positions.
+	reads := RepeatedReadsScenario(3)
+	shuf, err := Shuffle(reads, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shuf.Steps[0].Op != "open" || shuf.Steps[0].Target {
+		t.Error("background prologue moved")
+	}
+	prog, err := shuf.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(oskernel.New(), prog, Foreground); err != nil {
+		t.Errorf("shuffled scenario run: %v", err)
+	}
+}
+
+// TestGeneratedScenariosAreWireSafe: generator output round-trips
+// through the strict codec like any hand-written scenario.
+func TestGeneratedScenariosAreWireSafe(t *testing.T) {
+	mp, err := MultiProcess(ScaleScenario(2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeScenario(&mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := dec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countAudit(t, prog, "creat"); got != 4 {
+		t.Errorf("creats = %d, want 4", got)
+	}
+}

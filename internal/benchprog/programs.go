@@ -4,10 +4,14 @@ import (
 	"provmark/internal/oskernel"
 )
 
-// All returns the full Table 2 benchmark suite. Programs are built
+// SeedSuite returns the original closure implementation of the full
+// Table 2 benchmark suite. The production suite is now compiled from
+// the declarative scenario registry (see table2.go); this closure form
+// is frozen as the reference implementation that the scenario
+// compiler's differential tests compare against. Programs are built
 // fresh on every call so steps can be run repeatedly without sharing
 // state between trials.
-func All() []Program {
+func SeedSuite() []Program {
 	return []Program{
 		// ---- Group 1: files ------------------------------------------------
 		{

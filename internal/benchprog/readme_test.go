@@ -1,0 +1,66 @@
+package benchprog
+
+// The README's "Scenarios" section carries the registered benchmark
+// suite between <!-- benchmark-registry:begin/end --> markers. This
+// drift guard regenerates that block from the live registry and fails
+// when the document and the code disagree — the list is documentation
+// that cannot go stale silently.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+func registryMarkdown() string {
+	groups := map[int][]string{}
+	for _, name := range Names() {
+		p, _ := ByName(name)
+		groups[p.Group] = append(groups[p.Group], name)
+	}
+	labels := map[int]string{1: "files", 2: "processes", 3: "permissions", 4: "pipes"}
+	var b strings.Builder
+	b.WriteString("| group | family | count | benchmarks |\n|---|---|---|---|\n")
+	for g := 1; g <= 4; g++ {
+		fmt.Fprintf(&b, "| %d | %s | %d | %s |\n", g, labels[g], len(groups[g]), strings.Join(groups[g], ", "))
+	}
+	fmt.Fprintf(&b, "\nextras: %s\n", strings.Join(ScenarioNames(KindExtra), ", "))
+	fmt.Fprintf(&b, "\nfailures: %s\n", strings.Join(ScenarioNames(KindFailure), ", "))
+	return b.String()
+}
+
+func TestReadmeBenchmarkListMatchesRegistry(t *testing.T) {
+	data, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const begin, end = "<!-- benchmark-registry:begin -->", "<!-- benchmark-registry:end -->"
+	doc := string(data)
+	i := strings.Index(doc, begin)
+	j := strings.Index(doc, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md lacks the %s/%s markers", begin, end)
+	}
+	got := strings.TrimSpace(doc[i+len(begin) : j])
+	want := strings.TrimSpace(registryMarkdown())
+	if got != want {
+		t.Errorf("README benchmark list drifted from the registry.\n--- README ---\n%s\n--- registry ---\n%s", got, want)
+	}
+}
+
+// TestReadmeGroupCountsMatchTable1: the documented per-group counts
+// are the registry's (and Table 1's) actual counts.
+func TestReadmeGroupCountsMatchTable1(t *testing.T) {
+	counts := map[int]int{}
+	for _, name := range Names() {
+		p, _ := ByName(name)
+		counts[p.Group]++
+	}
+	want := map[int]int{1: 23, 2: 6, 3: 12, 4: 3}
+	for g, n := range want {
+		if counts[g] != n {
+			t.Errorf("group %d has %d scenarios, want %d", g, counts[g], n)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package benchprog
+
+import (
+	"strings"
+	"testing"
+
+	"provmark/internal/oskernel"
+)
+
+func validScenario() Scenario {
+	return Scenario{
+		Name:  "copy-then-clean",
+		Group: 1,
+		Desc:  "open+read a source, creat+write a copy, unlink the source",
+		Setup: []SetupOp{{Kind: "file", Path: "/stage/src.txt", UID: 1000, Mode: 0o644}},
+		Steps: []Instr{
+			{Op: "open", Path: "/stage/src.txt", Flags: []string{"rdwr"}, SaveFD: "src"},
+			{Op: "read", FD: "src", N: 8},
+			{Op: "creat", Path: "/stage/copy.txt", SaveFD: "dst", Target: true},
+			{Op: "write", FD: "dst", N: 8, Target: true},
+			{Op: "unlink", Path: "/stage/src.txt", Target: true},
+		},
+	}
+}
+
+func TestScenarioCompileAndRun(t *testing.T) {
+	prog, err := validScenario().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []Variant{Background, Foreground} {
+		k := oskernel.New()
+		tap := &oskernel.TapBuffer{}
+		k.Register(tap)
+		if err := Run(k, prog, v); err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		creats := 0
+		for _, ev := range tap.AuditEvents {
+			if ev.Syscall == "creat" {
+				creats++
+			}
+		}
+		if want := map[Variant]int{Background: 0, Foreground: 1}[v]; creats != want {
+			t.Errorf("%s: %d creats, want %d", v, creats, want)
+		}
+	}
+}
+
+func TestScenarioValidateRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Scenario)
+		errPart string
+	}{
+		{"missing name", func(s *Scenario) { s.Name = "" }, "missing name"},
+		{"bad name chars", func(s *Scenario) { s.Name = "a b" }, "may only contain"},
+		{"bad group", func(s *Scenario) { s.Group = 9 }, "group"},
+		{"bad cred", func(s *Scenario) { s.Cred = "wheel" }, "unknown cred"},
+		{"bad setup kind", func(s *Scenario) { s.Setup[0].Kind = "socket" }, "unknown kind"},
+		{"setup path", func(s *Scenario) { s.Setup[0].Path = "" }, "missing path"},
+		{"no steps", func(s *Scenario) { s.Steps = nil }, "no steps"},
+		{"unknown op", func(s *Scenario) { s.Steps[0].Op = "mount" }, "unknown op"},
+		{"stray arg", func(s *Scenario) { s.Steps[0].Sig = 9 }, "does not take"},
+		{"unknown flag", func(s *Scenario) { s.Steps[0].Flags = []string{"direct"} }, "unknown open flag"},
+		{"negative count", func(s *Scenario) { s.Steps[1].Count = -1 }, "negative count"},
+		{
+			"repeated fork",
+			func(s *Scenario) { s.Steps[0] = Instr{Op: "fork", Count: 2} },
+			"cannot repeat",
+		},
+		{"unknown errno", func(s *Scenario) { s.Steps[0].Errno = "EIO" }, "unknown errno"},
+		{"save on non-fd op", func(s *Scenario) { s.Steps[4].SaveFD = "x" }, "does not return a descriptor"},
+		{"save pair on fd op", func(s *Scenario) { s.Steps[0].SaveFD2 = "x" }, "descriptor pair"},
+		{"save proc on fd op", func(s *Scenario) { s.Steps[0].SaveProc = "c" }, "does not create a process"},
+		{"undefined fd slot", func(s *Scenario) { s.Steps[1].FD = "nope" }, "undefined fd slot"},
+		{"undefined proc slot", func(s *Scenario) { s.Steps[1].Proc = "ghost" }, "undefined process slot"},
+		{"missing fd slot", func(s *Scenario) { s.Steps[1].FD = "" }, "requires an fd slot"},
+		{
+			"bg use of target-bound slot",
+			func(s *Scenario) { s.Steps[3].Target = false },
+			"undefined fd slot",
+		},
+		{
+			"failed call binds nothing",
+			func(s *Scenario) { s.Steps[0].Errno = "ENOENT" },
+			"undefined fd slot",
+		},
+	}
+	for _, tc := range cases {
+		s := validScenario()
+		tc.mutate(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errPart) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.errPart)
+		}
+	}
+}
+
+// TestScenarioExpectedErrno: instructions expecting a specific errno
+// fail the run when the call succeeds or fails differently.
+func TestScenarioExpectedErrno(t *testing.T) {
+	run := func(s Scenario) error {
+		prog, err := s.Compile()
+		if err != nil {
+			return err
+		}
+		return Run(oskernel.New(), prog, Foreground)
+	}
+	s := Scenario{Name: "expect-enoent", Steps: []Instr{
+		{Op: "open", Path: "/stage/missing", Errno: "ENOENT", Target: true},
+	}}
+	if err := run(s); err != nil {
+		t.Errorf("expected-errno scenario failed: %v", err)
+	}
+	s.Steps[0].Errno = "EACCES" // wrong expectation
+	if err := run(s); err == nil || !strings.Contains(err.Error(), "want EACCES") {
+		t.Errorf("mismatched errno not reported: %v", err)
+	}
+	s.Steps[0].Path = "/etc/passwd" // open rdonly succeeds
+	s.Steps[0].Errno = ErrnoAny
+	if err := run(s); err == nil || !strings.Contains(err.Error(), "unexpectedly succeeded") {
+		t.Errorf("unexpected success not reported: %v", err)
+	}
+}
+
+// TestScenarioCount: count repeats the call.
+func TestScenarioCount(t *testing.T) {
+	s := Scenario{
+		Name:  "count-reads",
+		Setup: setupFileOp(stageFile),
+		Steps: []Instr{openID(), target(Instr{Op: "read", FD: "id", N: 4, Count: 3})},
+	}
+	prog, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := oskernel.New()
+	tap := &oskernel.TapBuffer{}
+	k.Register(tap)
+	if err := Run(k, prog, Foreground); err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	for _, ev := range tap.AuditEvents {
+		if ev.Syscall == "read" {
+			reads++
+		}
+	}
+	if reads != 3 {
+		t.Errorf("reads = %d, want 3", reads)
+	}
+}
+
+// TestScenarioProcSlots: save_proc/proc thread work through children,
+// and children alive at the end exit implicitly in creation order.
+func TestScenarioProcSlots(t *testing.T) {
+	s := Scenario{
+		Name: "two-children",
+		Steps: []Instr{
+			{Op: "fork", SaveProc: "a"},
+			{Op: "fork", SaveProc: "b"},
+			target(Instr{Op: "creat", Path: "/stage/by-a.txt", Proc: "a"}),
+		},
+	}
+	prog, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := oskernel.New()
+	tap := &oskernel.TapBuffer{}
+	k.Register(tap)
+	if err := Run(k, prog, Foreground); err != nil {
+		t.Fatal(err)
+	}
+	exits := 0
+	for _, ev := range tap.AuditEvents {
+		if ev.Syscall == "exit_group" {
+			exits++
+		}
+	}
+	// main + both children exit implicitly.
+	if exits != 3 {
+		t.Errorf("exit_group records = %d, want 3", exits)
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndInvalid(t *testing.T) {
+	if err := RegisterScenario(Scenario{Name: "close"}, KindExtra); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := RegisterScenario(Scenario{Name: "fresh-but-broken"}, KindExtra); err == nil {
+		t.Error("invalid scenario registered")
+	}
+	if err := RegisterScenario(validScenario(), "bogus-kind"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// TestNamesStableAndCheap: Names returns the Table 2 order and does
+// not rebuild programs (metadata comes from the registry cache).
+func TestNamesStableAndCheap(t *testing.T) {
+	a, b := Names(), Names()
+	if len(a) != 44 {
+		t.Fatalf("Names() = %d entries", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Names() unstable at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	a[0] = "mutated"
+	if Names()[0] == "mutated" {
+		t.Error("Names() returns an aliased slice")
+	}
+	allocs := testing.AllocsPerRun(100, func() { Names() })
+	if allocs > 3 {
+		t.Errorf("Names() allocates %.0f objects per call; registry cache not used", allocs)
+	}
+}

@@ -128,6 +128,32 @@ func (m *Manager) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
+// JobStateCounts tallies retained jobs by wire state.
+type JobStateCounts struct {
+	Total    int `json:"total"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Canceled int `json:"canceled"`
+}
+
+// JobStates counts the manager's retained jobs by state — the job half
+// of the /v1/stats surface.
+func (m *Manager) JobStates() JobStateCounts {
+	var c JobStateCounts
+	for _, j := range m.Jobs() {
+		c.Total++
+		switch j.Status().State {
+		case wire.JobRunning:
+			c.Running++
+		case wire.JobDone:
+			c.Done++
+		case wire.JobCanceled:
+			c.Canceled++
+		}
+	}
+	return c
+}
+
 // Jobs lists all jobs in submission order.
 func (m *Manager) Jobs() []*Job {
 	m.mu.Lock()
@@ -178,7 +204,15 @@ func (m *Manager) Submit(spec *wire.JobSpec) (*Job, error) {
 	if len(spec.Tools) == 0 {
 		return nil, fmt.Errorf("%w: no tools", ErrBadSpec)
 	}
-	progs, err := resolveBenchmarks(spec.Benchmarks)
+	progs, err := resolveBenchmarks(spec.Benchmarks, len(spec.Scenarios) > 0)
+	if err != nil {
+		return nil, err
+	}
+	taken := make(map[string]bool, len(progs))
+	for _, p := range progs {
+		taken[p.Name] = true
+	}
+	inline, err := resolveScenarios(spec.Scenarios, taken)
 	if err != nil {
 		return nil, err
 	}
@@ -213,14 +247,27 @@ func (m *Manager) Submit(spec *wire.JobSpec) (*Job, error) {
 		pipeline = append(pipeline, provmark.WithFilterGraphs(*spec.FilterGraphs))
 	}
 
-	cells := make([]cell, 0, len(spec.Tools)*len(progs))
+	cells := make([]cell, 0, len(spec.Tools)*(len(progs)+len(inline)))
 	for ti, tool := range spec.Tools {
 		for _, prog := range progs {
 			cells = append(cells, cell{
 				tool: tool,
 				rec:  recs[ti],
 				prog: prog,
-				key:  cellKey(tool, prog.Name, spec),
+				key:  cellKey(tool, prog.Name, spec, ""),
+			})
+		}
+		// Inline scenario cells hash the canonical scenario content
+		// (which includes the name) into their dedup key: jobs
+		// submitting the identical scenario share a stored result,
+		// however its JSON was formatted, and a name collision with a
+		// built-in benchmark cannot alias the built-in's cache.
+		for _, sc := range inline {
+			cells = append(cells, cell{
+				tool: tool,
+				rec:  recs[ti],
+				prog: sc.prog,
+				key:  cellKey(tool, sc.prog.Name, spec, string(sc.canonical)),
 			})
 		}
 	}
@@ -273,9 +320,13 @@ func (m *Manager) evictLocked() {
 }
 
 // resolveBenchmarks maps benchmark names to programs; an empty list
-// selects the whole Table 1 suite.
-func resolveBenchmarks(names []string) ([]benchprog.Program, error) {
+// selects the whole Table 1 suite, unless the spec carries inline
+// scenarios — a scenario-only job runs just its scenarios.
+func resolveBenchmarks(names []string, hasScenarios bool) ([]benchprog.Program, error) {
 	if len(names) == 0 {
+		if hasScenarios {
+			return nil, nil
+		}
 		names = benchprog.Names()
 	}
 	progs := make([]benchprog.Program, 0, len(names))
@@ -287,6 +338,43 @@ func resolveBenchmarks(names []string) ([]benchprog.Program, error) {
 		progs = append(progs, prog)
 	}
 	return progs, nil
+}
+
+// inlineScenario is one resolved inline scenario: its compiled program
+// and the canonical encoding its dedup key hashes.
+type inlineScenario struct {
+	prog      benchprog.Program
+	canonical []byte
+}
+
+// resolveScenarios validates, canonically encodes, and compiles a
+// spec's inline scenarios. Names already taken — by another scenario
+// or by a named benchmark of the same job — are rejected: a job's
+// cells must stay distinguishable by (tool, name), and name-keyed
+// consumers (the batch regression store) must never see two different
+// programs under one label.
+func resolveScenarios(scns []benchprog.Scenario, taken map[string]bool) ([]inlineScenario, error) {
+	if len(scns) == 0 {
+		return nil, nil
+	}
+	out := make([]inlineScenario, 0, len(scns))
+	for i := range scns {
+		s := scns[i]
+		data, err := benchprog.EncodeScenario(&s)
+		if err != nil {
+			return nil, fmt.Errorf("%w: scenario %d: %v", ErrBadSpec, i, err)
+		}
+		prog, err := s.Compile()
+		if err != nil {
+			return nil, fmt.Errorf("%w: scenario %d: %v", ErrBadSpec, i, err)
+		}
+		if taken[prog.Name] {
+			return nil, fmt.Errorf("%w: scenario name %q already names another cell of this job", ErrBadSpec, prog.Name)
+		}
+		taken[prog.Name] = true
+		out = append(out, inlineScenario{prog: prog, canonical: data})
+	}
+	return out, nil
 }
 
 func parseExtreme(s string) (provmark.Extreme, error) {
@@ -315,12 +403,19 @@ type cellKeyData struct {
 	FilterGraphs *bool             `json:"filter_graphs,omitempty"`
 	BGPair       string            `json:"bg_pair,omitempty"`
 	FGPair       string            `json:"fg_pair,omitempty"`
+	// Scenario carries the canonical JSON of an inline scenario, so the
+	// key identifies scenario *content*: a registered benchmark and an
+	// inline scenario sharing a name never share a key, while identical
+	// inline scenarios dedup across jobs regardless of how they were
+	// authored (the codec canonicalizes before hashing).
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // cellKey derives the dedup key of a (tool, benchmark, options) cell:
 // the hex SHA-256 of the canonical JSON identity (map keys sorted by
-// encoding/json), truncated to 128 bits.
-func cellKey(tool, benchmark string, spec *wire.JobSpec) string {
+// encoding/json), truncated to 128 bits. scenario is the canonical
+// encoding of an inline scenario cell, empty for named benchmarks.
+func cellKey(tool, benchmark string, spec *wire.JobSpec, scenario string) string {
 	d := cellKeyData{
 		Schema:       wire.SchemaVersion,
 		Tool:         tool,
@@ -329,6 +424,7 @@ func cellKey(tool, benchmark string, spec *wire.JobSpec) string {
 		FilterGraphs: spec.FilterGraphs,
 		BGPair:       spec.BGPair,
 		FGPair:       spec.FGPair,
+		Scenario:     scenario,
 	}
 	if spec.Capture != nil {
 		d.Fast = spec.Capture.Fast

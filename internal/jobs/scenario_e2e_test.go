@@ -1,0 +1,286 @@
+package jobs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"provmark/internal/benchprog"
+	"provmark/internal/jobs"
+	"provmark/internal/wire"
+)
+
+// inlineScenarioJSON is a custom program no registry entry knows:
+// stage a file, then (target) link and unlink it.
+const inlineScenarioJSON = `{
+  "name": "link-cycle",
+  "group": 1,
+  "desc": "hard link a staged file and remove the link",
+  "setup": [{"kind": "file", "path": "/stage/cycle.txt", "uid": 1000, "mode": 420}],
+  "steps": [
+    {"op": "link", "target": true, "path": "/stage/cycle.txt", "path2": "/stage/cycle-hard.txt"},
+    {"op": "unlink", "target": true, "path": "/stage/cycle-hard.txt"}
+  ]
+}`
+
+func postJob(t *testing.T, ts *httptest.Server, body string) *wire.JobStatus {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: %d: %s", resp.StatusCode, buf.String())
+	}
+	status, err := wire.DecodeJobStatus(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return status
+}
+
+// TestInlineScenarioJobEndToEnd: a scenario defined purely as data in
+// a /v1/jobs POST runs end to end and streams a cell whose wire shape
+// is identical to a built-in benchmark's.
+func TestInlineScenarioJobEndToEnd(t *testing.T) {
+	m := jobs.NewManager(jobs.Config{Workers: 2})
+	defer m.Close()
+	ts := httptest.NewServer(jobs.NewServer(m))
+	defer ts.Close()
+
+	spec := fmt.Sprintf(`{"tools":["spade"],"benchmarks":["creat"],"scenarios":[%s],"trials":2,"capture":{"fast":true}}`, inlineScenarioJSON)
+	status := postJob(t, ts, spec)
+	if status.Total != 2 {
+		t.Fatalf("total cells = %d, want 2 (creat + inline scenario)", status.Total)
+	}
+	cells := streamCells(t, ts.URL, status.ID)
+	if len(cells) != 2 {
+		t.Fatalf("streamed %d cells, want 2", len(cells))
+	}
+	var builtin, inline *wire.MatrixResult
+	for _, c := range cells {
+		switch c.Benchmark {
+		case "creat":
+			builtin = c
+		case "link-cycle":
+			inline = c
+		default:
+			t.Fatalf("unexpected cell %q", c.Benchmark)
+		}
+	}
+	if builtin == nil || inline == nil {
+		t.Fatal("missing expected cells")
+	}
+	if inline.Err != "" {
+		t.Fatalf("inline scenario cell failed: %s", inline.Err)
+	}
+	if inline.Result == nil || inline.Result.Schema != builtin.Result.Schema ||
+		inline.Result.Tool != "spade" || inline.Result.Trials != builtin.Result.Trials {
+		t.Errorf("inline cell wire shape differs from built-in: %+v", inline.Result)
+	}
+	if inline.Result.Empty {
+		t.Errorf("inline scenario produced an empty benchmark graph: %s", inline.Result.Reason)
+	}
+	if inline.Cell == "" || inline.Cell == builtin.Cell {
+		t.Errorf("inline cell key %q not distinct from built-in %q", inline.Cell, builtin.Cell)
+	}
+
+	// The stored result is retrievable by its dedup key like any cell.
+	resp, err := http.Get(ts.URL + "/v1/results/" + inline.Cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /v1/results/{cell} for inline scenario: %d", resp.StatusCode)
+	}
+}
+
+// TestInlineScenarioDedup: resubmitting the same scenario content —
+// differently formatted — in a fresh job answers from the store.
+func TestInlineScenarioDedup(t *testing.T) {
+	m := jobs.NewManager(jobs.Config{Workers: 2})
+	defer m.Close()
+	ts := httptest.NewServer(jobs.NewServer(m))
+	defer ts.Close()
+
+	spec := fmt.Sprintf(`{"tools":["spade"],"scenarios":[%s],"trials":2}`, inlineScenarioJSON)
+	first := postJob(t, ts, spec)
+	if first.Total != 1 {
+		t.Fatalf("scenario-only job has %d cells, want 1", first.Total)
+	}
+	cells := streamCells(t, ts.URL, first.ID)
+	if len(cells) != 1 || cells[0].Cached {
+		t.Fatalf("first run: %d cells, cached=%v", len(cells), len(cells) > 0 && cells[0].Cached)
+	}
+
+	// Same content, different key order and spacing: the strict decode
+	// plus canonical re-encoding must hash to the same cell key.
+	reordered := `{"scenarios":[{"steps":[
+	    {"path2":"/stage/cycle-hard.txt","op":"link","target":true,"path":"/stage/cycle.txt"},
+	    {"op":"unlink","path":"/stage/cycle-hard.txt","target":true}],
+	  "setup":[{"mode":420,"kind":"file","uid":1000,"path":"/stage/cycle.txt"}],
+	  "desc":"hard link a staged file and remove the link",
+	  "group":1,"name":"link-cycle"}],"tools":["spade"],"trials":2}`
+	second := postJob(t, ts, reordered)
+	cells2 := streamCells(t, ts.URL, second.ID)
+	if len(cells2) != 1 {
+		t.Fatalf("second run: %d cells", len(cells2))
+	}
+	if !cells2[0].Cached {
+		t.Error("identical scenario content did not dedup")
+	}
+	if cells2[0].Cell != cells[0].Cell {
+		t.Errorf("cell keys differ for identical content: %q vs %q", cells2[0].Cell, cells[0].Cell)
+	}
+}
+
+// TestInlineScenarioNameCollision: an inline scenario named like a
+// built-in benchmark must not alias the built-in's cached cell.
+func TestInlineScenarioNameCollision(t *testing.T) {
+	m := jobs.NewManager(jobs.Config{Workers: 2})
+	defer m.Close()
+	ts := httptest.NewServer(jobs.NewServer(m))
+	defer ts.Close()
+
+	builtin := postJob(t, ts, `{"tools":["spade"],"benchmarks":["creat"],"trials":2}`)
+	bcells := streamCells(t, ts.URL, builtin.ID)
+
+	// "creat" as an inline scenario with different content (different
+	// path), same name.
+	imposter := `{"tools":["spade"],"trials":2,"scenarios":[{"name":"creat","steps":[{"op":"creat","path":"/stage/other.txt","target":true}]}]}`
+	icells := streamCells(t, ts.URL, postJob(t, ts, imposter).ID)
+	if len(bcells) != 1 || len(icells) != 1 {
+		t.Fatalf("cell counts: %d, %d", len(bcells), len(icells))
+	}
+	if icells[0].Cell == bcells[0].Cell {
+		t.Error("inline scenario aliased the built-in benchmark's cell key")
+	}
+	if icells[0].Cached {
+		t.Error("inline scenario served the built-in benchmark's cached result")
+	}
+}
+
+func TestInlineScenarioRejects(t *testing.T) {
+	m := jobs.NewManager(jobs.Config{Workers: 1})
+	defer m.Close()
+	ts := httptest.NewServer(jobs.NewServer(m))
+	defer ts.Close()
+	for name, body := range map[string]string{
+		"unknown op":      `{"tools":["spade"],"scenarios":[{"name":"x","steps":[{"op":"mount"}]}]}`,
+		"unknown field":   `{"tools":["spade"],"scenarios":[{"name":"x","bogus":1,"steps":[{"op":"pipe"}]}]}`,
+		"duplicate names": `{"tools":["spade"],"scenarios":[{"name":"x","steps":[{"op":"pipe"}]},{"name":"x","steps":[{"op":"pipe2"}]}]}`,
+		// A scenario shadowing a named benchmark of the same job would
+		// give two different programs one (tool, name) label.
+		"shadows benchmark": `{"tools":["spade"],"benchmarks":["creat"],"scenarios":[{"name":"creat","steps":[{"op":"pipe"}]}]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestStatsEndpoint: /v1/stats exposes the store counters and retained
+// job states; /healthz keeps its liveness shape.
+func TestStatsEndpoint(t *testing.T) {
+	m := jobs.NewManager(jobs.Config{Workers: 2})
+	defer m.Close()
+	ts := httptest.NewServer(jobs.NewServer(m))
+	defer ts.Close()
+
+	spec := `{"tools":["spade"],"benchmarks":["creat"],"trials":2}`
+	first := postJob(t, ts, spec)
+	job, ok := m.Job(first.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	<-job.Done()
+	second := postJob(t, ts, spec) // dedup hit
+	job2, _ := m.Job(second.ID)
+	<-job2.Done()
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Schema int `json:"schema"`
+		Store  struct {
+			Hits      int64 `json:"hits"`
+			Misses    int64 `json:"misses"`
+			Puts      int64 `json:"puts"`
+			Evictions int64 `json:"evictions"`
+			Len       int   `json:"len"`
+		} `json:"store"`
+		Jobs struct {
+			Total    int `json:"total"`
+			Running  int `json:"running"`
+			Done     int `json:"done"`
+			Canceled int `json:"canceled"`
+		} `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Schema != wire.SchemaVersion {
+		t.Errorf("stats schema = %d", stats.Schema)
+	}
+	if stats.Store.Hits < 1 || stats.Store.Misses < 1 || stats.Store.Puts != 1 || stats.Store.Len != 1 {
+		t.Errorf("store counters off: %+v", stats.Store)
+	}
+	if stats.Jobs.Total != 2 || stats.Jobs.Done != 2 || stats.Jobs.Running != 0 {
+		t.Errorf("job counters off: %+v", stats.Jobs)
+	}
+
+	// A canceled job shows up in the canceled bucket.
+	third, err := m.Submit(&wire.JobSpec{Tools: []string{"spade"}, Benchmarks: []string{"open"}, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	third.Cancel()
+	<-third.Done()
+	if got := m.JobStates(); got.Canceled != 1 || got.Total != 3 {
+		t.Errorf("JobStates after cancel: %+v", got)
+	}
+}
+
+// TestScenarioOnlyJobNeedsContent: no benchmarks and no scenarios
+// still selects the full suite (legacy semantics preserved).
+func TestScenarioOnlyJobSemantics(t *testing.T) {
+	m := jobs.NewManager(jobs.Config{Workers: 1})
+	defer m.Close()
+	job, err := m.Submit(&wire.JobSpec{Tools: []string{"spade"}, Trials: 2,
+		Scenarios: []benchprog.Scenario{{Name: "just-pipe", Steps: []benchprog.Instr{{Op: "pipe", Target: true}}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Cancel()
+	<-job.Done()
+	if got := job.Status().Total; got != 1 {
+		t.Errorf("scenario-only job has %d cells, want 1", got)
+	}
+	full, err := m.Submit(&wire.JobSpec{Tools: []string{"spade"}, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.Cancel()
+	<-full.Done()
+	if got := full.Status().Total; got != len(benchprog.Names()) {
+		t.Errorf("empty spec selects %d cells, want the full suite (%d)", got, len(benchprog.Names()))
+	}
+}

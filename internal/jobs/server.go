@@ -1,6 +1,7 @@
 package jobs
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -20,6 +21,7 @@ const maxSpecBytes = 1 << 20
 //	GET  /v1/jobs/{id}           job status
 //	GET  /v1/jobs/{id}/stream    NDJSON of wire.MatrixResult as cells complete
 //	GET  /v1/results/{cell}      a stored cell result by dedup key
+//	GET  /v1/stats               store counters + retained jobs by state
 //	GET  /healthz                liveness + registered backends
 //
 // A stream client owns its job: disconnecting mid-stream cancels the
@@ -32,6 +34,7 @@ func NewServer(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.job)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.stream)
 	mux.HandleFunc("GET /v1/results/{cell}", s.result)
+	mux.HandleFunc("GET /v1/stats", s.stats)
 	mux.HandleFunc("GET /healthz", s.health)
 	return mux
 }
@@ -138,11 +141,42 @@ func (s *server) result(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// statsResponse is the GET /v1/stats document: the shared result
+// store's traffic counters and the retained jobs by state. It is an
+// operator surface, versioned like every /v1 response.
+type statsResponse struct {
+	Schema int `json:"schema"`
+	Store  struct {
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Puts      int64 `json:"puts"`
+		Evictions int64 `json:"evictions"`
+		Len       int   `json:"len"`
+	} `json:"store"`
+	Jobs JobStateCounts `json:"jobs"`
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	var resp statsResponse
+	resp.Schema = wire.SchemaVersion
+	st := s.m.Store().Stats()
+	resp.Store.Hits = st.Hits
+	resp.Store.Misses = st.Misses
+	resp.Store.Puts = st.Puts
+	resp.Store.Evictions = st.Evictions
+	resp.Store.Len = s.m.Store().Len()
+	resp.Jobs = s.m.JobStates()
+	writeJSON(w, http.StatusOK, func() ([]byte, error) {
+		return json.Marshal(&resp)
+	})
+}
+
 func (s *server) health(w http.ResponseWriter, r *http.Request) {
 	st := s.m.Store().Stats()
+	jobs := s.m.JobStates()
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"status":"ok","schema":%d,"backends":%d,"store":{"hits":%d,"misses":%d}}`+"\n",
-		wire.SchemaVersion, len(capture.Backends()), st.Hits, st.Misses)
+	fmt.Fprintf(w, `{"status":"ok","schema":%d,"backends":%d,"store":{"hits":%d,"misses":%d},"jobs":%d}`+"\n",
+		wire.SchemaVersion, len(capture.Backends()), st.Hits, st.Misses, jobs.Total)
 }
 
 func writeJSON(w http.ResponseWriter, status int, encode func() ([]byte, error)) {

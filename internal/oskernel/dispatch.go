@@ -1,0 +1,277 @@
+package oskernel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the syscall dispatch table: every syscall the simulator
+// implements as a typed Kernel method is also invokable by name with a
+// typed argument record. The table is what makes benchmark programs
+// expressible as data (internal/benchprog's scenario instruction set)
+// instead of Go closures: an instruction names an op, the table
+// validates its arguments and routes the call.
+
+// Args is the typed argument record of a dispatched syscall. Each
+// syscall consumes only the fields its table entry declares; Dispatch
+// callers can use the entry's Fields list to reject stray arguments.
+type Args struct {
+	Path  string
+	Path2 string
+	FD    int
+	FD2   int
+	NewFD int
+	DirFD int
+	Flags int
+	Mode  uint32
+	N     int64
+	Off   int64
+	Len   int64
+	UID   int
+	EUID  int
+	SUID  int
+	GID   int
+	EGID  int
+	SGID  int
+	PID   int
+	Sig   int
+	Exe   string
+	Argv  []string
+	Code  int
+}
+
+// Outcome is the result of a dispatched syscall. Ret2 is only set by
+// fd-pair calls (pipe); Child only by process-creating calls.
+type Outcome struct {
+	Ret   int64
+	Ret2  int64
+	Errno Errno
+	Child *Process
+}
+
+// Field names one Args field a syscall consumes.
+type Field string
+
+// The argument-field vocabulary of the dispatch table.
+const (
+	FPath  Field = "path"
+	FPath2 Field = "path2"
+	FFD    Field = "fd"
+	FFD2   Field = "fd2"
+	FNewFD Field = "new_fd"
+	FDirFD Field = "dir_fd"
+	FFlags Field = "flags"
+	FMode  Field = "mode"
+	FN     Field = "n"
+	FOff   Field = "off"
+	FLen   Field = "len"
+	FUID   Field = "uid"
+	FEUID  Field = "euid"
+	FSUID  Field = "suid"
+	FGID   Field = "gid"
+	FEGID  Field = "egid"
+	FSGID  Field = "sgid"
+	FPID   Field = "pid"
+	FSig   Field = "sig"
+	FExe   Field = "exe"
+	FArgv  Field = "argv"
+	FCode  Field = "code"
+)
+
+// Return classifies what a syscall's Outcome carries beyond the errno,
+// so callers know which result slots an invocation may bind.
+type Return int
+
+// Return kinds.
+const (
+	// RNone: Ret is a plain value (byte count, zero), never a handle.
+	RNone Return = iota
+	// RFD: Ret is a file descriptor on success.
+	RFD
+	// RFDPair: Ret and Ret2 are the two descriptors of a pipe.
+	RFDPair
+	// RProc: Child is the created process on success.
+	RProc
+)
+
+// Syscall is one dispatch-table entry.
+type Syscall struct {
+	Name    string
+	Fields  []Field
+	Returns Return
+	call    func(k *Kernel, p *Process, a Args) Outcome
+}
+
+// Takes reports whether the syscall consumes the given argument field.
+func (s Syscall) Takes(f Field) bool {
+	for _, x := range s.Fields {
+		if x == f {
+			return true
+		}
+	}
+	return false
+}
+
+// Invoke runs the syscall on process p in kernel k.
+func (s Syscall) Invoke(k *Kernel, p *Process, a Args) Outcome {
+	return s.call(k, p, a)
+}
+
+// Dispatch looks a syscall up by name.
+func Dispatch(name string) (Syscall, bool) {
+	s, ok := dispatchTable[name]
+	return s, ok
+}
+
+// Syscalls lists every dispatchable syscall name, sorted.
+func Syscalls() []string {
+	out := make([]string, 0, len(dispatchTable))
+	for name := range dispatchTable {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ErrnoByName parses a symbolic errno name ("EACCES", "ok") back to
+// its value — the inverse of Errno.Error for every errno the simulator
+// distinguishes.
+func ErrnoByName(name string) (Errno, bool) {
+	for _, e := range []Errno{OK, EPERM, ENOENT, ESRCH, EBADF, EACCES, EEXIST, ENOTDIR, EISDIR, EINVAL, ESPIPE} {
+		if e.Error() == name {
+			return e, true
+		}
+	}
+	return 0, false
+}
+
+// ret wraps a plain (ret, errno) kernel call result.
+func ret(r int64, e Errno) Outcome { return Outcome{Ret: r, Errno: e} }
+
+var dispatchTable = buildDispatchTable()
+
+func buildDispatchTable() map[string]Syscall {
+	entries := []Syscall{
+		// ---- files ---------------------------------------------------------
+		{Name: "open", Fields: []Field{FPath, FFlags}, Returns: RFD,
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Open(p, a.Path, a.Flags)) }},
+		{Name: "openat", Fields: []Field{FDirFD, FPath, FFlags}, Returns: RFD,
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Openat(p, a.DirFD, a.Path, a.Flags)) }},
+		{Name: "creat", Fields: []Field{FPath}, Returns: RFD,
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Creat(p, a.Path)) }},
+		{Name: "close", Fields: []Field{FFD},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Close(p, a.FD)) }},
+		{Name: "dup", Fields: []Field{FFD}, Returns: RFD,
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Dup(p, a.FD)) }},
+		{Name: "dup2", Fields: []Field{FFD, FNewFD}, Returns: RFD,
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Dup2(p, a.FD, a.NewFD)) }},
+		{Name: "dup3", Fields: []Field{FFD, FNewFD}, Returns: RFD,
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Dup3(p, a.FD, a.NewFD)) }},
+		{Name: "read", Fields: []Field{FFD, FN},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Read(p, a.FD, a.N)) }},
+		{Name: "pread", Fields: []Field{FFD, FN, FOff},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Pread(p, a.FD, a.N, a.Off)) }},
+		{Name: "write", Fields: []Field{FFD, FN},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Write(p, a.FD, a.N)) }},
+		{Name: "pwrite", Fields: []Field{FFD, FN, FOff},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Pwrite(p, a.FD, a.N, a.Off)) }},
+		{Name: "link", Fields: []Field{FPath, FPath2},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Link(p, a.Path, a.Path2)) }},
+		{Name: "linkat", Fields: []Field{FPath, FPath2},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Linkat(p, a.Path, a.Path2)) }},
+		{Name: "symlink", Fields: []Field{FPath, FPath2},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Symlink(p, a.Path, a.Path2)) }},
+		{Name: "symlinkat", Fields: []Field{FPath, FPath2},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Symlinkat(p, a.Path, a.Path2)) }},
+		{Name: "mknod", Fields: []Field{FPath, FMode},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Mknod(p, a.Path, a.Mode)) }},
+		{Name: "mknodat", Fields: []Field{FPath, FMode},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Mknodat(p, a.Path, a.Mode)) }},
+		{Name: "rename", Fields: []Field{FPath, FPath2},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Rename(p, a.Path, a.Path2)) }},
+		{Name: "renameat", Fields: []Field{FPath, FPath2},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Renameat(p, a.Path, a.Path2)) }},
+		{Name: "truncate", Fields: []Field{FPath, FLen},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Truncate(p, a.Path, a.Len)) }},
+		{Name: "ftruncate", Fields: []Field{FFD, FLen},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Ftruncate(p, a.FD, a.Len)) }},
+		{Name: "unlink", Fields: []Field{FPath},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Unlink(p, a.Path)) }},
+		{Name: "unlinkat", Fields: []Field{FPath},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Unlinkat(p, a.Path)) }},
+
+		// ---- processes -----------------------------------------------------
+		{Name: "fork", Returns: RProc,
+			call: func(k *Kernel, p *Process, a Args) Outcome {
+				child, r, e := k.Fork(p)
+				return Outcome{Ret: r, Errno: e, Child: child}
+			}},
+		{Name: "vfork", Returns: RProc,
+			call: func(k *Kernel, p *Process, a Args) Outcome {
+				child, r, e := k.Vfork(p)
+				return Outcome{Ret: r, Errno: e, Child: child}
+			}},
+		{Name: "clone", Returns: RProc,
+			call: func(k *Kernel, p *Process, a Args) Outcome {
+				child, r, e := k.Clone(p)
+				return Outcome{Ret: r, Errno: e, Child: child}
+			}},
+		{Name: "execve", Fields: []Field{FExe, FArgv},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Execve(p, a.Exe, a.Argv)) }},
+		{Name: "exit", Fields: []Field{FCode},
+			call: func(k *Kernel, p *Process, a Args) Outcome {
+				k.Exit(p, a.Code)
+				return Outcome{}
+			}},
+		{Name: "kill", Fields: []Field{FPID, FSig},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Kill(p, a.PID, a.Sig)) }},
+
+		// ---- permissions ---------------------------------------------------
+		{Name: "chmod", Fields: []Field{FPath, FMode},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Chmod(p, a.Path, a.Mode)) }},
+		{Name: "fchmod", Fields: []Field{FFD, FMode},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Fchmod(p, a.FD, a.Mode)) }},
+		{Name: "fchmodat", Fields: []Field{FPath, FMode},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Fchmodat(p, a.Path, a.Mode)) }},
+		{Name: "chown", Fields: []Field{FPath, FUID, FGID},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Chown(p, a.Path, a.UID, a.GID)) }},
+		{Name: "fchown", Fields: []Field{FFD, FUID, FGID},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Fchown(p, a.FD, a.UID, a.GID)) }},
+		{Name: "fchownat", Fields: []Field{FPath, FUID, FGID},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Fchownat(p, a.Path, a.UID, a.GID)) }},
+		{Name: "setuid", Fields: []Field{FUID},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Setuid(p, a.UID)) }},
+		{Name: "setreuid", Fields: []Field{FUID, FEUID},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Setreuid(p, a.UID, a.EUID)) }},
+		{Name: "setresuid", Fields: []Field{FUID, FEUID, FSUID},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Setresuid(p, a.UID, a.EUID, a.SUID)) }},
+		{Name: "setgid", Fields: []Field{FGID},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Setgid(p, a.GID)) }},
+		{Name: "setregid", Fields: []Field{FGID, FEGID},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Setregid(p, a.GID, a.EGID)) }},
+		{Name: "setresgid", Fields: []Field{FGID, FEGID, FSGID},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Setresgid(p, a.GID, a.EGID, a.SGID)) }},
+
+		// ---- pipes ---------------------------------------------------------
+		{Name: "pipe", Returns: RFDPair,
+			call: func(k *Kernel, p *Process, a Args) Outcome {
+				rd, wr, e := k.Pipe(p)
+				return Outcome{Ret: rd, Ret2: wr, Errno: e}
+			}},
+		{Name: "pipe2", Returns: RFDPair,
+			call: func(k *Kernel, p *Process, a Args) Outcome {
+				rd, wr, e := k.Pipe2(p)
+				return Outcome{Ret: rd, Ret2: wr, Errno: e}
+			}},
+		{Name: "tee", Fields: []Field{FFD, FFD2, FN},
+			call: func(k *Kernel, p *Process, a Args) Outcome { return ret(k.Tee(p, a.FD, a.FD2, a.N)) }},
+	}
+	table := make(map[string]Syscall, len(entries))
+	for _, e := range entries {
+		if _, dup := table[e.Name]; dup {
+			panic(fmt.Sprintf("oskernel: duplicate dispatch entry %q", e.Name))
+		}
+		table[e.Name] = e
+	}
+	return table
+}

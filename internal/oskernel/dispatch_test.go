@@ -1,0 +1,108 @@
+package oskernel
+
+import (
+	"reflect"
+	"testing"
+)
+
+func launchTest(t *testing.T, k *Kernel) *Process {
+	t.Helper()
+	p, err := k.Launch("/usr/bin/bench", []string{"bench"}, Cred{UID: 1000, EUID: 1000, GID: 1000, EGID: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestDispatchMatchesDirectCalls: a dispatched call must produce the
+// same event stream and outcome as the typed kernel method.
+func TestDispatchMatchesDirectCalls(t *testing.T) {
+	k1 := oskernelWithTap(t)
+	p1 := launchTest(t, k1.Kernel)
+	ret, errno := k1.Open(p1, "/etc/passwd", ORdonly)
+
+	k2 := oskernelWithTap(t)
+	p2 := launchTest(t, k2.Kernel)
+	sys, ok := Dispatch("open")
+	if !ok {
+		t.Fatal("open not dispatchable")
+	}
+	out := sys.Invoke(k2.Kernel, p2, Args{Path: "/etc/passwd"})
+	if out.Ret != ret || out.Errno != errno {
+		t.Errorf("dispatched open: (%d,%v), direct (%d,%v)", out.Ret, out.Errno, ret, errno)
+	}
+	if !reflect.DeepEqual(k1.tap.AuditEvents, k2.tap.AuditEvents) {
+		t.Error("dispatched open produced a different audit stream")
+	}
+}
+
+type kernelWithTap struct {
+	*Kernel
+	tap *TapBuffer
+}
+
+func oskernelWithTap(t *testing.T) kernelWithTap {
+	t.Helper()
+	k := New()
+	tap := &TapBuffer{}
+	k.Register(tap)
+	return kernelWithTap{k, tap}
+}
+
+// TestDispatchChildAndPair: process-creating and fd-pair calls bind
+// their extra results.
+func TestDispatchChildAndPair(t *testing.T) {
+	k := New()
+	p := launchTest(t, k)
+	fork, _ := Dispatch("fork")
+	out := fork.Invoke(k, p, Args{})
+	if out.Errno != OK || out.Child == nil || out.Child.PID != int(out.Ret) {
+		t.Fatalf("dispatched fork: ret=%d errno=%v child=%v", out.Ret, out.Errno, out.Child)
+	}
+	pipe, _ := Dispatch("pipe")
+	out = pipe.Invoke(k, p, Args{})
+	if out.Errno != OK || out.Ret == 0 || out.Ret2 == 0 || out.Ret == out.Ret2 {
+		t.Fatalf("dispatched pipe: (%d,%d,%v)", out.Ret, out.Ret2, out.Errno)
+	}
+}
+
+func TestDispatchUnknownOp(t *testing.T) {
+	if _, ok := Dispatch("mount"); ok {
+		t.Error("unknown syscall resolved")
+	}
+}
+
+// TestDispatchTableCoversTable1: every Table 1 syscall family member
+// is dispatchable and declares coherent metadata.
+func TestDispatchTableCoversTable1(t *testing.T) {
+	names := Syscalls()
+	if len(names) != 44 {
+		t.Errorf("dispatch table has %d entries, want 44", len(names))
+	}
+	for _, name := range names {
+		sys, ok := Dispatch(name)
+		if !ok || sys.Name != name {
+			t.Errorf("%s: lookup broken", name)
+		}
+		for _, f := range sys.Fields {
+			if !sys.Takes(f) {
+				t.Errorf("%s: Takes(%s) false for declared field", name, f)
+			}
+		}
+		if sys.Takes("no-such-field") {
+			t.Errorf("%s: Takes accepts undeclared field", name)
+		}
+	}
+}
+
+func TestErrnoByName(t *testing.T) {
+	for _, e := range []Errno{OK, EPERM, ENOENT, ESRCH, EBADF, EACCES, EEXIST, ENOTDIR, EISDIR, EINVAL, ESPIPE} {
+		got, ok := ErrnoByName(e.Error())
+		if !ok || got != e {
+			t.Errorf("ErrnoByName(%q) = (%v,%v)", e.Error(), got, ok)
+		}
+	}
+	if _, ok := ErrnoByName("EWOULDBLOCK"); ok {
+		t.Error("unknown errno resolved")
+	}
+}

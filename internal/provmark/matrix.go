@@ -39,6 +39,10 @@ type Matrix struct {
 	ContextRecorders []capture.RecorderContext
 	// Benchmarks are the grid rows.
 	Benchmarks []benchprog.Program
+	// Scenarios are additional grid rows given as declarative scenario
+	// specs (registered-by-value or inline); they are validated and
+	// compiled during setup and appended after Benchmarks.
+	Scenarios []benchprog.Scenario
 	// Workers bounds the number of cells in flight; values < 1 use
 	// GOMAXPROCS. Within a cell, recording concurrency is governed
 	// separately by WithParallelism in Pipeline.
@@ -63,13 +67,14 @@ type MatrixResult struct {
 	Err error
 }
 
-// cells resolves the grid into (recorder, benchmark) pairs.
-func (m Matrix) cells() ([]capture.RecorderContext, error) {
+// cells resolves the grid into its recorder columns and benchmark
+// rows, compiling any declarative scenarios into programs.
+func (m Matrix) cells() ([]capture.RecorderContext, []benchprog.Program, error) {
 	recs := make([]capture.RecorderContext, 0, len(m.Tools)+len(m.Recorders)+len(m.ContextRecorders))
 	for _, name := range m.Tools {
 		rec, err := capture.OpenContext(name, m.Capture)
 		if err != nil {
-			return nil, fmt.Errorf("provmark: matrix: %w", err)
+			return nil, nil, fmt.Errorf("provmark: matrix: %w", err)
 		}
 		recs = append(recs, rec)
 	}
@@ -78,12 +83,21 @@ func (m Matrix) cells() ([]capture.RecorderContext, error) {
 	}
 	recs = append(recs, m.ContextRecorders...)
 	if len(recs) == 0 {
-		return nil, fmt.Errorf("provmark: matrix: no tools")
+		return nil, nil, fmt.Errorf("provmark: matrix: no tools")
 	}
-	if len(m.Benchmarks) == 0 {
-		return nil, fmt.Errorf("provmark: matrix: no benchmarks")
+	progs := make([]benchprog.Program, 0, len(m.Benchmarks)+len(m.Scenarios))
+	progs = append(progs, m.Benchmarks...)
+	for _, s := range m.Scenarios {
+		prog, err := s.Compile()
+		if err != nil {
+			return nil, nil, fmt.Errorf("provmark: matrix: %w", err)
+		}
+		progs = append(progs, prog)
 	}
-	return recs, nil
+	if len(progs) == 0 {
+		return nil, nil, fmt.Errorf("provmark: matrix: no benchmarks")
+	}
+	return recs, progs, nil
 }
 
 // Stream starts the matrix run and returns a channel of cell results
@@ -91,7 +105,7 @@ func (m Matrix) cells() ([]capture.RecorderContext, error) {
 // reported or the context is cancelled. Setup errors (unknown tool,
 // empty grid) are reported before any work starts.
 func (m Matrix) Stream(ctx context.Context) (<-chan MatrixResult, error) {
-	recs, err := m.cells()
+	recs, progs, err := m.cells()
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +113,7 @@ func (m Matrix) Stream(ctx context.Context) (<-chan MatrixResult, error) {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	total := len(recs) * len(m.Benchmarks)
+	total := len(recs) * len(progs)
 	if workers > total {
 		workers = total
 	}
@@ -119,8 +133,8 @@ func (m Matrix) Stream(ctx context.Context) (<-chan MatrixResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				rec := recs[i/len(m.Benchmarks)]
-				prog := m.Benchmarks[i%len(m.Benchmarks)]
+				rec := recs[i/len(progs)]
+				prog := progs[i%len(progs)]
 				res, err := NewContext(rec, pipeline...).RunContext(ctx, prog)
 				cell := MatrixResult{
 					Index:     i,

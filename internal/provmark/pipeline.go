@@ -192,6 +192,18 @@ func (r *Runner) Run(prog benchprog.Program) (*Result, error) {
 	return r.RunContext(context.Background(), prog)
 }
 
+// RunScenario benchmarks a declarative scenario: the scenario is
+// validated, compiled to a program, and run through the full pipeline.
+// Registered and inline scenarios take the same path as the built-in
+// closure-era suite.
+func (r *Runner) RunScenario(ctx context.Context, s benchprog.Scenario) (*Result, error) {
+	prog, err := s.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("provmark: scenario: %w", err)
+	}
+	return r.RunContext(ctx, prog)
+}
+
 // RunContext benchmarks one program, honoring ctx: cancellation or
 // deadline expiry aborts the run between trials (and within a trial
 // for context-aware recorders) with ctx's error.

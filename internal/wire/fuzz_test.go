@@ -15,6 +15,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 	f.Add([]byte(`{"schema":1,"tool":"camflow","benchmark":"open","trials":2,"empty":true,"reason":"fg similar to bg (activity not recorded)","cost":0,"times":{"recording_ns":0,"transformation_ns":0,"generalization_ns":0,"classification_ns":0,"comparison_ns":0,"total_ns":0}}`))
 	f.Add([]byte(`{"schema":1,"index":4,"tool":"opus","benchmark":"close","cell":"deadbeef","cached":true,"result":{"schema":1,"tool":"opus","benchmark":"close","trials":2,"empty":false,"cost":0,"times":{"recording_ns":1,"transformation_ns":1,"generalization_ns":1,"classification_ns":0,"comparison_ns":1,"total_ns":4},"target":{"nodes":[{"id":"n1","label":"entity"}]}}}`))
 	f.Add([]byte(`{"schema":1,"index":0,"tool":"spade","benchmark":"kill","err":"provmark: recording: context canceled"}`))
+	f.Add([]byte(`{"tools":["spade"],"benchmarks":["creat"],"trials":2,"scenarios":[{"name":"x","steps":[{"op":"open","path":"/stage/f","flags":["rdwr"],"save_fd":"id"},{"op":"close","target":true,"fd":"id"}]}]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		checked := false
 		if r, err := DecodeResult(data); err == nil {
@@ -43,6 +44,20 @@ func FuzzWireRoundTrip(f *testing.F) {
 			}
 			if !reflect.DeepEqual(m, back) {
 				t.Fatalf("matrix round trip changed the value:\nbefore: %+v\nafter:  %+v\nwire: %s", m, back, out)
+			}
+		}
+		if s, err := DecodeJobSpec(data); err == nil {
+			checked = true
+			out, err := EncodeJobSpec(s)
+			if err != nil {
+				t.Fatalf("encode of decoded job spec failed: %v\ninput: %s", err, data)
+			}
+			back, err := DecodeJobSpec(out)
+			if err != nil {
+				t.Fatalf("re-decode of encoded job spec failed: %v\noutput: %s", err, out)
+			}
+			if !reflect.DeepEqual(s, back) {
+				t.Fatalf("job spec round trip changed the value:\nbefore: %+v\nafter:  %+v\nwire: %s", s, back, out)
 			}
 		}
 		if !checked {

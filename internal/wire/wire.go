@@ -17,6 +17,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+
+	"provmark/internal/benchprog"
 )
 
 // SchemaVersion is the current wire schema version. Every top-level
@@ -106,12 +108,19 @@ type CaptureOptions struct {
 }
 
 // JobSpec describes a (tools × benchmarks) matrix job. An empty
-// Benchmarks list selects the full Table 1 suite. Options are
+// Benchmarks list selects the full Table 1 suite — unless Scenarios
+// are present, in which case an empty Benchmarks list selects no named
+// benchmarks and the job runs the inline scenarios alone. Options are
 // expressed in the capture.Options / pipeline-option vocabulary.
 type JobSpec struct {
 	Schema     int      `json:"schema,omitempty"`
 	Tools      []string `json:"tools"`
 	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Scenarios are inline benchmark programs in the declarative
+	// scenario vocabulary (benchprog.Scenario): validated strictly at
+	// decode time, run like any named benchmark, and deduplicated by
+	// canonical scenario content rather than by name.
+	Scenarios []benchprog.Scenario `json:"scenarios,omitempty"`
 	// Capture is a pointer so an all-default configuration is omitted
 	// from the canonical encoding (omitempty never elides a struct
 	// value); nil means the backend's paper-baseline configuration.
@@ -246,6 +255,8 @@ func DecodeMatrixResult(data []byte) (*MatrixResult, error) {
 }
 
 // EncodeJobSpec renders the canonical JSON encoding of a job spec.
+// Inline scenarios are canonicalized (on a copy) so the same scenario
+// content always encodes to the same bytes.
 func EncodeJobSpec(s *JobSpec) ([]byte, error) {
 	if s == nil {
 		return nil, fmt.Errorf("wire: encode: nil job spec")
@@ -253,6 +264,16 @@ func EncodeJobSpec(s *JobSpec) ([]byte, error) {
 	v := *s
 	if err := stampSchema(&v.Schema); err != nil {
 		return nil, fmt.Errorf("wire: encode job spec: %w", err)
+	}
+	if len(v.Scenarios) > 0 {
+		scns := make([]benchprog.Scenario, len(v.Scenarios))
+		for i := range v.Scenarios {
+			scns[i] = v.Scenarios[i].Clone()
+			if err := scns[i].Canonicalize(); err != nil {
+				return nil, fmt.Errorf("wire: encode job spec: scenario %d: %w", i, err)
+			}
+		}
+		v.Scenarios = scns
 	}
 	return json.Marshal(&v)
 }
@@ -276,6 +297,14 @@ func DecodeJobSpec(data []byte) (*JobSpec, error) {
 	}
 	if len(s.Benchmarks) == 0 {
 		s.Benchmarks = nil
+	}
+	if len(s.Scenarios) == 0 {
+		s.Scenarios = nil
+	}
+	for i := range s.Scenarios {
+		if err := s.Scenarios[i].Canonicalize(); err != nil {
+			return nil, fmt.Errorf("wire: decode job spec: scenario %d: %w", i, err)
+		}
 	}
 	if s.Capture != nil {
 		if len(s.Capture.Params) == 0 {

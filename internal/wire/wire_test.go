@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"provmark/internal/benchprog"
 	"provmark/internal/graph"
 )
 
@@ -200,6 +201,53 @@ func TestJobSpecRoundTrip(t *testing.T) {
 	}
 	if norm.Capture != nil {
 		t.Errorf("default capture not collapsed to nil: %+v", norm.Capture)
+	}
+}
+
+func TestJobSpecScenarios(t *testing.T) {
+	spec := &JobSpec{
+		Tools: []string{"spade"},
+		Scenarios: []benchprog.Scenario{{
+			Name: "pipe-probe",
+			Steps: []benchprog.Instr{
+				{Op: "pipe", SaveFD: "r", SaveFD2: "w"},
+				{Op: "tee", FD: "r", FD2: "w", N: 4, Target: true},
+			},
+		}},
+	}
+	data, err := EncodeJobSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJobSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Scenarios) != 1 || back.Scenarios[0].Name != "pipe-probe" {
+		t.Fatalf("scenarios lost in round trip: %+v", back)
+	}
+	if !reflect.DeepEqual(back.Scenarios, spec.Scenarios) {
+		t.Errorf("scenario round trip drift: %+v", back.Scenarios)
+	}
+	// Decoding normalizes inline scenarios (flag canonicalization),
+	// so decoded specs hash stably.
+	messy := []byte(`{"tools":["spade"],"scenarios":[{"name":"f","steps":[{"op":"open","path":"/etc/passwd","flags":["rdonly","trunc","wronly"],"errno":"EACCES","target":true}]}]}`)
+	dec, err := DecodeJobSpec(messy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.Scenarios[0].Steps[0].Flags; !reflect.DeepEqual(got, []string{"wronly", "trunc"}) {
+		t.Errorf("scenario flags not canonicalized: %v", got)
+	}
+	// Invalid inline scenarios are a decode error, not a latent fault.
+	for _, bad := range []string{
+		`{"tools":["spade"],"scenarios":[{"name":"x","steps":[{"op":"mount"}]}]}`,
+		`{"tools":["spade"],"scenarios":[{"name":"x","steps":[{"op":"open","path":"/f","bogus":true}]}]}`,
+		`{"tools":["spade"],"scenarios":[{"name":"x"}]}`,
+	} {
+		if _, err := DecodeJobSpec([]byte(bad)); err == nil {
+			t.Errorf("accepted invalid scenario spec: %s", bad)
+		}
 	}
 }
 
