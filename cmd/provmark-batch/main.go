@@ -19,10 +19,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"provmark/internal/benchprog"
 	"provmark/internal/capture"
+	"provmark/internal/datalog"
+	"provmark/internal/graph"
 	"provmark/internal/jobs/client"
 	"provmark/internal/provmark"
 	"provmark/internal/wire"
@@ -57,8 +60,24 @@ func run(ctx context.Context, args []string) error {
 	fast := fs.Bool("fast", true, "use cheap storage costs")
 	remote := fs.String("remote", "", "provmarkd base URL (e.g. http://localhost:8177); run the suite as a remote job")
 	scenarioPath := fs.String("scenario", "", "append a declarative scenario (JSON file) to the suite")
+	rulesPath := fs.String("rules", "", "Datalog rule file to evaluate against every benchmark graph (requires -goal)")
+	goalText := fs.String("goal", "", "goal atom for -rules, e.g. 'suspicious(P)'")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if (*rulesPath == "") != (*goalText == "") {
+		return fmt.Errorf("-rules and -goal go together")
+	}
+	var rules []datalog.Rule
+	var goal datalog.Atom
+	if *rulesPath != "" {
+		var err error
+		if rules, err = datalog.ParseRulesFile(*rulesPath); err != nil {
+			return err
+		}
+		if goal, err = datalog.ParseAtom(*goalText); err != nil {
+			return err
+		}
 	}
 	var scenarios []benchprog.Scenario
 	if *scenarioPath != "" {
@@ -103,7 +122,7 @@ func run(ctx context.Context, args []string) error {
 		defer timeLogFile.Close()
 	}
 
-	rep := &reporter{tool: *tool, store: store, index: index, timeLog: timeLogFile}
+	rep := &reporter{tool: *tool, store: store, index: index, timeLog: timeLogFile, rules: rules, goal: goal}
 
 	if *remote != "" {
 		// Cell concurrency is the server's pool to manage; the local
@@ -198,6 +217,11 @@ type reporter struct {
 	store   *provmark.Store
 	index   *provmark.IndexWriter
 	timeLog *os.File
+	// rules/goal enable per-cell Datalog matching (-rules/-goal): every
+	// non-empty benchmark graph is scanned and the bindings print under
+	// the cell's line, identically for local and remote runs.
+	rules []datalog.Rule
+	goal  datalog.Atom
 }
 
 func (p *reporter) cell(cell *wire.MatrixResult) error {
@@ -220,12 +244,17 @@ func (p *reporter) cell(cell *wire.MatrixResult) error {
 			return err
 		}
 	}
-	regression := ""
-	if p.store != nil && !res.Empty {
-		target, err := res.Target.Build()
-		if err != nil {
+	// The regression store and the rule matcher both need the target
+	// graph materialized from wire form; build it once for both.
+	var target *graph.Graph
+	if (p.store != nil || len(p.rules) > 0) && !res.Empty {
+		var err error
+		if target, err = res.Target.Build(); err != nil {
 			return err
 		}
+	}
+	regression := ""
+	if p.store != nil && !res.Empty {
 		diff, err := p.store.Check(p.tool, cell.Benchmark, target)
 		switch {
 		case errors.Is(err, provmark.ErrNoBaseline):
@@ -242,5 +271,15 @@ func (p *reporter) cell(cell *wire.MatrixResult) error {
 		}
 	}
 	fmt.Printf("%-12s %-14s %s\n", cell.Benchmark, status, regression)
+	if len(p.rules) > 0 && !res.Empty {
+		db := datalog.NewDatabase()
+		db.LoadGraph(target)
+		if err := db.Run(p.rules); err != nil {
+			return err
+		}
+		for _, line := range strings.Split(strings.TrimRight(datalog.FormatBindings(p.goal, db.Query(p.goal)), "\n"), "\n") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
 	return nil
 }

@@ -5,6 +5,7 @@
 //
 //	provmark -tool spade -bench rename [-trials 2] [-result rb|rg|rh]
 //	provmark -tool spade -scenario my-scenario.json
+//	provmark -tool camflow -bench privesc -rules suspicious.dl -goal 'suspicious(P)'
 //
 // Tools: spade (DOT output), opus (Neo4j-sim output), camflow
 // (PROV-JSON output). Benchmarks: any Table 1 syscall name, one of
@@ -25,6 +26,7 @@ import (
 
 	"provmark/internal/benchprog"
 	"provmark/internal/capture"
+	"provmark/internal/datalog"
 	"provmark/internal/profile"
 	"provmark/internal/provmark"
 
@@ -57,6 +59,8 @@ func run(ctx context.Context, args []string) error {
 	backends := fs.Bool("backends", false, "list registered capture backends and exit")
 	verbose := fs.Bool("v", false, "log per-stage progress and timings to stderr")
 	fast := fs.Bool("fast", false, "use cheap storage costs (skip Neo4j warm-up simulation)")
+	rulesPath := fs.String("rules", "", "Datalog rule file to evaluate against the benchmark graph (requires -goal)")
+	goalText := fs.String("goal", "", "goal atom for -rules, e.g. 'suspicious(P)'")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,6 +83,25 @@ func run(ctx context.Context, args []string) error {
 	}
 	if (*benchName == "") == (*scenarioPath == "") {
 		return fmt.Errorf("need exactly one of -bench (try -list) and -scenario")
+	}
+	// Parse the detection program before the pipeline runs, so a typo in
+	// the rule file fails fast instead of after the recording stages.
+	var rules []datalog.Rule
+	var goal datalog.Atom
+	if (*rulesPath == "") != (*goalText == "") {
+		return fmt.Errorf("-rules and -goal go together")
+	}
+	if *rulesPath != "" {
+		var err error
+		if rules, err = datalog.ParseRulesFile(*rulesPath); err != nil {
+			return err
+		}
+		if goal, err = datalog.ParseAtom(*goalText); err != nil {
+			return err
+		}
+		if *resultType != "rb" && *resultType != "rg" {
+			return fmt.Errorf("-rules needs a textual report (-result rb or rg)")
+		}
 	}
 	var prog benchprog.Program
 	var err error
@@ -124,7 +147,29 @@ func run(ctx context.Context, args []string) error {
 		return fmt.Errorf("unknown result type %q", *resultType)
 	}
 	fmt.Print(provmark.Render(res, rt))
+	if *rulesPath != "" {
+		out, err := evalRules(res, rules, goal)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	}
 	return nil
+}
+
+// evalRules matches a Datalog detection program against the benchmark
+// result graph — the Dora use case from the command line — and renders
+// the bindings through the query reporter shared with provmark-batch.
+func evalRules(res *provmark.Result, rules []datalog.Rule, goal datalog.Atom) (string, error) {
+	if res.Empty {
+		return "", fmt.Errorf("cannot query an empty result (%s)", res.Reason)
+	}
+	db := datalog.NewDatabase()
+	db.LoadGraph(res.Target)
+	if err := db.Run(rules); err != nil {
+		return "", err
+	}
+	return datalog.FormatBindings(goal, db.Query(goal)), nil
 }
 
 // resolveRecorder maps a -tool argument to a recorder: profile names

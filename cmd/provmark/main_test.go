@@ -112,3 +112,29 @@ func TestRunHTMLResult(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunWithRules(t *testing.T) {
+	// The checked-in Dora rule file matches the privesc benchmark
+	// graph under camflow end to end.
+	if err := run(context.Background(), []string{
+		"-tool", "camflow", "-bench", "privesc",
+		"-rules", "../../examples/detection/suspicious.dl", "-goal", "suspicious(P)",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.dl")
+	if err := os.WriteFile(bad, []byte("this is not datalog\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-tool", "camflow", "-bench", "privesc", "-rules", "../../examples/detection/suspicious.dl"},                                            // -goal missing
+		{"-tool", "camflow", "-bench", "privesc", "-goal", "suspicious(P)"},                                                                      // -rules missing
+		{"-tool", "camflow", "-bench", "privesc", "-rules", bad, "-goal", "suspicious(P)"},                                                       // unparsable rules
+		{"-tool", "camflow", "-bench", "privesc", "-rules", "../../examples/detection/suspicious.dl", "-goal", "not p(X)"},                       // negated goal
+		{"-tool", "camflow", "-bench", "privesc", "-rules", "../../examples/detection/suspicious.dl", "-goal", "suspicious(P)", "-result", "rj"}, // JSON report cannot carry text
+	} {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("accepted %v", args)
+		}
+	}
+}

@@ -11,7 +11,8 @@
 //	GET  /v1/jobs/{id}           job status
 //	GET  /v1/jobs/{id}/stream    NDJSON cell stream (owner; cancels on disconnect)
 //	GET  /v1/results/{cell}      stored cell result by dedup key
-//	GET  /v1/stats               store counters + retained jobs by state
+//	POST /v1/query               evaluate Datalog rules against a stored cell's provenance
+//	GET  /v1/stats               store + query counters, retained jobs by state
 //	GET  /healthz                liveness
 //
 // provmark-batch --remote is the matching client.

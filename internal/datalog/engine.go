@@ -1,0 +1,383 @@
+package datalog
+
+// The production evaluation engine: a semi-naive, stratified fixpoint
+// over per-predicate bound-position indexes.
+//
+//   - Stratum ordering. Rules are grouped by the stratum of their head
+//     predicate (Ullman's algorithm over the predicate dependency
+//     graph), so non-recursive predicates finalize once and negation
+//     over derived-but-finalized predicates from lower strata is sound.
+//     Only recursion *through negation* is rejected.
+//   - Delta relations. Within a stratum, after the initial round a
+//     rule only re-joins against the facts derived in the previous
+//     round: each recursive body atom in turn is restricted to the
+//     delta while the others join the full relations. Deriving nothing
+//     new ends the stratum.
+//   - Bound-position indexes. A join with at least one bound argument
+//     (a constant, or a variable bound by an earlier atom) probes a
+//     hash index keyed by the bound positions' values instead of
+//     scanning the predicate's full extent. Indexes are built on first
+//     probe and extended lazily as facts arrive.
+//
+// Every candidate fact an evaluation examines — an index bucket entry
+// or a full-scan element — counts one JoinProbe, which is how the
+// asymptotic win over the frozen naive reference (naive.go) is
+// measured.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// EvalStats counts the work an evaluation performed.
+type EvalStats struct {
+	// JoinProbes is the number of candidate facts examined while
+	// joining body atoms (and checking negations) across Run, RunNaive
+	// and Query calls on this database.
+	JoinProbes int64
+	// Derived is the number of new facts asserted by rule evaluation.
+	Derived int64
+	// Iterations counts fixpoint rounds across all strata.
+	Iterations int64
+	// Strata is the number of strata of the last Run program.
+	Strata int
+}
+
+// Stats returns a snapshot of the database's evaluation counters.
+func (db *Database) Stats() EvalStats { return db.stats }
+
+// predIndex is one hash index of a predicate's facts, keyed by the
+// values at a fixed set of argument positions. built tracks how many
+// of the predicate's facts have been indexed so far, so the index
+// extends incrementally as evaluation derives new facts.
+type predIndex struct {
+	positions []int
+	built     int
+	m         map[string][]int // value key -> fact indices
+}
+
+// indexFor returns the (lazily built, incrementally extended) index of
+// pred keyed by the given argument positions.
+func (db *Database) indexFor(pred string, positions []int) *predIndex {
+	sig := positionSig(positions)
+	byPred := db.idx[pred]
+	if byPred == nil {
+		byPred = map[string]*predIndex{}
+		db.idx[pred] = byPred
+	}
+	ix := byPred[sig]
+	if ix == nil {
+		ix = &predIndex{positions: positions, m: map[string][]int{}}
+		byPred[sig] = ix
+	}
+	facts := db.facts[pred]
+	for ; ix.built < len(facts); ix.built++ {
+		f := facts[ix.built]
+		if len(ix.positions) > 0 && ix.positions[len(ix.positions)-1] >= len(f.Args) {
+			continue // arity mismatch; unify would reject it anyway
+		}
+		k := factKeyAt(f, ix.positions)
+		ix.m[k] = append(ix.m[k], ix.built)
+	}
+	return ix
+}
+
+func positionSig(positions []int) string {
+	parts := make([]string, len(positions))
+	for i, p := range positions {
+		parts[i] = strconv.Itoa(p)
+	}
+	return strings.Join(parts, ",")
+}
+
+func factKeyAt(f Fact, positions []int) string {
+	vals := make([]string, len(positions))
+	for i, p := range positions {
+		vals[i] = f.Args[p]
+	}
+	return strings.Join(vals, "\x00")
+}
+
+// boundPositions lists the atom's argument positions whose value is
+// fixed under the binding (constants, and variables bound by earlier
+// atoms), together with those values.
+func boundPositions(a Atom, b binding) (positions []int, values []string) {
+	for i, t := range a.Terms {
+		switch {
+		case t.Wild:
+		case t.Var == "":
+			positions = append(positions, i)
+			values = append(values, t.Const)
+		default:
+			if v, ok := b[t.Var]; ok {
+				positions = append(positions, i)
+				values = append(values, v)
+			}
+		}
+	}
+	return positions, values
+}
+
+// joinPositive extends each binding in turn by matching atom a against
+// the database, probing a bound-position index when any argument is
+// bound and scanning the predicate's extent otherwise.
+func (db *Database) joinPositive(a Atom, b binding, out []binding) []binding {
+	facts := db.facts[a.Pred]
+	positions, values := boundPositions(a, b)
+	if len(positions) == 0 {
+		db.stats.JoinProbes += int64(len(facts))
+		for i := range facts {
+			if nb, ok := unify(a, facts[i], b); ok {
+				out = append(out, nb)
+			}
+		}
+		return out
+	}
+	ix := db.indexFor(a.Pred, positions)
+	cand := ix.m[strings.Join(values, "\x00")]
+	db.stats.JoinProbes += int64(len(cand))
+	for _, i := range cand {
+		if nb, ok := unify(a, facts[i], b); ok {
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+// negHolds reports whether any fact matches the (fully bound, modulo
+// wildcards) negated atom under the binding.
+func (db *Database) negHolds(a Atom, b binding) bool {
+	pos := Atom{Pred: a.Pred, Terms: a.Terms}
+	facts := db.facts[a.Pred]
+	positions, values := boundPositions(pos, b)
+	if len(positions) == 0 {
+		for i := range facts {
+			db.stats.JoinProbes++
+			if _, ok := unify(pos, facts[i], b); ok {
+				return true
+			}
+		}
+		return false
+	}
+	ix := db.indexFor(a.Pred, positions)
+	cand := ix.m[strings.Join(values, "\x00")]
+	for _, i := range cand {
+		db.stats.JoinProbes++
+		if _, ok := unify(pos, facts[i], b); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Run evaluates the rules over the database to a fixed point using
+// stratified semi-naive evaluation. Negation as failure is supported
+// over base predicates and over derived predicates from strictly lower
+// strata (finalized before the negation is evaluated); programs with
+// recursion through negation are rejected, as are unsafe rules
+// (wildcards or unbound variables in heads, unbound variables under
+// negation).
+func (db *Database) Run(rules []Rule) error {
+	if err := checkRules(rules); err != nil {
+		return err
+	}
+	strata, err := stratify(rules)
+	if err != nil {
+		return err
+	}
+	db.stats.Strata = len(strata)
+	for _, stratum := range strata {
+		if err := db.runStratum(stratum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkRules statically enforces rule safety, so unsafe rules fail
+// loudly even when no facts would reach them at run time:
+//
+//   - heads carry no wildcards and no negation;
+//   - every head variable is bound by a positive body atom;
+//   - every variable under negation is bound by a preceding positive
+//     body atom (range restriction — negation as failure is only safe
+//     on ground atoms).
+func checkRules(rules []Rule) error {
+	for _, r := range rules {
+		if r.Head.Negated {
+			return fmt.Errorf("datalog: negated rule head in %s", r)
+		}
+		bound := map[string]bool{}
+		for _, a := range r.Body {
+			if a.Negated {
+				if err := checkNegBound(a, bound); err != nil {
+					return err
+				}
+				continue
+			}
+			for _, t := range a.Terms {
+				if t.Var != "" {
+					bound[t.Var] = true
+				}
+			}
+		}
+		for _, t := range r.Head.Terms {
+			switch {
+			case t.Wild:
+				return fmt.Errorf("datalog: wildcard in rule head %s", r.Head)
+			case t.Var != "" && !bound[t.Var]:
+				return fmt.Errorf("datalog: unbound head variable %s in %s", t.Var, r.Head)
+			}
+		}
+	}
+	return nil
+}
+
+// checkNegBound rejects negated atoms with variables not bound by a
+// preceding positive atom.
+func checkNegBound(a Atom, bound map[string]bool) error {
+	for _, t := range a.Terms {
+		if t.Var != "" && !bound[t.Var] {
+			return fmt.Errorf("datalog: unbound variable %s under negation in %s", t.Var, a)
+		}
+	}
+	return nil
+}
+
+// stratify assigns every derived predicate a stratum such that a
+// positive dependency never decreases the stratum and a negative
+// dependency strictly increases it, then groups the rules by their
+// head's stratum in ascending order. Programs where no such assignment
+// exists (recursion through negation) are rejected.
+func stratify(rules []Rule) ([][]Rule, error) {
+	derived := map[string]bool{}
+	for _, r := range rules {
+		derived[r.Head.Pred] = true
+	}
+	stratum := map[string]int{}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range rules {
+			h := r.Head.Pred
+			for _, a := range r.Body {
+				if !derived[a.Pred] {
+					continue // base predicates sit below every stratum
+				}
+				min := stratum[a.Pred]
+				if a.Negated {
+					min++
+				}
+				if stratum[h] < min {
+					stratum[h] = min
+					if stratum[h] > len(derived) {
+						return nil, fmt.Errorf("datalog: unstratified negation of derived predicate %s in %s", a.Pred, r)
+					}
+					changed = true
+				}
+			}
+		}
+	}
+	maxStratum := 0
+	for _, s := range stratum {
+		if s > maxStratum {
+			maxStratum = s
+		}
+	}
+	out := make([][]Rule, maxStratum+1)
+	for _, r := range rules {
+		s := stratum[r.Head.Pred]
+		out[s] = append(out[s], r)
+	}
+	// Drop empty strata (possible when stratum numbers are sparse).
+	kept := out[:0]
+	for _, s := range out {
+		if len(s) > 0 {
+			kept = append(kept, s)
+		}
+	}
+	return kept, nil
+}
+
+// runStratum evaluates one stratum's rules to a fixed point: an
+// initial naive round over the current database seeds the delta, then
+// each following round re-joins every recursive body atom against the
+// previous round's delta only.
+func (db *Database) runStratum(rules []Rule) error {
+	cur := map[string]bool{}
+	for _, r := range rules {
+		cur[r.Head.Pred] = true
+	}
+	delta := map[string][]Fact{}
+	assert := func(f Fact) {
+		if db.Assert(f) {
+			db.stats.Derived++
+			delta[f.Pred] = append(delta[f.Pred], f)
+		}
+	}
+	db.stats.Iterations++
+	for _, r := range rules {
+		if err := db.evalRule(r, nil, -1, assert); err != nil {
+			return err
+		}
+	}
+	for len(delta) > 0 {
+		db.stats.Iterations++
+		prev := delta
+		delta = map[string][]Fact{}
+		for _, r := range rules {
+			for pos, a := range r.Body {
+				if a.Negated || !cur[a.Pred] || len(prev[a.Pred]) == 0 {
+					continue
+				}
+				if err := db.evalRule(r, prev[a.Pred], pos, assert); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// evalRule joins the rule body left to right and asserts the
+// instantiated heads. When deltaPos >= 0, the body atom at that
+// position matches only the delta facts — the semi-naive restriction —
+// while every other atom joins the full relations.
+func (db *Database) evalRule(r Rule, deltaFacts []Fact, deltaPos int, assert func(Fact)) error {
+	bindings := []binding{{}}
+	for i, atom := range r.Body {
+		var next []binding
+		if atom.Negated {
+			for _, b := range bindings {
+				if !db.negHolds(atom, b) {
+					next = append(next, b)
+				}
+			}
+		} else if i == deltaPos {
+			db.stats.JoinProbes += int64(len(deltaFacts)) * int64(len(bindings))
+			for _, b := range bindings {
+				for _, f := range deltaFacts {
+					if nb, ok := unify(atom, f, b); ok {
+						next = append(next, nb)
+					}
+				}
+			}
+		} else {
+			for _, b := range bindings {
+				next = db.joinPositive(atom, b, next)
+			}
+		}
+		bindings = next
+		if len(bindings) == 0 {
+			return nil
+		}
+	}
+	for _, b := range bindings {
+		f, err := substitute(r.Head, b)
+		if err != nil {
+			return err // unreachable after checkRules; kept for safety
+		}
+		assert(f)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package datalog
+
+import "fmt"
+
+// RunNaive evaluates the rules with the original naive fixpoint
+// strategy this package shipped with: every iteration re-joins every
+// rule against the entire fact set, with no delta relations and no
+// indexes, and negation is limited to the semipositive fragment (only
+// base or never-derived predicates may be negated).
+//
+// It is frozen deliberately: the differential tests prove the
+// semi-naive engine (Run) derives identical fact sets, and
+// BenchmarkDatalogAncestry measures the join-probe gap between the
+// two. Do not use it outside tests and benchmarks.
+func (db *Database) RunNaive(rules []Rule) error {
+	heads := map[string]bool{}
+	for _, r := range rules {
+		heads[r.Head.Pred] = true
+	}
+	for _, r := range rules {
+		for _, a := range r.Body {
+			if a.Negated && heads[a.Pred] {
+				return fmt.Errorf("datalog: unstratified negation of derived predicate %s in %s", a.Pred, r)
+			}
+		}
+	}
+	for {
+		derived := false
+		for _, r := range rules {
+			bindings := []binding{{}}
+			for _, atom := range r.Body {
+				var next []binding
+				if atom.Negated {
+					for _, b := range bindings {
+						for _, t := range atom.Terms {
+							if t.Var != "" {
+								if _, ok := b[t.Var]; !ok {
+									return fmt.Errorf("datalog: unbound variable %s under negation in %s", t.Var, atom)
+								}
+							}
+						}
+						matched := false
+						for _, f := range db.facts[atom.Pred] {
+							db.stats.JoinProbes++
+							if _, ok := unify(Atom{Pred: atom.Pred, Terms: atom.Terms}, f, b); ok {
+								matched = true
+								break
+							}
+						}
+						if !matched {
+							next = append(next, b)
+						}
+					}
+					bindings = next
+					if len(bindings) == 0 {
+						break
+					}
+					continue
+				}
+				db.stats.JoinProbes += int64(len(db.facts[atom.Pred])) * int64(len(bindings))
+				for _, b := range bindings {
+					for _, f := range db.facts[atom.Pred] {
+						if nb, ok := unify(atom, f, b); ok {
+							next = append(next, nb)
+						}
+					}
+				}
+				bindings = next
+				if len(bindings) == 0 {
+					break
+				}
+			}
+			for _, b := range bindings {
+				f, err := substitute(r.Head, b)
+				if err != nil {
+					return err
+				}
+				if db.Assert(f) {
+					db.stats.Derived++
+					derived = true
+				}
+			}
+		}
+		db.stats.Iterations++
+		if !derived {
+			return nil
+		}
+	}
+}

@@ -2,24 +2,32 @@ package datalog
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 
 	"provmark/internal/graph"
 )
 
-// This file implements a small Datalog evaluator over the n/e/p fact
-// representation of provenance graphs. The paper stores benchmark
-// results as Datalog precisely so that they can be queried; the Dora
-// use case (Section 3.1, suspicious-activity detection) writes attack
-// patterns as rules and matches them against recorded provenance.
+// This file defines the rule language of the Datalog evaluator over
+// the n/e/p fact representation of provenance graphs: terms, atoms,
+// rules, the fact database, and the concrete-syntax parser. The
+// evaluation engines live in engine.go (the production semi-naive
+// engine) and naive.go (the frozen naive reference).
 //
-// The supported language is positive Datalog with stratified-free
-// recursion: facts n(gid)/e(gid)/p(gid) are loaded from a graph, rules
-// have a single head atom and a conjunctive body over the three fact
-// predicates and previously derived predicates. Terms are variables
-// (capitalized), string constants ("..."), or the wildcard _.
-// Evaluation is semi-naive to a fixed point.
+// The paper stores benchmark results as Datalog precisely so that they
+// can be queried; the Dora use case (Section 3.1, suspicious-activity
+// detection) writes attack patterns as rules and matches them against
+// recorded provenance.
+//
+// The supported language is Datalog with stratified negation: facts
+// node/2, edge/4 and prop/3 are loaded from a graph, rules have a
+// single head atom and a conjunctive body over the fact predicates and
+// derived predicates. Terms are variables (capitalized), string
+// constants ("..."), or the wildcard _. "not p(...)" holds when no
+// matching fact is derivable; a negated predicate must be fully
+// derivable before the negation is evaluated, so programs whose
+// negations cannot be stratified are rejected.
 
 // Term is a variable, constant, or wildcard in a rule atom.
 type Term struct {
@@ -47,17 +55,16 @@ func (t Term) String() string {
 	case t.Var != "":
 		return t.Var
 	default:
-		return `"` + t.Const + `"`
+		return quote(t.Const)
 	}
 }
 
 // Atom is a predicate applied to terms, possibly negated (negation as
 // failure: "not p(...)" holds when no matching fact is derivable).
 // Negated atoms must have all their variables bound by earlier positive
-// body atoms, and a program using negation on a predicate must not
-// also derive that predicate from it (the evaluator runs rules to a
-// fixed point, so unstratified negation would be unsound; Run rejects
-// rules whose head predicate appears negated in any body).
+// body atoms, and the program's negations must be stratifiable: a
+// predicate may only be negated once every rule deriving it has run to
+// completion, so recursion through negation is rejected.
 type Atom struct {
 	Pred    string
 	Terms   []Term
@@ -76,13 +83,17 @@ func (a Atom) String() string {
 	return s
 }
 
-// Rule derives head facts from a conjunction of body atoms.
+// Rule derives head facts from a conjunction of body atoms. An empty
+// body makes the rule an unconditional fact.
 type Rule struct {
 	Head Atom
 	Body []Atom
 }
 
 func (r Rule) String() string {
+	if len(r.Body) == 0 {
+		return r.Head.String() + "."
+	}
 	parts := make([]string, len(r.Body))
 	for i, a := range r.Body {
 		parts[i] = a.String()
@@ -99,7 +110,7 @@ type Fact struct {
 func (f Fact) String() string {
 	quoted := make([]string, len(f.Args))
 	for i, a := range f.Args {
-		quoted[i] = `"` + a + `"`
+		quoted[i] = quote(a)
 	}
 	return f.Pred + "(" + strings.Join(quoted, ",") + ")."
 }
@@ -108,15 +119,25 @@ func (f Fact) key() string {
 	return f.Pred + "\x00" + strings.Join(f.Args, "\x00")
 }
 
-// Database holds base and derived facts indexed by predicate.
+// Database holds base and derived facts indexed by predicate, plus the
+// bound-position join indexes the semi-naive engine probes.
 type Database struct {
-	facts map[string][]Fact // pred -> tuples
+	facts map[string][]Fact // pred -> tuples, assertion order
 	seen  map[string]bool
+	// idx maps pred -> bound-position signature -> index. Indexes are
+	// built on first probe and extended lazily as facts arrive, so
+	// asserting never pays for signatures nobody joins on.
+	idx   map[string]map[string]*predIndex
+	stats EvalStats
 }
 
 // NewDatabase creates an empty fact database.
 func NewDatabase() *Database {
-	return &Database{facts: map[string][]Fact{}, seen: map[string]bool{}}
+	return &Database{
+		facts: map[string][]Fact{},
+		seen:  map[string]bool{},
+		idx:   map[string]map[string]*predIndex{},
+	}
 }
 
 // Assert adds a fact if not already present; it reports whether the
@@ -176,7 +197,7 @@ func unify(a Atom, f Fact, b binding) (binding, bool) {
 		val := f.Args[i]
 		switch {
 		case t.Wild:
-		case t.Const != "" || (t.Var == "" && t.Const == ""):
+		case t.Var == "":
 			if t.Const != val {
 				return nil, false
 			}
@@ -217,93 +238,24 @@ func substitute(head Atom, b binding) (Fact, error) {
 	return Fact{Pred: head.Pred, Args: args}, nil
 }
 
-// Run evaluates the rules over the database to a fixed point
-// (semi-naive: each iteration only re-joins when the previous one
-// derived something new). Negated body atoms are evaluated by negation
-// as failure against the current fact set; to keep that sound, Run
-// rejects programs where a predicate derived by some rule head appears
-// negated in any rule body (the supported fragment is semipositive
-// Datalog: negation only over base or already-final predicates).
-func (db *Database) Run(rules []Rule) error {
-	heads := map[string]bool{}
-	for _, r := range rules {
-		heads[r.Head.Pred] = true
-	}
-	for _, r := range rules {
-		for _, a := range r.Body {
-			if a.Negated && heads[a.Pred] {
-				return fmt.Errorf("datalog: unstratified negation of derived predicate %s in %s", a.Pred, r)
-			}
-		}
-	}
-	for {
-		derived := false
-		for _, r := range rules {
-			bindings := []binding{{}}
-			for _, atom := range r.Body {
-				var next []binding
-				if atom.Negated {
-					for _, b := range bindings {
-						if err := checkNegBound(atom, b); err != nil {
-							return err
-						}
-						matched := false
-						for _, f := range db.facts[atom.Pred] {
-							if _, ok := unify(Atom{Pred: atom.Pred, Terms: atom.Terms}, f, b); ok {
-								matched = true
-								break
-							}
-						}
-						if !matched {
-							next = append(next, b)
-						}
-					}
-					bindings = next
-					if len(bindings) == 0 {
-						break
-					}
-					continue
-				}
-				for _, b := range bindings {
-					for _, f := range db.facts[atom.Pred] {
-						if nb, ok := unify(atom, f, b); ok {
-							next = append(next, nb)
-						}
-					}
-				}
-				bindings = next
-				if len(bindings) == 0 {
-					break
-				}
-			}
-			for _, b := range bindings {
-				f, err := substitute(r.Head, b)
-				if err != nil {
-					return err
-				}
-				if db.Assert(f) {
-					derived = true
-				}
-			}
-		}
-		if !derived {
-			return nil
-		}
-	}
-}
-
 // Query evaluates a single goal atom against the database and returns
-// the matching bindings, sorted for determinism.
+// the matching bindings, deduplicated and sorted for determinism.
+// Deduplication matters for goals with wildcards: q(X, _) over q(a,b)
+// and q(a,c) yields {X:a} once, not once per matching fact.
 func (db *Database) Query(goal Atom) []map[string]string {
 	var out []map[string]string
-	for _, f := range db.facts[goal.Pred] {
-		if b, ok := unify(goal, f, binding{}); ok {
-			m := make(map[string]string, len(b))
-			for k, v := range b {
-				m[k] = v
-			}
-			out = append(out, m)
+	dedup := map[string]bool{}
+	for _, b := range db.joinPositive(Atom{Pred: goal.Pred, Terms: goal.Terms}, binding{}, nil) {
+		k := bindingKey(b)
+		if dedup[k] {
+			continue
 		}
+		dedup[k] = true
+		m := make(map[string]string, len(b))
+		for k, v := range b {
+			m[k] = v
+		}
+		out = append(out, m)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		return bindingKey(out[i]) < bindingKey(out[j])
@@ -311,20 +263,7 @@ func (db *Database) Query(goal Atom) []map[string]string {
 	return out
 }
 
-// checkNegBound rejects negated atoms with unbound variables: negation
-// as failure is only safe on ground (range-restricted) atoms.
-func checkNegBound(a Atom, b binding) error {
-	for _, t := range a.Terms {
-		if t.Var != "" {
-			if _, ok := b[t.Var]; !ok {
-				return fmt.Errorf("datalog: unbound variable %s under negation in %s", t.Var, a)
-			}
-		}
-	}
-	return nil
-}
-
-func bindingKey(m map[string]string) string {
+func bindingKey[M ~map[string]string](m M) string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)
@@ -340,19 +279,49 @@ func bindingKey(m map[string]string) string {
 	return b.String()
 }
 
+// FormatBindings renders a goal's query bindings deterministically —
+// the query reporter shared by provmark -goal and provmark-batch
+// -goal, so every surface prints match sets identically.
+func FormatBindings(goal Atom, rows []map[string]string) string {
+	var b strings.Builder
+	if len(rows) == 0 {
+		fmt.Fprintf(&b, "query %s: no matches\n", goal)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "query %s: %d match(es)\n", goal, len(rows))
+	for _, m := range rows {
+		if len(m) == 0 {
+			b.WriteString("  (holds)\n")
+			continue
+		}
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = k + "=" + quote(m[k])
+		}
+		b.WriteString("  " + strings.Join(parts, " ") + "\n")
+	}
+	return b.String()
+}
+
 // ParseRule parses the concrete syntax "head(...) :- a(...), b(...)."
 // with quoted-string constants, capitalized variables, and _ wildcards.
+// The head/body split happens at the first top-level ":-" (outside
+// quotes and parentheses) and the terminating dot is only stripped
+// outside quotes, so constants like ":-" and "." parse correctly.
 func ParseRule(s string) (Rule, error) {
-	s = strings.TrimSpace(s)
-	s = strings.TrimSuffix(s, ".")
-	parts := strings.SplitN(s, ":-", 2)
-	head, err := parseAtom(strings.TrimSpace(parts[0]))
+	headText, bodyText, hasBody := splitRule(strings.TrimSpace(s))
+	head, err := parseAtom(strings.TrimSpace(headText))
 	if err != nil {
 		return Rule{}, err
 	}
 	var body []Atom
-	if len(parts) == 2 {
-		bodyAtoms, err := splitAtoms(strings.TrimSpace(parts[1]))
+	if hasBody {
+		bodyAtoms, err := splitAtoms(strings.TrimSpace(bodyText))
 		if err != nil {
 			return Rule{}, err
 		}
@@ -365,6 +334,33 @@ func ParseRule(s string) (Rule, error) {
 		}
 	}
 	return Rule{Head: head, Body: body}, nil
+}
+
+// ParseAtom parses one positive goal atom, e.g. `suspicious(P)` — the
+// goal syntax of provmark -goal and the /v1/query wire request.
+func ParseAtom(s string) (Atom, error) {
+	a, err := parseAtom(strings.TrimSpace(s))
+	if err != nil {
+		return Atom{}, err
+	}
+	if a.Negated {
+		return Atom{}, fmt.Errorf("datalog: negated goal %q", s)
+	}
+	return a, nil
+}
+
+// ParseRulesFile reads and parses a rule file, wrapping parse errors
+// with the path — the -rules flag loader shared by the CLIs.
+func ParseRulesFile(path string) ([]Rule, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rules, err := ParseRules(string(text))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rules, nil
 }
 
 // ParseRules parses one rule per non-empty, non-comment line.
@@ -384,33 +380,111 @@ func ParseRules(text string) ([]Rule, error) {
 	return out, nil
 }
 
-// splitAtoms splits "a(...), b(...)" on top-level commas.
+// skipQuoted scans a quoted string starting at s[i] == '"' and returns
+// the index just past the closing quote. It is the one quoted-string
+// lexer every scanner in this file shares: a backslash consumes the
+// following byte, so escaped quotes and escaped backslashes ("x\\")
+// cannot confuse the in-string state.
+func skipQuoted(s string, i int) (int, bool) {
+	i++ // opening quote
+	for i < len(s) {
+		switch s[i] {
+		case '\\':
+			i += 2
+		case '"':
+			return i + 1, true
+		default:
+			i++
+		}
+	}
+	return i, false
+}
+
+// splitRule splits a rule's text into head and body at the first
+// top-level ":-" and strips a terminating dot when it lies outside
+// quotes.
+func splitRule(s string) (head, body string, hasBody bool) {
+	// First pass: trim the trailing dot only when the final byte is not
+	// inside a quoted constant (`p(".").` keeps its constant).
+	lastOutside := -1
+	for i := 0; i < len(s); {
+		if s[i] == '"' {
+			next, ok := skipQuoted(s, i)
+			if !ok {
+				// Unterminated string: everything to the end is
+				// in-string; the atom parsers report the error.
+				i = len(s)
+				break
+			}
+			i = next
+			continue
+		}
+		lastOutside = i
+		i++
+	}
+	if lastOutside == len(s)-1 && strings.HasSuffix(s, ".") {
+		s = s[:len(s)-1]
+	}
+	// Second pass: find the first ":-" outside quotes and parentheses.
+	depth := 0
+	for i := 0; i < len(s); {
+		switch s[i] {
+		case '"':
+			next, ok := skipQuoted(s, i)
+			if !ok {
+				return s, "", false
+			}
+			i = next
+		case '(':
+			depth++
+			i++
+		case ')':
+			depth--
+			i++
+		case ':':
+			if depth == 0 && i+1 < len(s) && s[i+1] == '-' {
+				return s[:i], s[i+2:], true
+			}
+			i++
+		default:
+			i++
+		}
+	}
+	return s, "", false
+}
+
+// splitAtoms splits "a(...), b(...)" on top-level commas, honouring
+// quoted strings (via the shared lexer) and nested parentheses.
 func splitAtoms(s string) ([]string, error) {
 	var out []string
 	depth := 0
-	inStr := false
 	start := 0
-	for i := 0; i < len(s); i++ {
+	for i := 0; i < len(s); {
 		switch c := s[i]; {
-		case inStr:
-			if c == '"' && s[i-1] != '\\' {
-				inStr = false
-			}
 		case c == '"':
-			inStr = true
+			next, ok := skipQuoted(s, i)
+			if !ok {
+				return nil, fmt.Errorf("datalog: unterminated body in %q", s)
+			}
+			i = next
 		case c == '(':
 			depth++
+			i++
 		case c == ')':
 			depth--
 			if depth < 0 {
 				return nil, fmt.Errorf("datalog: unbalanced parens in %q", s)
 			}
+			i++
 		case c == ',' && depth == 0:
 			out = append(out, strings.TrimSpace(s[start:i]))
 			start = i + 1
+			i++
+		default:
+			i++
 		}
 	}
-	if depth != 0 || inStr {
+	if depth != 0 {
 		return nil, fmt.Errorf("datalog: unterminated body in %q", s)
 	}
 	out = append(out, strings.TrimSpace(s[start:]))
@@ -438,6 +512,9 @@ func parsePositiveAtom(s string) (Atom, error) {
 		return Atom{}, fmt.Errorf("datalog: malformed atom %q", s)
 	}
 	pred := strings.TrimSpace(s[:open])
+	if !validPred(pred) {
+		return Atom{}, fmt.Errorf("datalog: invalid predicate name %q in %q", pred, s)
+	}
 	argsText := s[open+1 : len(s)-1]
 	args, err := splitRawArgs(argsText)
 	if err != nil {
@@ -454,29 +531,45 @@ func parsePositiveAtom(s string) (Atom, error) {
 	return Atom{Pred: pred, Terms: terms}, nil
 }
 
+// validPred restricts predicate names to identifiers. Anything looser
+// (quotes, parens, separators inside a name) renders ambiguously and
+// breaks the parse/String round trip the fuzzer enforces.
+func validPred(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case i > 0 && (c >= '0' && c <= '9' || c == '_'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // splitRawArgs splits a comma-separated argument list WITHOUT
 // unquoting, so parseTerm can tell quoted constants from variables.
 func splitRawArgs(s string) ([]string, error) {
 	var out []string
-	inStr := false
 	start := 0
-	for i := 0; i < len(s); i++ {
-		switch c := s[i]; {
-		case inStr:
-			if c == '\\' {
-				i++
-			} else if c == '"' {
-				inStr = false
+	for i := 0; i < len(s); {
+		switch s[i] {
+		case '"':
+			next, ok := skipQuoted(s, i)
+			if !ok {
+				return nil, fmt.Errorf("datalog: unterminated string in %q", s)
 			}
-		case c == '"':
-			inStr = true
-		case c == ',':
+			i = next
+		case ',':
 			out = append(out, strings.TrimSpace(s[start:i]))
 			start = i + 1
+			i++
+		default:
+			i++
 		}
-	}
-	if inStr {
-		return nil, fmt.Errorf("datalog: unterminated string in %q", s)
 	}
 	if last := strings.TrimSpace(s[start:]); last != "" || len(out) > 0 {
 		out = append(out, last)
@@ -499,6 +592,14 @@ func parseTerm(raw string) (Term, error) {
 		}
 		return C(val), nil
 	case len(raw) > 0 && raw[0] >= 'A' && raw[0] <= 'Z':
+		// Variables render bare, so their names must stay unambiguous
+		// under re-parsing: identifiers only.
+		for i := 1; i < len(raw); i++ {
+			c := raw[i]
+			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_') {
+				return Term{}, fmt.Errorf("datalog: invalid variable name %q", raw)
+			}
+		}
 		return V(raw), nil
 	case raw == "":
 		return Term{}, fmt.Errorf("datalog: empty term")

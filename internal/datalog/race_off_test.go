@@ -1,0 +1,5 @@
+//go:build !race
+
+package datalog
+
+const raceDetector = false

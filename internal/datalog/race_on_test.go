@@ -1,0 +1,7 @@
+//go:build race
+
+package datalog
+
+// raceDetector lets probe-heavy tests shrink their workloads when the
+// race detector multiplies the cost of every memory access.
+const raceDetector = true

@@ -100,6 +100,33 @@ func (c *Client) Result(ctx context.Context, cellKey string) (*wire.Result, erro
 	return wire.DecodeResult(bytes.TrimSpace(data))
 }
 
+// Query posts a Datalog query against a stored cell (POST /v1/query)
+// and returns the decoded bindings.
+func (c *Client) Query(ctx context.Context, req *wire.QueryRequest) (*wire.QueryResponse, error) {
+	body, err := wire.EncodeQueryRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("query", resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeQueryResponse(bytes.TrimSpace(data))
+}
+
 // Stream follows GET /v1/jobs/{id}/stream, invoking fn for every
 // decoded cell. It returns when the stream ends, ctx is done, or fn
 // errors; aborting a stream tells the server to cancel the job (the

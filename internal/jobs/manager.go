@@ -58,12 +58,13 @@ type Config struct {
 const DefaultMaxJobs = 256
 
 // Manager owns the worker pool, the dedup store, the shared
-// classification engine, and the set of live jobs.
+// classification engine, the query counters, and the set of live jobs.
 type Manager struct {
-	cfg   Config
-	cls   *provmark.Classifier
-	store *Store
-	tasks chan task
+	cfg     Config
+	cls     *provmark.Classifier
+	store   *Store
+	tasks   chan task
+	queries queryCounters
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc

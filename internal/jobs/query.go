@@ -1,0 +1,98 @@
+package jobs
+
+import (
+	"fmt"
+	"sync"
+
+	"provmark/internal/datalog"
+	"provmark/internal/wire"
+)
+
+// QueryStats counts POST /v1/query traffic — the query half of the
+// /v1/stats surface. Matched counts queries whose goal bound at least
+// one answer; Errors counts requests that failed anywhere between
+// decode and evaluation.
+type QueryStats struct {
+	Total   int64 `json:"total"`
+	Matched int64 `json:"matched"`
+	Errors  int64 `json:"errors"`
+}
+
+// queryCounters is the manager-owned, concurrency-safe tally.
+type queryCounters struct {
+	mu sync.Mutex
+	s  QueryStats
+}
+
+func (c *queryCounters) record(matched bool, failed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.s.Total++
+	if failed {
+		c.s.Errors++
+	} else if matched {
+		c.s.Matched++
+	}
+}
+
+func (c *queryCounters) snapshot() QueryStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s
+}
+
+// QueryStats returns a snapshot of the manager's query counters.
+func (m *Manager) QueryStats() QueryStats { return m.queries.snapshot() }
+
+// EvalQuery evaluates a decoded query request against a stored cell
+// result: the selected graph's facts are loaded into a fresh Datalog
+// database, the request's rules run to fixpoint on the semi-naive
+// engine, and the goal's deduplicated, sorted bindings come back in
+// wire form. Errors are client errors (bad rules, bad goal, graph
+// absent from the cell), never server faults.
+func EvalQuery(req *wire.QueryRequest, res *wire.Result) (*wire.QueryResponse, error) {
+	sel := req.Graph
+	if sel == "" {
+		sel = wire.QueryGraphTarget
+	}
+	var wg *wire.Graph
+	switch sel {
+	case wire.QueryGraphTarget:
+		wg = res.Target
+	case wire.QueryGraphFG:
+		wg = res.FG
+	case wire.QueryGraphBG:
+		wg = res.BG
+	default:
+		return nil, fmt.Errorf("unknown graph selector %q", req.Graph)
+	}
+	if wg == nil {
+		return nil, fmt.Errorf("cell has no %s graph (empty result?)", sel)
+	}
+	g, err := wg.Build()
+	if err != nil {
+		return nil, fmt.Errorf("materialize %s graph: %w", sel, err)
+	}
+	rules, err := datalog.ParseRules(req.Rules)
+	if err != nil {
+		return nil, fmt.Errorf("rules: %w", err)
+	}
+	goal, err := datalog.ParseAtom(req.Goal)
+	if err != nil {
+		return nil, fmt.Errorf("goal: %w", err)
+	}
+	db := datalog.NewDatabase()
+	db.LoadGraph(g)
+	if err := db.Run(rules); err != nil {
+		return nil, err
+	}
+	bindings := db.Query(goal)
+	return &wire.QueryResponse{
+		Schema:   wire.SchemaVersion,
+		Cell:     req.Cell,
+		Goal:     req.Goal,
+		Matches:  len(bindings),
+		Bindings: bindings,
+		Derived:  db.Stats().Derived,
+	}, nil
+}

@@ -1,0 +1,189 @@
+package jobs_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"provmark/internal/jobs"
+	"provmark/internal/jobs/client"
+	"provmark/internal/wire"
+
+	_ "provmark/internal/capture/camflow"
+)
+
+// TestQueryEndToEnd is the acceptance flow for provenance querying:
+// run a camflow/privesc cell through the service, then evaluate the
+// checked-in Dora attack-pattern rules against the stored cell over
+// POST /v1/query, asserting deterministic sorted bindings and the
+// /v1/stats query counters.
+func TestQueryEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	m := jobs.NewManager(jobs.Config{Workers: 2})
+	defer m.Close()
+	srv := httptest.NewServer(jobs.NewServer(m))
+	defer srv.Close()
+	c := client.New(srv.URL, srv.Client())
+
+	// Run the privesc benchmark so a cell lands in the store.
+	var cellKey string
+	status, err := c.Run(ctx, &wire.JobSpec{Tools: []string{"camflow"}, Benchmarks: []string{"privesc"}}, func(cell *wire.MatrixResult) error {
+		cellKey = cell.Cell
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.State != wire.JobDone || cellKey == "" {
+		t.Fatalf("job = %+v, cell = %q", status, cellKey)
+	}
+
+	rules, err := os.ReadFile("../../examples/detection/suspicious.dl")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The Dora goal: suspicious(P) must bind the escalated task
+	// version, deterministically.
+	resp, err := c.Query(ctx, &wire.QueryRequest{Cell: cellKey, Rules: string(rules), Goal: "suspicious(P)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Matches != 1 || len(resp.Bindings) != 1 || resp.Bindings[0]["P"] != "n16" {
+		t.Fatalf("suspicious(P) = %+v, want one binding P=n16", resp)
+	}
+	if resp.Derived == 0 {
+		t.Error("derived = 0, rules derived nothing")
+	}
+
+	// Determinism: the same query twice yields byte-identical wire
+	// encodings.
+	enc1, err := wire.EncodeQueryResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := c.Query(ctx, &wire.QueryRequest{Cell: cellKey, Rules: string(rules), Goal: "suspicious(P)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := wire.EncodeQueryResponse(resp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Errorf("query responses differ:\n%s\n%s", enc1, enc2)
+	}
+
+	// The stratified-negation rule (negating the derived dropped/1)
+	// evaluates — the naive engine rejected this fragment outright.
+	resp, err = c.Query(ctx, &wire.QueryRequest{Cell: cellKey, Rules: string(rules), Goal: "unmitigated(P)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Matches != 1 || resp.Bindings[0]["P"] != "n16" {
+		t.Errorf("unmitigated(P) = %+v", resp)
+	}
+
+	// Recursive ancestry over the same cell.
+	resp, err = c.Query(ctx, &wire.QueryRequest{Cell: cellKey, Rules: string(rules), Goal: "tainted(X)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Matches == 0 {
+		t.Error("tainted(X) bound nothing")
+	}
+
+	// The generalized foreground graph is also queryable.
+	if _, err := c.Query(ctx, &wire.QueryRequest{Cell: cellKey, Graph: wire.QueryGraphFG, Rules: string(rules), Goal: "escalated(P)"}); err != nil {
+		t.Fatalf("fg query: %v", err)
+	}
+
+	// Client errors: unknown cell is 404, an unsafe program is 422;
+	// both land in the error counter, not a match.
+	if _, err := c.Query(ctx, &wire.QueryRequest{Cell: "nope", Rules: string(rules), Goal: "suspicious(P)"}); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown cell error = %v", err)
+	}
+	if _, err := c.Query(ctx, &wire.QueryRequest{Cell: cellKey, Rules: `bad(X) :- not node(X, "a").`, Goal: "bad(X)"}); err == nil || !strings.Contains(err.Error(), "422") {
+		t.Errorf("unsafe program error = %v", err)
+	}
+
+	// Raw HTTP decode errors count too (strict wire decode).
+	hresp, err := srv.Client().Post(srv.URL+"/v1/query", "application/json", strings.NewReader(`{"cell":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("goal-less query status = %d", hresp.StatusCode)
+	}
+
+	// /v1/stats surfaces the query counters.
+	var stats struct {
+		Schema  int `json:"schema"`
+		Store   any `json:"store"`
+		Queries struct {
+			Total   int64 `json:"total"`
+			Matched int64 `json:"matched"`
+			Errors  int64 `json:"errors"`
+		} `json:"queries"`
+		Jobs any `json:"jobs"`
+	}
+	sresp, err := srv.Client().Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	// 5 successful queries (4 matched + 1 fg escalated), 3 errors.
+	if stats.Queries.Total != 8 {
+		t.Errorf("queries.total = %d, want 8", stats.Queries.Total)
+	}
+	if stats.Queries.Errors != 3 {
+		t.Errorf("queries.errors = %d, want 3", stats.Queries.Errors)
+	}
+	if stats.Queries.Matched < 4 {
+		t.Errorf("queries.matched = %d, want >= 4", stats.Queries.Matched)
+	}
+	if stats.Queries.Matched+stats.Queries.Errors > stats.Queries.Total {
+		t.Errorf("inconsistent counters: %+v", stats.Queries)
+	}
+}
+
+// TestEvalQueryDirect covers the evaluation helper without HTTP: graph
+// selector fallbacks and error cases.
+func TestEvalQueryDirect(t *testing.T) {
+	res := &wire.Result{
+		Schema:    wire.SchemaVersion,
+		Tool:      "t",
+		Benchmark: "b",
+		Target: &wire.Graph{
+			Nodes: []wire.Node{{ID: "n1", Label: "activity", Props: map[string]string{"cf:uid": "0"}}},
+		},
+	}
+	resp, err := jobs.EvalQuery(&wire.QueryRequest{Cell: "c", Rules: `esc(P) :- node(P, "activity"), prop(P, "cf:uid", "0").`, Goal: "esc(P)"}, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Matches != 1 || resp.Bindings[0]["P"] != "n1" {
+		t.Errorf("EvalQuery = %+v", resp)
+	}
+	// No FG graph stored: selecting it is a client error.
+	if _, err := jobs.EvalQuery(&wire.QueryRequest{Cell: "c", Graph: wire.QueryGraphFG, Goal: "esc(P)"}, res); err == nil {
+		t.Error("missing fg graph accepted")
+	}
+	// Goals may hit base predicates with no rules at all.
+	resp, err = jobs.EvalQuery(&wire.QueryRequest{Cell: "c", Goal: `node(X, "activity")`}, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Matches != 1 || resp.Derived != 0 {
+		t.Errorf("rule-less query = %+v", resp)
+	}
+}

@@ -21,7 +21,8 @@ const maxSpecBytes = 1 << 20
 //	GET  /v1/jobs/{id}           job status
 //	GET  /v1/jobs/{id}/stream    NDJSON of wire.MatrixResult as cells complete
 //	GET  /v1/results/{cell}      a stored cell result by dedup key
-//	GET  /v1/stats               store counters + retained jobs by state
+//	POST /v1/query               evaluate Datalog rules against a stored cell
+//	GET  /v1/stats               store + query counters, retained jobs by state
 //	GET  /healthz                liveness + registered backends
 //
 // A stream client owns its job: disconnecting mid-stream cancels the
@@ -34,6 +35,7 @@ func NewServer(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.job)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.stream)
 	mux.HandleFunc("GET /v1/results/{cell}", s.result)
+	mux.HandleFunc("POST /v1/query", s.query)
 	mux.HandleFunc("GET /v1/stats", s.stats)
 	mux.HandleFunc("GET /healthz", s.health)
 	return mux
@@ -141,9 +143,45 @@ func (s *server) result(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// query evaluates a Datalog program against a stored cell's
+// provenance: strict wire decode, store lookup by dedup key, then
+// rule evaluation on the semi-naive engine. Every request lands in
+// the query counters /v1/stats reports.
+func (s *server) query(w http.ResponseWriter, r *http.Request) {
+	fail := func(status int, msg string) {
+		s.m.queries.record(false, true)
+		http.Error(w, msg, status)
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		fail(http.StatusBadRequest, "request body too large or unreadable")
+		return
+	}
+	req, err := wire.DecodeQueryRequest(body)
+	if err != nil {
+		fail(http.StatusBadRequest, err.Error())
+		return
+	}
+	res, ok := s.m.Store().Peek(req.Cell)
+	if !ok {
+		fail(http.StatusNotFound, "no stored result for cell")
+		return
+	}
+	resp, err := EvalQuery(req, res)
+	if err != nil {
+		fail(http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.m.queries.record(resp.Matches > 0, false)
+	writeJSON(w, http.StatusOK, func() ([]byte, error) {
+		return wire.EncodeQueryResponse(resp)
+	})
+}
+
 // statsResponse is the GET /v1/stats document: the shared result
-// store's traffic counters and the retained jobs by state. It is an
-// operator surface, versioned like every /v1 response.
+// store's traffic counters, the query counters, and the retained jobs
+// by state. It is an operator surface, versioned like every /v1
+// response.
 type statsResponse struct {
 	Schema int `json:"schema"`
 	Store  struct {
@@ -153,7 +191,8 @@ type statsResponse struct {
 		Evictions int64 `json:"evictions"`
 		Len       int   `json:"len"`
 	} `json:"store"`
-	Jobs JobStateCounts `json:"jobs"`
+	Queries QueryStats     `json:"queries"`
+	Jobs    JobStateCounts `json:"jobs"`
 }
 
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
@@ -165,6 +204,7 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	resp.Store.Puts = st.Puts
 	resp.Store.Evictions = st.Evictions
 	resp.Store.Len = s.m.Store().Len()
+	resp.Queries = s.m.QueryStats()
 	resp.Jobs = s.m.JobStates()
 	writeJSON(w, http.StatusOK, func() ([]byte, error) {
 		return json.Marshal(&resp)

@@ -1,0 +1,133 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Query graph selectors: which graph of a stored cell result a query
+// evaluates against. An absent selector means the benchmark (target)
+// graph.
+const (
+	QueryGraphTarget = "target"
+	QueryGraphFG     = "fg"
+	QueryGraphBG     = "bg"
+)
+
+// QueryRequest asks provmarkd to evaluate a Datalog program against a
+// stored cell's provenance — the Dora use case (matching
+// suspicious-activity rules against recorded provenance) as a service
+// call. Rules is the concrete rule syntax of internal/datalog (one
+// rule per line, % comments); Goal is a single positive atom whose
+// variable bindings are the answer.
+type QueryRequest struct {
+	Schema int    `json:"schema,omitempty"`
+	Cell   string `json:"cell"`
+	Graph  string `json:"graph,omitempty"`
+	Rules  string `json:"rules,omitempty"`
+	Goal   string `json:"goal"`
+}
+
+// QueryResponse carries the deterministic, sorted, deduplicated
+// bindings of the goal atom. Matches always equals len(Bindings);
+// Derived counts the facts the rule program derived on top of the
+// graph's base facts.
+type QueryResponse struct {
+	Schema   int                 `json:"schema"`
+	Cell     string              `json:"cell"`
+	Goal     string              `json:"goal"`
+	Matches  int                 `json:"matches"`
+	Bindings []map[string]string `json:"bindings,omitempty"`
+	Derived  int64               `json:"derived"`
+}
+
+// EncodeQueryRequest renders the canonical JSON encoding of a query
+// request (the "target" selector collapses to absent).
+func EncodeQueryRequest(q *QueryRequest) ([]byte, error) {
+	if q == nil {
+		return nil, fmt.Errorf("wire: encode: nil query request")
+	}
+	v := *q
+	if err := stampSchema(&v.Schema); err != nil {
+		return nil, fmt.Errorf("wire: encode query request: %w", err)
+	}
+	if err := v.validate(); err != nil {
+		return nil, fmt.Errorf("wire: encode query request: %w", err)
+	}
+	if v.Graph == QueryGraphTarget {
+		v.Graph = ""
+	}
+	return json.Marshal(&v)
+}
+
+// DecodeQueryRequest strictly parses a query request. Like job specs,
+// a zero schema version is accepted (hand-written client bodies may
+// omit it) and normalized to the current version.
+func DecodeQueryRequest(data []byte) (*QueryRequest, error) {
+	var q QueryRequest
+	if err := decodeStrict(data, &q); err != nil {
+		return nil, fmt.Errorf("wire: decode query request: %w", err)
+	}
+	if q.Schema == 0 {
+		q.Schema = SchemaVersion
+	}
+	if q.Schema != SchemaVersion {
+		return nil, fmt.Errorf("wire: decode query request: unsupported schema version %d (want %d)", q.Schema, SchemaVersion)
+	}
+	if err := q.validate(); err != nil {
+		return nil, fmt.Errorf("wire: decode query request: %w", err)
+	}
+	if q.Graph == QueryGraphTarget {
+		q.Graph = "" // canonical form: the default selector is absent
+	}
+	return &q, nil
+}
+
+func (q *QueryRequest) validate() error {
+	if q.Cell == "" {
+		return fmt.Errorf("query needs a cell key")
+	}
+	if q.Goal == "" {
+		return fmt.Errorf("query needs a goal atom")
+	}
+	switch q.Graph {
+	case "", QueryGraphTarget, QueryGraphFG, QueryGraphBG:
+		return nil
+	}
+	return fmt.Errorf("unknown graph selector %q (want target, fg or bg)", q.Graph)
+}
+
+// EncodeQueryResponse renders the canonical JSON encoding of a query
+// response. Binding maps encode with sorted keys (encoding/json), so
+// identical binding sets always produce identical bytes.
+func EncodeQueryResponse(q *QueryResponse) ([]byte, error) {
+	if q == nil {
+		return nil, fmt.Errorf("wire: encode: nil query response")
+	}
+	v := *q
+	if err := stampSchema(&v.Schema); err != nil {
+		return nil, fmt.Errorf("wire: encode query response: %w", err)
+	}
+	if v.Matches != len(v.Bindings) {
+		return nil, fmt.Errorf("wire: encode query response: matches %d != %d bindings", v.Matches, len(v.Bindings))
+	}
+	return json.Marshal(&v)
+}
+
+// DecodeQueryResponse strictly parses a query response.
+func DecodeQueryResponse(data []byte) (*QueryResponse, error) {
+	var q QueryResponse
+	if err := decodeStrict(data, &q); err != nil {
+		return nil, fmt.Errorf("wire: decode query response: %w", err)
+	}
+	if q.Schema != SchemaVersion {
+		return nil, fmt.Errorf("wire: decode query response: unsupported schema version %d (want %d)", q.Schema, SchemaVersion)
+	}
+	if q.Matches != len(q.Bindings) {
+		return nil, fmt.Errorf("wire: decode query response: matches %d != %d bindings", q.Matches, len(q.Bindings))
+	}
+	if len(q.Bindings) == 0 {
+		q.Bindings = nil
+	}
+	return &q, nil
+}

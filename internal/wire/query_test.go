@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQueryRequestRoundTrip(t *testing.T) {
+	q := &QueryRequest{
+		Cell:  "abc123",
+		Graph: QueryGraphFG,
+		Rules: `suspicious(P) :- prop(P, "cf:uid", "0").`,
+		Goal:  "suspicious(P)",
+	}
+	data, err := EncodeQueryRequest(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeQueryRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cell != q.Cell || got.Graph != QueryGraphFG || got.Rules != q.Rules || got.Goal != q.Goal {
+		t.Errorf("round trip = %+v", got)
+	}
+	if got.Schema != SchemaVersion {
+		t.Errorf("schema = %d", got.Schema)
+	}
+	data2, err := EncodeQueryRequest(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Errorf("encoding not canonical: %s vs %s", data, data2)
+	}
+}
+
+func TestQueryRequestTargetCollapses(t *testing.T) {
+	data, err := EncodeQueryRequest(&QueryRequest{Cell: "c", Graph: QueryGraphTarget, Goal: "g(X)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"graph"`) {
+		t.Errorf("target selector not collapsed: %s", data)
+	}
+	got, err := DecodeQueryRequest([]byte(`{"cell":"c","graph":"target","goal":"g(X)"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph != "" {
+		t.Errorf("decoded graph = %q, want collapsed", got.Graph)
+	}
+}
+
+func TestQueryRequestDecodeStrict(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"unknown field", `{"cell":"c","goal":"g(X)","nope":1}`},
+		{"missing cell", `{"goal":"g(X)"}`},
+		{"missing goal", `{"cell":"c"}`},
+		{"bad graph selector", `{"cell":"c","goal":"g(X)","graph":"sideways"}`},
+		{"bad schema", `{"schema":99,"cell":"c","goal":"g(X)"}`},
+		{"trailing data", `{"cell":"c","goal":"g(X)"} {}`},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeQueryRequest([]byte(tc.body)); err == nil {
+			t.Errorf("%s: accepted %s", tc.name, tc.body)
+		}
+	}
+	// A hand-written body may omit the schema field.
+	if _, err := DecodeQueryRequest([]byte(`{"cell":"c","goal":"g(X)"}`)); err != nil {
+		t.Errorf("schemaless body rejected: %v", err)
+	}
+}
+
+func TestQueryResponseRoundTrip(t *testing.T) {
+	q := &QueryResponse{
+		Cell:     "abc123",
+		Goal:     "suspicious(P)",
+		Matches:  2,
+		Bindings: []map[string]string{{"P": "n16"}, {"P": "n3"}},
+		Derived:  7,
+	}
+	data, err := EncodeQueryResponse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeQueryResponse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Matches != 2 || len(got.Bindings) != 2 || got.Bindings[0]["P"] != "n16" || got.Derived != 7 {
+		t.Errorf("round trip = %+v", got)
+	}
+	data2, err := EncodeQueryResponse(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Errorf("encoding not canonical: %s vs %s", data, data2)
+	}
+}
+
+func TestQueryResponseInvariants(t *testing.T) {
+	// matches must equal len(bindings), both ways.
+	if _, err := EncodeQueryResponse(&QueryResponse{Cell: "c", Goal: "g", Matches: 1}); err == nil {
+		t.Error("encode accepted matches/bindings mismatch")
+	}
+	if _, err := DecodeQueryResponse([]byte(`{"schema":1,"cell":"c","goal":"g","matches":1,"derived":0}`)); err == nil {
+		t.Error("decode accepted matches/bindings mismatch")
+	}
+	got, err := DecodeQueryResponse([]byte(`{"schema":1,"cell":"c","goal":"g","matches":0,"derived":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bindings != nil {
+		t.Errorf("empty bindings not normalized: %+v", got.Bindings)
+	}
+}
