@@ -1,0 +1,62 @@
+package httpmw
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// AccessLogLayer emits one structured log record per request — method,
+// path, matched route pattern, status, response bytes, duration,
+// session key, request ID — through the given slog.Logger. The route
+// and session resolvers are injected so the layer needs no knowledge
+// of the mux or the session scheme; either may be nil.
+//
+// The layer sits above Auth/RateLimit/Quota by contract, so rejected
+// requests (401/429) are logged with their rejection status — exactly
+// the traffic an operator wants visible.
+func AccessLogLayer(logger *slog.Logger, route, session func(*http.Request) string) Layer {
+	logger = orDiscard(logger)
+	return Layer{
+		Name:  "accesslog",
+		Class: ClassAccessLog,
+		Wrap: func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				start := time.Now()
+				rec := &responseRecorder{ResponseWriter: w}
+				completed := false
+				defer func() {
+					attrs := []slog.Attr{
+						slog.String("method", r.Method),
+						slog.String("path", r.URL.Path),
+						slog.Int("status", rec.statusOrDefault(completed)),
+						slog.Int64("bytes", rec.bytes),
+						slog.Float64("duration_ms", float64(time.Since(start).Microseconds())/1000),
+					}
+					if route != nil {
+						attrs = append(attrs, slog.String("route", route(r)))
+					}
+					if session != nil {
+						attrs = append(attrs, slog.String("session", session(r)))
+					}
+					if id := RequestID(r.Context()); id != "" {
+						attrs = append(attrs, slog.String("request_id", id))
+					}
+					logger.LogAttrs(r.Context(), slog.LevelInfo, "http request", attrs...)
+				}()
+				next.ServeHTTP(rec, r)
+				completed = true
+			})
+		},
+	}
+}
+
+// orDiscard makes a nil logger safe: layers log unconditionally, and a
+// caller that wants silence simply passes nil.
+func orDiscard(logger *slog.Logger) *slog.Logger {
+	if logger != nil {
+		return logger
+	}
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}

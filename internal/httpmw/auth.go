@@ -1,0 +1,39 @@
+package httpmw
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"net/http"
+)
+
+// AuthLayer enforces a static bearer token on every request except the
+// exempt paths (provmarkd exempts /healthz so liveness probes need no
+// credential). Comparison is constant-time over SHA-256 digests, so
+// neither token length nor prefix leaks through timing.
+//
+// Auth sits above RateLimit by contract: failed credentials are
+// rejected before they can drain a session's token bucket.
+func AuthLayer(token string, exempt ...string) Layer {
+	want := sha256.Sum256([]byte(token))
+	ex := pathSet(exempt)
+	return Layer{
+		Name:  "auth",
+		Class: ClassAuth,
+		Wrap: func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if ex[r.URL.Path] {
+					next.ServeHTTP(w, r)
+					return
+				}
+				got, ok := bearerToken(r)
+				sum := sha256.Sum256([]byte(got))
+				if !ok || subtle.ConstantTimeCompare(sum[:], want[:]) != 1 {
+					w.Header().Set("WWW-Authenticate", `Bearer realm="provmarkd"`)
+					http.Error(w, "unauthorized: missing or invalid bearer token", http.StatusUnauthorized)
+					return
+				}
+				next.ServeHTTP(w, r)
+			})
+		},
+	}
+}

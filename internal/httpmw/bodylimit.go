@@ -1,0 +1,25 @@
+package httpmw
+
+import "net/http"
+
+// BodyLimitLayer caps every request body at n bytes via
+// http.MaxBytesReader. A handler reading past the cap gets a
+// *http.MaxBytesError, which it should map to 413 Request Entity Too
+// Large (net/http also closes the connection, stopping the upload).
+// The layer is innermost by contract: the cap protects the
+// application's reads after every policy layer has admitted the
+// request.
+func BodyLimitLayer(n int64) Layer {
+	return Layer{
+		Name:  "bodylimit",
+		Class: ClassBodyLimit,
+		Wrap: func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.Body != nil && r.ContentLength != 0 {
+					r.Body = http.MaxBytesReader(w, r.Body, n)
+				}
+				next.ServeHTTP(w, r)
+			})
+		},
+	}
+}

@@ -1,0 +1,134 @@
+package httpmw_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"provmark/internal/httpmw"
+)
+
+func noopLayer(name string, class httpmw.Class) httpmw.Layer {
+	return httpmw.Layer{Name: name, Class: class, Wrap: func(next http.Handler) http.Handler { return next }}
+}
+
+// tagLayer writes its name into a response header list, so tests can
+// observe wrapping order.
+func tagLayer(name string, class httpmw.Class) httpmw.Layer {
+	return httpmw.Layer{Name: name, Class: class, Wrap: func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Add("X-Order", name)
+			next.ServeHTTP(w, r)
+		})
+	}}
+}
+
+func TestChainAcceptsFullOrderedStack(t *testing.T) {
+	chain, err := httpmw.NewChain(
+		noopLayer("recover", httpmw.ClassRecover),
+		noopLayer("requestid", httpmw.ClassRequestID),
+		noopLayer("accesslog", httpmw.ClassAccessLog),
+		noopLayer("metrics", httpmw.ClassMetrics),
+		noopLayer("auth", httpmw.ClassAuth),
+		noopLayer("ratelimit", httpmw.ClassRateLimit),
+		noopLayer("quota", httpmw.ClassQuota),
+		noopLayer("bodylimit", httpmw.ClassBodyLimit),
+	)
+	if err != nil {
+		t.Fatalf("full ordered chain rejected: %v", err)
+	}
+	want := []string{"recover", "requestid", "accesslog", "metrics", "auth", "ratelimit", "quota", "bodylimit"}
+	got := chain.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestChainAcceptsGaps(t *testing.T) {
+	// Policy layers are optional: an unauthenticated server simply has
+	// no Auth layer. Gaps must not trip the order validator.
+	if _, err := httpmw.NewChain(
+		noopLayer("recover", httpmw.ClassRecover),
+		noopLayer("metrics", httpmw.ClassMetrics),
+		noopLayer("bodylimit", httpmw.ClassBodyLimit),
+	); err != nil {
+		t.Fatalf("gapped chain rejected: %v", err)
+	}
+}
+
+func TestChainRejectsMisorderNamingLayers(t *testing.T) {
+	_, err := httpmw.NewChain(
+		noopLayer("recover", httpmw.ClassRecover),
+		noopLayer("auth", httpmw.ClassAuth),
+		noopLayer("accesslog", httpmw.ClassAccessLog),
+	)
+	if err == nil {
+		t.Fatal("misordered chain accepted")
+	}
+	// The error must name BOTH offending layers and the contract, so
+	// the startup failure is actionable without reading the source.
+	for _, want := range []string{`"accesslog"`, `"auth"`, "required order", "Recover < RequestID < AccessLog < Metrics < Auth < RateLimit < Quota < BodyLimit"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+}
+
+func TestChainRejectsDuplicateClass(t *testing.T) {
+	_, err := httpmw.NewChain(
+		noopLayer("auth-a", httpmw.ClassAuth),
+		noopLayer("auth-b", httpmw.ClassAuth),
+	)
+	if err == nil {
+		t.Fatal("duplicate class accepted")
+	}
+	for _, want := range []string{`"auth-a"`, `"auth-b"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+}
+
+func TestChainRejectsAnonymousNilAndUnknown(t *testing.T) {
+	if _, err := httpmw.NewChain(noopLayer("", httpmw.ClassRecover)); err == nil {
+		t.Error("nameless layer accepted")
+	}
+	if _, err := httpmw.NewChain(httpmw.Layer{Name: "x", Class: httpmw.ClassRecover}); err == nil {
+		t.Error("nil middleware accepted")
+	}
+	if _, err := httpmw.NewChain(noopLayer("x", httpmw.Class(99))); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestChainWrapsOutermostFirst(t *testing.T) {
+	chain, err := httpmw.NewChain(
+		tagLayer("first", httpmw.ClassRecover),
+		tagLayer("second", httpmw.ClassAuth),
+		tagLayer("third", httpmw.ClassBodyLimit),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := chain.Then(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	if got := strings.Join(rec.Header().Values("X-Order"), ","); got != "first,second,third" {
+		t.Fatalf("execution order %q, want first,second,third", got)
+	}
+}
+
+func TestMustNewChainPanicsOnMisorder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewChain did not panic on a misordered chain")
+		}
+	}()
+	httpmw.MustNewChain(noopLayer("b", httpmw.ClassBodyLimit), noopLayer("a", httpmw.ClassRecover))
+}

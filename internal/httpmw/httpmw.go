@@ -1,0 +1,188 @@
+// Package httpmw is provmarkd's composable HTTP middleware subsystem:
+// a small vocabulary of production-service layers (panic recovery,
+// request IDs, structured access logs, Prometheus-style metrics,
+// bearer-token auth, per-session token-bucket rate limiting,
+// per-session invocation quotas, request-body caps) and a Chain that
+// assembles them with the registration order VALIDATED at startup.
+//
+// # The order contract
+//
+// Layers are classed, and a Chain only accepts layers in strictly
+// ascending class order — outermost first:
+//
+//	Recover < RequestID < AccessLog < Metrics < Auth < RateLimit < Quota < BodyLimit < app
+//
+// The order is load-bearing, not cosmetic:
+//
+//   - Recover is outermost so a panic anywhere below it (including in
+//     another layer) still yields a 500 and a logged stack.
+//   - RequestID precedes AccessLog and Metrics so every logged line
+//     and every measured request carries its ID.
+//   - AccessLog and Metrics precede Auth/RateLimit/Quota so REJECTED
+//     requests (401/429) are still logged and counted — a service
+//     under attack must see the attack in its own telemetry.
+//   - Auth precedes RateLimit so unauthenticated probes cannot drain
+//     a session's token bucket, and RateLimit precedes Quota so a
+//     rate-limited burst does not also burn lifetime quota.
+//   - BodyLimit is innermost: it caps the body the app will actually
+//     read, after every policy layer has had its say.
+//
+// NewChain fails fast with an error naming the offending layers when a
+// caller registers them out of order (or registers a class twice), so
+// a misconfigured server refuses to start instead of silently running
+// with, say, unauthenticated metrics traffic draining rate budgets.
+//
+// Response-writer wrappers installed by AccessLog and Metrics preserve
+// http.Flusher, so NDJSON streaming endpoints keep flushing per line
+// through a fully assembled chain.
+package httpmw
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Middleware decorates an http.Handler with one concern, delegating
+// the rest of the request to the wrapped handler.
+type Middleware func(http.Handler) http.Handler
+
+// Class ranks a layer in the mandatory chain order. Lower classes wrap
+// outside higher ones; see the package comment for why each ordering
+// pair matters.
+type Class int
+
+const (
+	ClassRecover Class = iota
+	ClassRequestID
+	ClassAccessLog
+	ClassMetrics
+	ClassAuth
+	ClassRateLimit
+	ClassQuota
+	ClassBodyLimit
+	classCount
+)
+
+var classNames = [...]string{
+	ClassRecover:   "Recover",
+	ClassRequestID: "RequestID",
+	ClassAccessLog: "AccessLog",
+	ClassMetrics:   "Metrics",
+	ClassAuth:      "Auth",
+	ClassRateLimit: "RateLimit",
+	ClassQuota:     "Quota",
+	ClassBodyLimit: "BodyLimit",
+}
+
+func (c Class) String() string {
+	if c < 0 || c >= classCount {
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// requiredOrder renders the full contract for error messages.
+func requiredOrder() string {
+	s := ""
+	for c := Class(0); c < classCount; c++ {
+		if c > 0 {
+			s += " < "
+		}
+		s += c.String()
+	}
+	return s
+}
+
+// Layer is one named, classed middleware registration.
+type Layer struct {
+	Name  string
+	Class Class
+	Wrap  Middleware
+}
+
+// Chain is a validated, ordered middleware stack. The zero Chain is
+// not useful; build one with NewChain.
+type Chain struct {
+	layers []Layer
+}
+
+// NewChain validates and assembles a middleware stack. Layers must be
+// registered outermost-first in strictly ascending Class order; a
+// misordered or duplicated class fails with an error naming both
+// offending layers, so a misconfigured server dies at startup rather
+// than serving with a scrambled policy stack. Classes may be omitted
+// (an unauthenticated server simply has no Auth layer) but never
+// reordered.
+func NewChain(layers ...Layer) (*Chain, error) {
+	for i, l := range layers {
+		if l.Name == "" {
+			return nil, fmt.Errorf("httpmw: invalid chain: layer %d (%s) has no name", i, l.Class)
+		}
+		if l.Class < 0 || l.Class >= classCount {
+			return nil, fmt.Errorf("httpmw: invalid chain: layer %q has unknown class %d", l.Name, int(l.Class))
+		}
+		if l.Wrap == nil {
+			return nil, fmt.Errorf("httpmw: invalid chain: layer %q (%s) has a nil middleware", l.Name, l.Class)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := layers[i-1]
+		if l.Class == prev.Class {
+			return nil, fmt.Errorf("httpmw: invalid chain: layers %q and %q both register class %s",
+				prev.Name, l.Name, l.Class)
+		}
+		if l.Class < prev.Class {
+			return nil, fmt.Errorf("httpmw: invalid chain: layer %q (%s) is registered after %q (%s); required order is %s",
+				l.Name, l.Class, prev.Name, prev.Class, requiredOrder())
+		}
+	}
+	c := &Chain{layers: make([]Layer, len(layers))}
+	copy(c.layers, layers)
+	return c, nil
+}
+
+// MustNewChain is NewChain for hardcoded chains whose order is part of
+// the program text; it panics on a validation error.
+func MustNewChain(layers ...Layer) *Chain {
+	c, err := NewChain(layers...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Then wraps app in the chain's layers, first layer outermost. A nil
+// app wraps http.DefaultServeMux, matching net/http convention.
+func (c *Chain) Then(app http.Handler) http.Handler {
+	if app == nil {
+		app = http.DefaultServeMux
+	}
+	h := app
+	for i := len(c.layers) - 1; i >= 0; i-- {
+		h = c.layers[i].Wrap(h)
+	}
+	return h
+}
+
+// Names lists the chain's layer names outermost-first — handy for
+// startup logs asserting which policies are live.
+func (c *Chain) Names() []string {
+	names := make([]string, len(c.layers))
+	for i, l := range c.layers {
+		names[i] = l.Name
+	}
+	return names
+}
+
+// pathSet builds the exemption lookup the policy layers share.
+func pathSet(paths []string) map[string]bool {
+	if len(paths) == 0 {
+		return nil
+	}
+	m := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		m[p] = true
+	}
+	return m
+}

@@ -1,0 +1,197 @@
+package httpmw
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the cumulative histogram bounds, in seconds, for
+// per-route request latency. Chosen to straddle provmarkd's range:
+// sub-millisecond status lookups up to multi-second matrix cells.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10}
+
+// Metrics is a minimal Prometheus-text metrics registry: per-route
+// HTTP request counters, in-flight gauges, and latency histograms fed
+// by MetricsLayer, plus function-backed metrics re-exporting counters
+// that live elsewhere (provmarkd registers its dedup-store, query,
+// job-state, session, and rejection counters). Handler serves the
+// text exposition format on GET /metrics.
+//
+// It is deliberately dependency-free — the container bakes no
+// Prometheus client library, and the text format is stable and tiny.
+type Metrics struct {
+	namespace string
+
+	mu     sync.Mutex
+	routes map[string]*routeMetrics
+	funcs  []funcMetric
+}
+
+type routeMetrics struct {
+	inFlight int64
+	codes    map[int]int64 // per status code request count
+	buckets  []int64       // cumulative latency counts per bound, +Inf implicit in count
+	sum      float64       // total latency seconds
+	count    int64
+}
+
+type funcMetric struct {
+	name, help, typ string
+	fn              func() float64
+}
+
+// NewMetrics builds a registry whose HTTP metric names are prefixed
+// "<namespace>_http_...".
+func NewMetrics(namespace string) *Metrics {
+	return &Metrics{namespace: namespace, routes: make(map[string]*routeMetrics)}
+}
+
+// RegisterFunc re-exports an externally owned value under name (typ is
+// "counter" or "gauge"). The function is called at scrape time.
+// Registration order is preserved in the exposition.
+func (m *Metrics) RegisterFunc(name, help, typ string, fn func() float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.funcs = append(m.funcs, funcMetric{name: name, help: help, typ: typ, fn: fn})
+}
+
+func (m *Metrics) route(route string) *routeMetrics {
+	rm, ok := m.routes[route]
+	if !ok {
+		rm = &routeMetrics{codes: make(map[int]int64), buckets: make([]int64, len(latencyBuckets))}
+		m.routes[route] = rm
+	}
+	return rm
+}
+
+func (m *Metrics) begin(route string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.route(route).inFlight++
+}
+
+func (m *Metrics) done(route string, code int, d time.Duration) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rm := m.route(route)
+	rm.inFlight--
+	rm.codes[code]++
+	rm.count++
+	rm.sum += secs
+	for i, bound := range latencyBuckets {
+		if secs <= bound {
+			rm.buckets[i]++
+		}
+	}
+}
+
+// MetricsLayer measures every request — even ones later rejected by
+// Auth/RateLimit/Quota, which sit below it by contract — under the
+// route label the resolver supplies (provmarkd resolves the mux
+// pattern, e.g. "POST /v1/jobs").
+func MetricsLayer(m *Metrics, route func(*http.Request) string) Layer {
+	return Layer{
+		Name:  "metrics",
+		Class: ClassMetrics,
+		Wrap: func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				label := "unmatched"
+				if route != nil {
+					if l := route(r); l != "" {
+						label = l
+					}
+				}
+				start := time.Now()
+				m.begin(label)
+				rec := &responseRecorder{ResponseWriter: w}
+				completed := false
+				defer func() {
+					m.done(label, rec.statusOrDefault(completed), time.Since(start))
+				}()
+				next.ServeHTTP(rec, r)
+				completed = true
+			})
+		},
+	}
+}
+
+// Handler serves the registry in the Prometheus text exposition
+// format.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(m.render()))
+	})
+}
+
+func (m *Metrics) render() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+	routes := make([]string, 0, len(m.routes))
+	for route := range m.routes {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	ns := m.namespace
+
+	header(&b, ns+"_http_requests_total", "Completed HTTP requests by route and status code.", "counter")
+	for _, route := range routes {
+		rm := m.routes[route]
+		codes := make([]int, 0, len(rm.codes))
+		for c := range rm.codes {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(&b, "%s_http_requests_total{route=%s,code=\"%d\"} %d\n",
+				ns, labelValue(route), c, rm.codes[c])
+		}
+	}
+
+	header(&b, ns+"_http_in_flight", "HTTP requests currently being served by route.", "gauge")
+	for _, route := range routes {
+		fmt.Fprintf(&b, "%s_http_in_flight{route=%s} %d\n", ns, labelValue(route), m.routes[route].inFlight)
+	}
+
+	header(&b, ns+"_http_request_duration_seconds", "HTTP request latency by route.", "histogram")
+	for _, route := range routes {
+		rm := m.routes[route]
+		for i, bound := range latencyBuckets {
+			fmt.Fprintf(&b, "%s_http_request_duration_seconds_bucket{route=%s,le=\"%s\"} %d\n",
+				ns, labelValue(route), formatFloat(bound), rm.buckets[i])
+		}
+		fmt.Fprintf(&b, "%s_http_request_duration_seconds_bucket{route=%s,le=\"+Inf\"} %d\n",
+			ns, labelValue(route), rm.count)
+		fmt.Fprintf(&b, "%s_http_request_duration_seconds_sum{route=%s} %s\n",
+			ns, labelValue(route), formatFloat(rm.sum))
+		fmt.Fprintf(&b, "%s_http_request_duration_seconds_count{route=%s} %d\n",
+			ns, labelValue(route), rm.count)
+	}
+
+	for _, f := range m.funcs {
+		header(&b, f.name, f.help, f.typ)
+		fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.fn()))
+	}
+	return b.String()
+}
+
+func header(b *strings.Builder, name, help, typ string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// labelValue quotes and escapes a Prometheus label value.
+func labelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return `"` + r.Replace(v) + `"`
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,137 @@
+package httpmw_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"provmark/internal/httpmw"
+)
+
+func scrape(t *testing.T, m *httpmw.Metrics) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	return rec.Body.String()
+}
+
+func TestMetricsLayerCountsRequests(t *testing.T) {
+	m := httpmw.NewMetrics("test")
+	routes := map[string]string{"/ok": "GET /ok", "/missing": ""}
+	layer := httpmw.MetricsLayer(m, func(r *http.Request) string { return routes[r.URL.Path] })
+	app := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte("ok"))
+	})
+	chain := httpmw.MustNewChain(layer)
+	h := chain.Then(app)
+	for i := 0; i < 3; i++ {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/ok", nil))
+	}
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/missing", nil))
+
+	body := scrape(t, m)
+	for _, want := range []string{
+		`test_http_requests_total{route="GET /ok",code="200"} 3`,
+		`test_http_requests_total{route="unmatched",code="404"} 1`,
+		`test_http_in_flight{route="GET /ok"} 0`,
+		`test_http_request_duration_seconds_bucket{route="GET /ok",le="+Inf"} 3`,
+		`test_http_request_duration_seconds_count{route="GET /ok"} 3`,
+		"# TYPE test_http_requests_total counter",
+		"# TYPE test_http_request_duration_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q:\n%s", want, body)
+		}
+	}
+
+	// Histogram buckets are cumulative: every bound's count is bounded
+	// by the total.
+	re := regexp.MustCompile(`test_http_request_duration_seconds_bucket\{route="GET /ok",le="[^"]+"\} (\d+)`)
+	for _, match := range re.FindAllStringSubmatch(body, -1) {
+		if match[1] > "3" && len(match[1]) == 1 {
+			t.Errorf("bucket count %s exceeds total 3", match[1])
+		}
+	}
+}
+
+func TestMetricsPanicStillRecorded(t *testing.T) {
+	// A panicking handler unwinds through the metrics layer; the
+	// request must still be recorded, as a 500 (the status Recover
+	// above will write).
+	m := httpmw.NewMetrics("test")
+	chain := httpmw.MustNewChain(
+		httpmw.RecoverLayer(nil),
+		httpmw.MetricsLayer(m, func(*http.Request) string { return "GET /boom" }),
+	)
+	h := chain.Then(http.HandlerFunc(func(http.ResponseWriter, *http.Request) { panic("x") }))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/boom", nil))
+	body := scrape(t, m)
+	if !strings.Contains(body, `test_http_requests_total{route="GET /boom",code="500"} 1`) {
+		t.Fatalf("panicking request not recorded as 500:\n%s", body)
+	}
+	if !strings.Contains(body, `test_http_in_flight{route="GET /boom"} 0`) {
+		t.Fatalf("in-flight gauge leaked after panic:\n%s", body)
+	}
+}
+
+func TestMetricsRegisterFunc(t *testing.T) {
+	m := httpmw.NewMetrics("test")
+	v := 41.0
+	m.RegisterFunc("test_custom_total", "A re-exported counter.", "counter", func() float64 { return v })
+	v++
+	body := scrape(t, m)
+	for _, want := range []string{
+		"# HELP test_custom_total A re-exported counter.",
+		"# TYPE test_custom_total counter",
+		"test_custom_total 42",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsLabelEscaping(t *testing.T) {
+	m := httpmw.NewMetrics("test")
+	layer := httpmw.MetricsLayer(m, func(*http.Request) string { return "GET /weird\"route\\" })
+	h := httpmw.MustNewChain(layer).Then(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	body := scrape(t, m)
+	if !strings.Contains(body, `route="GET /weird\"route\\"`) {
+		t.Fatalf("label not escaped:\n%s", body)
+	}
+}
+
+func TestMetricsConcurrentObservation(t *testing.T) {
+	// The registry is shared by every in-flight request; hammer it from
+	// goroutines so the race detector can chew on it.
+	m := httpmw.NewMetrics("test")
+	h := httpmw.MustNewChain(
+		httpmw.MetricsLayer(m, func(*http.Request) string { return "GET /x" }),
+	).Then(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { io.WriteString(w, "ok") }))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/x", nil))
+			}
+		}()
+	}
+	wg.Wait()
+	if body := scrape(t, m); !strings.Contains(body, `test_http_requests_total{route="GET /x",code="200"} 400`) {
+		t.Fatalf("concurrent counts lost:\n%s", body)
+	}
+}

@@ -1,0 +1,284 @@
+package httpmw_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"provmark/internal/httpmw"
+)
+
+// serve runs one request through a chain of layers over handler.
+func serve(t *testing.T, req *http.Request, handler http.Handler, layers ...httpmw.Layer) *httptest.ResponseRecorder {
+	t.Helper()
+	chain, err := httpmw.NewChain(layers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	chain.Then(handler).ServeHTTP(rec, req)
+	return rec
+}
+
+func TestRecoverLayer(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	panicky := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+	rec := serve(t, httptest.NewRequest("GET", "/x", nil), panicky, httpmw.RecoverLayer(logger))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var entry map[string]any
+	if err := json.Unmarshal(logBuf.Bytes(), &entry); err != nil {
+		t.Fatalf("panic log is not one JSON record: %v\n%s", err, logBuf.Bytes())
+	}
+	if entry["panic"] != "kaboom" {
+		t.Errorf("logged panic = %v", entry["panic"])
+	}
+	stack, _ := entry["stack"].(string)
+	if !strings.Contains(stack, "mw_test.go") {
+		t.Errorf("logged stack does not reach the panicking handler:\n%s", stack)
+	}
+}
+
+func TestRecoverLayerRethrowsAbortHandler(t *testing.T) {
+	aborting := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	})
+	chain := httpmw.MustNewChain(httpmw.RecoverLayer(nil))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Fatal("ErrAbortHandler swallowed instead of re-panicked")
+		}
+	}()
+	chain.Then(aborting).ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+}
+
+func TestRequestIDLayer(t *testing.T) {
+	var seen string
+	echo := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = httpmw.RequestID(r.Context())
+	})
+
+	// Minted: a fresh 16-hex ID lands in the response header and ctx.
+	rec := serve(t, httptest.NewRequest("GET", "/", nil), echo, httpmw.RequestIDLayer())
+	id := rec.Header().Get(httpmw.RequestIDHeader)
+	if len(id) != 16 || id != seen {
+		t.Fatalf("minted id header=%q ctx=%q", id, seen)
+	}
+
+	// Honored: a well-formed client ID is propagated verbatim.
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set(httpmw.RequestIDHeader, "client-id-42")
+	rec = serve(t, req, echo, httpmw.RequestIDLayer())
+	if got := rec.Header().Get(httpmw.RequestIDHeader); got != "client-id-42" || seen != "client-id-42" {
+		t.Fatalf("client id not honored: header=%q ctx=%q", got, seen)
+	}
+
+	// Sanitized: a log-hostile ID is replaced, not propagated.
+	req = httptest.NewRequest("GET", "/", nil)
+	req.Header.Set(httpmw.RequestIDHeader, "bad\nid")
+	rec = serve(t, req, echo, httpmw.RequestIDLayer())
+	if got := rec.Header().Get(httpmw.RequestIDHeader); strings.Contains(got, "\n") || got == "" {
+		t.Fatalf("hostile id propagated: %q", got)
+	}
+}
+
+func TestAccessLogLayer(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	app := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("short and stout"))
+	})
+	req := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader("{}"))
+	req.Header.Set(httpmw.RequestIDHeader, "rid-1")
+	req.Header.Set("X-Session-ID", "alice")
+	serve(t, req, app,
+		httpmw.RequestIDLayer(),
+		httpmw.AccessLogLayer(logger,
+			func(*http.Request) string { return "POST /v1/jobs" },
+			httpmw.DefaultSessionKey),
+	)
+
+	var entry map[string]any
+	if err := json.Unmarshal(logBuf.Bytes(), &entry); err != nil {
+		t.Fatalf("access log is not one JSON record: %v\n%s", err, logBuf.Bytes())
+	}
+	want := map[string]any{
+		"method":     "POST",
+		"path":       "/v1/jobs",
+		"route":      "POST /v1/jobs",
+		"status":     float64(http.StatusTeapot),
+		"bytes":      float64(len("short and stout")),
+		"session":    "sid:alice",
+		"request_id": "rid-1",
+	}
+	for k, v := range want {
+		if entry[k] != v {
+			t.Errorf("log[%q] = %v, want %v", k, entry[k], v)
+		}
+	}
+	if _, ok := entry["duration_ms"].(float64); !ok {
+		t.Errorf("log has no numeric duration_ms: %v", entry["duration_ms"])
+	}
+}
+
+// TestObservabilityPreservesFlusher is the NDJSON-streaming guarantee:
+// the full observability stack (access log + metrics recorders) must
+// not hide http.Flusher from the handler, or provmarkd's per-cell
+// flushing — and owner-cancel disconnect detection — silently breaks.
+func TestObservabilityPreservesFlusher(t *testing.T) {
+	var sawFlusher bool
+	app := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, sawFlusher = w.(http.Flusher)
+		w.Write([]byte("x"))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	})
+	rec := serve(t, httptest.NewRequest("GET", "/stream", nil), app,
+		httpmw.RecoverLayer(nil),
+		httpmw.RequestIDLayer(),
+		httpmw.AccessLogLayer(slog.New(slog.NewJSONHandler(io.Discard, nil)), nil, nil),
+		httpmw.MetricsLayer(httpmw.NewMetrics("t"), nil),
+	)
+	if !sawFlusher {
+		t.Fatal("middleware stack hid http.Flusher from the handler")
+	}
+	if !rec.Flushed {
+		t.Fatal("Flush did not reach the underlying writer")
+	}
+}
+
+func TestAuthLayer(t *testing.T) {
+	app := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.Write([]byte("ok")) })
+	layer := httpmw.AuthLayer("sesame", "/healthz")
+	cases := []struct {
+		name, path, header string
+		want               int
+	}{
+		{"no token", "/v1/stats", "", http.StatusUnauthorized},
+		{"wrong token", "/v1/stats", "Bearer nope", http.StatusUnauthorized},
+		{"wrong scheme", "/v1/stats", "Basic sesame", http.StatusUnauthorized},
+		{"right token", "/v1/stats", "Bearer sesame", http.StatusOK},
+		{"exempt path", "/healthz", "", http.StatusOK},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest("GET", tc.path, nil)
+		if tc.header != "" {
+			req.Header.Set("Authorization", tc.header)
+		}
+		rec := serve(t, req, app, layer)
+		if rec.Code != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, rec.Code, tc.want)
+		}
+		if tc.want == http.StatusUnauthorized && rec.Header().Get("WWW-Authenticate") == "" {
+			t.Errorf("%s: 401 without WWW-Authenticate", tc.name)
+		}
+	}
+}
+
+func TestRateLimitLayer(t *testing.T) {
+	clock := newClock()
+	s := httpmw.NewSessionStore(httpmw.SessionConfig{Rate: 0.5, Burst: 1, Now: clock.now})
+	app := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.Write([]byte("ok")) })
+	layer := httpmw.RateLimitLayer(s, "/metrics")
+	get := func(path string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", path, nil)
+		req.Header.Set("X-Session-ID", "alice")
+		return serve(t, req, app, layer)
+	}
+	if rec := get("/v1/stats"); rec.Code != http.StatusOK {
+		t.Fatalf("first request: %d", rec.Code)
+	}
+	rec := get("/v1/stats")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request: %d, want 429", rec.Code)
+	}
+	// One token at 0.5/s is 2 seconds away.
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want 2", got)
+	}
+	if !strings.Contains(rec.Body.String(), "rate limit") {
+		t.Fatalf("429 body = %q", rec.Body.String())
+	}
+	// Exempt paths bypass the empty bucket.
+	if rec := get("/metrics"); rec.Code != http.StatusOK {
+		t.Fatalf("exempt path rate limited: %d", rec.Code)
+	}
+	clock.advance(2 * time.Second)
+	if rec := get("/v1/stats"); rec.Code != http.StatusOK {
+		t.Fatalf("request after refill: %d", rec.Code)
+	}
+}
+
+func TestQuotaLayer(t *testing.T) {
+	clock := newClock()
+	s := httpmw.NewSessionStore(httpmw.SessionConfig{Quota: 2, Now: clock.now})
+	app := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.Write([]byte("ok")) })
+	layer := httpmw.QuotaLayer(s, "/healthz")
+	get := func(path string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", path, nil)
+		req.Header.Set("X-Session-ID", "alice")
+		return serve(t, req, app, layer)
+	}
+	for i := 0; i < 2; i++ {
+		if rec := get("/v1/stats"); rec.Code != http.StatusOK {
+			t.Fatalf("request %d: %d", i, rec.Code)
+		}
+	}
+	rec := get("/v1/stats")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota request: %d, want 429", rec.Code)
+	}
+	// The quota body is distinct from the rate limiter's, and no
+	// Retry-After is advertised — waiting will not help.
+	if !strings.Contains(rec.Body.String(), "quota") || strings.Contains(rec.Body.String(), "rate limit") {
+		t.Fatalf("quota 429 body = %q", rec.Body.String())
+	}
+	if got := rec.Header().Get("Retry-After"); got != "" {
+		t.Fatalf("quota 429 advertises Retry-After %q", got)
+	}
+	if rec := get("/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("exempt path consumed quota: %d", rec.Code)
+	}
+}
+
+func TestBodyLimitLayer(t *testing.T) {
+	var readErr error
+	app := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, readErr = io.ReadAll(r.Body)
+		var tooLarge *http.MaxBytesError
+		if errors.As(readErr, &tooLarge) {
+			http.Error(w, "too big", http.StatusRequestEntityTooLarge)
+			return
+		}
+		w.Write([]byte("ok"))
+	})
+	layer := httpmw.BodyLimitLayer(8)
+
+	req := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader("tiny"))
+	if rec := serve(t, req, app, layer); rec.Code != http.StatusOK {
+		t.Fatalf("small body: %d", rec.Code)
+	}
+
+	req = httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(strings.Repeat("x", 64)))
+	rec := serve(t, req, app, layer)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d, want 413", rec.Code)
+	}
+	var tooLarge *http.MaxBytesError
+	if !errors.As(readErr, &tooLarge) {
+		t.Fatalf("handler read error = %v, want *http.MaxBytesError", readErr)
+	}
+}

@@ -1,0 +1,32 @@
+package httpmw
+
+import "net/http"
+
+// QuotaLayer charges each admitted request against its session's
+// lifetime invocation quota and rejects the session once the budget is
+// spent. The 429 body is deliberately distinct from the rate limiter's
+// and carries no Retry-After: an exhausted quota does not replenish
+// with time, so telling the client to retry would be a lie.
+//
+// Quota sits below RateLimit by contract, so a rate-limited burst does
+// not also burn lifetime budget.
+func QuotaLayer(s *SessionStore, exempt ...string) Layer {
+	ex := pathSet(exempt)
+	return Layer{
+		Name:  "quota",
+		Class: ClassQuota,
+		Wrap: func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if ex[r.URL.Path] {
+					next.ServeHTTP(w, r)
+					return
+				}
+				if _, ok := s.Charge(s.Key(r)); !ok {
+					http.Error(w, "session quota exhausted: invocation budget spent", http.StatusTooManyRequests)
+					return
+				}
+				next.ServeHTTP(w, r)
+			})
+		},
+	}
+}

@@ -1,0 +1,41 @@
+package httpmw
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// RateLimitLayer admits requests through the session store's token
+// bucket and answers 429 with a Retry-After header (whole seconds,
+// rounded up, at least 1) when a session's bucket is empty. Exempt
+// paths — provmarkd exempts /healthz and /metrics — bypass the bucket
+// entirely so probes and scrapes never eat an application session's
+// budget, and so an operator can still read the rejection counters
+// while a session is being limited.
+func RateLimitLayer(s *SessionStore, exempt ...string) Layer {
+	ex := pathSet(exempt)
+	return Layer{
+		Name:  "ratelimit",
+		Class: ClassRateLimit,
+		Wrap: func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if ex[r.URL.Path] {
+					next.ServeHTTP(w, r)
+					return
+				}
+				ok, wait := s.Allow(s.Key(r))
+				if !ok {
+					secs := int(math.Ceil(wait.Seconds()))
+					if secs < 1 {
+						secs = 1
+					}
+					w.Header().Set("Retry-After", strconv.Itoa(secs))
+					http.Error(w, "rate limit exceeded: session token bucket is empty", http.StatusTooManyRequests)
+					return
+				}
+				next.ServeHTTP(w, r)
+			})
+		},
+	}
+}

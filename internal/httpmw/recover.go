@@ -1,0 +1,45 @@
+package httpmw
+
+import (
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+)
+
+// RecoverLayer is the outermost layer: a panic anywhere below it —
+// application handler or another middleware — is logged with its stack
+// and answered with a plain 500 instead of killing the connection
+// without a trace. http.ErrAbortHandler is re-panicked, preserving
+// net/http's sanctioned abort mechanism.
+//
+// If the handler already wrote response headers before panicking, the
+// 500 cannot be delivered; the attempt is still harmless (net/http
+// logs a superfluous WriteHeader) and the stack is logged either way.
+func RecoverLayer(logger *slog.Logger) Layer {
+	logger = orDiscard(logger)
+	return Layer{
+		Name:  "recover",
+		Class: ClassRecover,
+		Wrap: func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				defer func() {
+					v := recover()
+					if v == nil {
+						return
+					}
+					if v == http.ErrAbortHandler {
+						panic(v)
+					}
+					logger.LogAttrs(r.Context(), slog.LevelError, "panic in handler",
+						slog.String("method", r.Method),
+						slog.String("path", r.URL.Path),
+						slog.Any("panic", v),
+						slog.String("stack", string(debug.Stack())),
+					)
+					http.Error(w, "internal server error", http.StatusInternalServerError)
+				}()
+				next.ServeHTTP(w, r)
+			})
+		},
+	}
+}

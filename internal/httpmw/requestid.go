@@ -1,0 +1,76 @@
+package httpmw
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// RequestIDHeader carries a request's correlation ID in both
+// directions: a client may supply one (it is echoed back and attached
+// to logs), and the server mints one otherwise. The response always
+// carries the header, so every client error report can name the exact
+// server-side log lines.
+const RequestIDHeader = "X-Request-ID"
+
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// RequestID returns the request ID injected by RequestIDLayer, or ""
+// outside a chain.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// RequestIDLayer honors a well-formed client-supplied X-Request-ID or
+// mints a fresh 64-bit hex ID, sets the response header, and stores
+// the ID in the request context for the layers and handlers below.
+func RequestIDLayer() Layer {
+	return Layer{
+		Name:  "requestid",
+		Class: ClassRequestID,
+		Wrap: func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				id := sanitizeRequestID(r.Header.Get(RequestIDHeader))
+				if id == "" {
+					id = newRequestID()
+				}
+				w.Header().Set(RequestIDHeader, id)
+				ctx := context.WithValue(r.Context(), requestIDKey, id)
+				next.ServeHTTP(w, r.WithContext(ctx))
+			})
+		},
+	}
+}
+
+// sanitizeRequestID accepts client IDs only when they are short and
+// log-safe ([A-Za-z0-9._-], ≤ 64 bytes); anything else is discarded so
+// a hostile header cannot inject into structured logs.
+func sanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; a constant ID
+		// still serves, it just stops correlating.
+		return "rid-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}

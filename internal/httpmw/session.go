@@ -1,0 +1,201 @@
+package httpmw
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultMaxSessions bounds tracked sessions when SessionConfig leaves
+// MaxSessions unset.
+const DefaultMaxSessions = 65536
+
+// SessionConfig configures a SessionStore.
+type SessionConfig struct {
+	// Rate is the steady-state token-bucket refill in requests/second;
+	// values <= 0 disable rate limiting (Allow always admits).
+	Rate float64
+	// Burst is the bucket capacity — how many requests a fresh or idle
+	// session may issue back to back. Values < 1 mean 1.
+	Burst int
+	// Quota is the lifetime invocation budget per session; values <= 0
+	// mean unlimited.
+	Quota int64
+	// MaxSessions bounds the tracked-session map; past it, the
+	// longest-idle sessions are evicted (their bucket and quota state
+	// reset). Values < 1 use DefaultMaxSessions.
+	MaxSessions int
+	// Key derives the session key from a request; nil uses
+	// DefaultSessionKey.
+	Key func(*http.Request) string
+	// Now injects a clock for tests; nil uses time.Now.
+	Now func() time.Time
+}
+
+// SessionStore tracks per-session state across requests: a token
+// bucket for rate limiting and an invocation counter for quotas
+// (Snippet 1's counter-middleware/session-storage pattern). One store
+// is shared by the RateLimit and Quota layers so both policies agree
+// on what a "session" is, and it feeds the metrics endpoint the
+// session count and rejection counters.
+type SessionStore struct {
+	cfg SessionConfig
+
+	mu       sync.Mutex
+	sessions map[string]*session
+
+	rateRejected  atomic.Int64
+	quotaRejected atomic.Int64
+}
+
+type session struct {
+	tokens float64   // current bucket fill
+	filled time.Time // last refill instant
+	calls  int64     // lifetime invocations (quota)
+	seen   time.Time // last activity, for idle eviction
+}
+
+// NewSessionStore builds a session store; see SessionConfig for knobs.
+func NewSessionStore(cfg SessionConfig) *SessionStore {
+	if cfg.Burst < 1 {
+		cfg.Burst = 1
+	}
+	if cfg.MaxSessions < 1 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.Key == nil {
+		cfg.Key = DefaultSessionKey
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &SessionStore{cfg: cfg, sessions: make(map[string]*session)}
+}
+
+// Key resolves a request's session key via the configured derivation.
+func (s *SessionStore) Key(r *http.Request) string { return s.cfg.Key(r) }
+
+// Len reports how many sessions are currently tracked.
+func (s *SessionStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// RateRejections counts requests rejected by the token bucket since
+// startup; QuotaRejections the requests rejected by quota exhaustion.
+func (s *SessionStore) RateRejections() int64  { return s.rateRejected.Load() }
+func (s *SessionStore) QuotaRejections() int64 { return s.quotaRejected.Load() }
+
+// Allow charges one token from key's bucket. When the bucket is empty
+// it reports false plus how long until a token will be available —
+// the Retry-After the caller should advertise. With Rate <= 0 it
+// always admits (rate limiting disabled) but still tracks the session.
+func (s *SessionStore) Allow(key string) (bool, time.Duration) {
+	now := s.cfg.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessionLocked(key, now)
+	if s.cfg.Rate <= 0 {
+		return true, 0
+	}
+	// Lazy refill: top the bucket up for the time elapsed since the
+	// last refill, capped at burst.
+	elapsed := now.Sub(sess.filled).Seconds()
+	if elapsed > 0 {
+		sess.tokens += elapsed * s.cfg.Rate
+		if max := float64(s.cfg.Burst); sess.tokens > max {
+			sess.tokens = max
+		}
+	}
+	sess.filled = now
+	if sess.tokens >= 1 {
+		sess.tokens--
+		return true, 0
+	}
+	s.rateRejected.Add(1)
+	wait := time.Duration((1 - sess.tokens) / s.cfg.Rate * float64(time.Second))
+	return false, wait
+}
+
+// Charge records one invocation against key's lifetime quota and
+// reports whether the session is still within it. With Quota <= 0 it
+// only counts.
+func (s *SessionStore) Charge(key string) (calls int64, ok bool) {
+	now := s.cfg.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessionLocked(key, now)
+	if s.cfg.Quota > 0 && sess.calls >= s.cfg.Quota {
+		s.quotaRejected.Add(1)
+		return sess.calls, false
+	}
+	sess.calls++
+	return sess.calls, true
+}
+
+// Calls reports key's lifetime invocation count without charging it.
+func (s *SessionStore) Calls(key string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess, ok := s.sessions[key]; ok {
+		return sess.calls
+	}
+	return 0
+}
+
+// sessionLocked fetches or creates key's session, evicting the
+// longest-idle session when the tracking bound is hit. Callers hold
+// s.mu.
+func (s *SessionStore) sessionLocked(key string, now time.Time) *session {
+	if sess, ok := s.sessions[key]; ok {
+		sess.seen = now
+		return sess
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		var oldestKey string
+		var oldest time.Time
+		for k, sess := range s.sessions {
+			if oldestKey == "" || sess.seen.Before(oldest) {
+				oldestKey, oldest = k, sess.seen
+			}
+		}
+		delete(s.sessions, oldestKey)
+	}
+	sess := &session{tokens: float64(s.cfg.Burst), filled: now, seen: now}
+	s.sessions[key] = sess
+	return sess
+}
+
+// DefaultSessionKey identifies a session by, in order of preference:
+// an explicit X-Session-ID header, the (hashed) bearer token, or the
+// client IP. Hashing the token keeps credentials out of logs and
+// metrics labels while still partitioning per credential.
+func DefaultSessionKey(r *http.Request) string {
+	if v := sanitizeRequestID(r.Header.Get("X-Session-ID")); v != "" {
+		return "sid:" + v
+	}
+	if tok, ok := bearerToken(r); ok && tok != "" {
+		sum := sha256.Sum256([]byte(tok))
+		return "tok:" + hex.EncodeToString(sum[:8])
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return "ip:" + host
+	}
+	return "ip:" + r.RemoteAddr
+}
+
+// bearerToken extracts an RFC 6750 Authorization: Bearer credential.
+func bearerToken(r *http.Request) (string, bool) {
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(auth) <= len(prefix) || !strings.EqualFold(auth[:len(prefix)], prefix) {
+		return "", false
+	}
+	return auth[len(prefix):], true
+}

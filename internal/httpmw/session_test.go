@@ -1,0 +1,159 @@
+package httpmw_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"provmark/internal/httpmw"
+)
+
+// fakeClock drives a SessionStore deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClock() *fakeClock                   { return &fakeClock{t: time.Unix(1700000000, 0)} }
+
+func TestTokenBucketRefill(t *testing.T) {
+	clock := newClock()
+	s := httpmw.NewSessionStore(httpmw.SessionConfig{Rate: 2, Burst: 2, Now: clock.now})
+
+	// A fresh session starts with a full bucket: burst requests pass.
+	for i := 0; i < 2; i++ {
+		if ok, _ := s.Allow("a"); !ok {
+			t.Fatalf("request %d rejected within burst", i)
+		}
+	}
+	ok, wait := s.Allow("a")
+	if ok {
+		t.Fatal("request admitted on an empty bucket")
+	}
+	// At 2 tokens/s an empty bucket refills one token in 500ms.
+	if wait != 500*time.Millisecond {
+		t.Fatalf("retry hint = %v, want 500ms", wait)
+	}
+	if got := s.RateRejections(); got != 1 {
+		t.Fatalf("RateRejections = %d, want 1", got)
+	}
+
+	// After 600ms one token is back — exactly one request passes.
+	clock.advance(600 * time.Millisecond)
+	if ok, _ := s.Allow("a"); !ok {
+		t.Fatal("request rejected after refill")
+	}
+	if ok, _ := s.Allow("a"); ok {
+		t.Fatal("second request admitted without tokens")
+	}
+
+	// Refill caps at burst, not beyond.
+	clock.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := s.Allow("a"); !ok {
+			t.Fatalf("request %d rejected after long idle", i)
+		}
+	}
+	if ok, _ := s.Allow("a"); ok {
+		t.Fatal("bucket refilled past burst")
+	}
+}
+
+func TestSessionsAreIndependent(t *testing.T) {
+	clock := newClock()
+	s := httpmw.NewSessionStore(httpmw.SessionConfig{Rate: 1, Burst: 1, Now: clock.now})
+	if ok, _ := s.Allow("a"); !ok {
+		t.Fatal("first session rejected")
+	}
+	if ok, _ := s.Allow("b"); !ok {
+		t.Fatal("second session charged for the first session's traffic")
+	}
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}
+
+func TestDisabledRateAlwaysAdmits(t *testing.T) {
+	clock := newClock()
+	s := httpmw.NewSessionStore(httpmw.SessionConfig{Now: clock.now})
+	for i := 0; i < 100; i++ {
+		if ok, _ := s.Allow("a"); !ok {
+			t.Fatal("disabled rate limiter rejected a request")
+		}
+	}
+}
+
+func TestQuotaCharge(t *testing.T) {
+	clock := newClock()
+	s := httpmw.NewSessionStore(httpmw.SessionConfig{Quota: 3, Now: clock.now})
+	for i := 1; i <= 3; i++ {
+		calls, ok := s.Charge("a")
+		if !ok || calls != int64(i) {
+			t.Fatalf("Charge %d = (%d, %v)", i, calls, ok)
+		}
+	}
+	if _, ok := s.Charge("a"); ok {
+		t.Fatal("charge admitted past quota")
+	}
+	if got := s.QuotaRejections(); got != 1 {
+		t.Fatalf("QuotaRejections = %d, want 1", got)
+	}
+	// Quotas are per session.
+	if _, ok := s.Charge("b"); !ok {
+		t.Fatal("fresh session inherited exhausted quota")
+	}
+	if got := s.Calls("a"); got != 3 {
+		t.Fatalf("Calls = %d, want 3", got)
+	}
+}
+
+func TestSessionEvictionBound(t *testing.T) {
+	clock := newClock()
+	s := httpmw.NewSessionStore(httpmw.SessionConfig{MaxSessions: 3, Now: clock.now})
+	for i := 0; i < 5; i++ {
+		s.Charge(fmt.Sprintf("s%d", i))
+		clock.advance(time.Second)
+	}
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len = %d, want the MaxSessions bound 3", got)
+	}
+	// The longest-idle sessions were the ones evicted: s0 has no
+	// recorded calls anymore, the newest still does.
+	if got := s.Calls("s0"); got != 0 {
+		t.Fatalf("oldest session survived eviction with %d calls", got)
+	}
+	if got := s.Calls("s4"); got != 1 {
+		t.Fatalf("newest session evicted (calls = %d)", got)
+	}
+}
+
+func TestDefaultSessionKey(t *testing.T) {
+	r := httptest.NewRequest("GET", "/v1/stats", nil)
+	r.RemoteAddr = "10.1.2.3:4567"
+	if got := httpmw.DefaultSessionKey(r); got != "ip:10.1.2.3" {
+		t.Errorf("ip key = %q", got)
+	}
+
+	r.Header.Set("Authorization", "Bearer sesame")
+	tok := httpmw.DefaultSessionKey(r)
+	if len(tok) != len("tok:")+16 || tok[:4] != "tok:" {
+		t.Errorf("token key = %q, want tok:<16 hex>", tok)
+	}
+	// The credential itself must not appear in the key (it lands in
+	// logs and metrics).
+	if gotRaw := "tok:sesame"; tok == gotRaw {
+		t.Error("token key leaks the raw credential")
+	}
+
+	r.Header.Set("X-Session-ID", "alice-7")
+	if got := httpmw.DefaultSessionKey(r); got != "sid:alice-7" {
+		t.Errorf("session-id key = %q", got)
+	}
+
+	// A hostile session header (log-unsafe bytes) is discarded, not
+	// propagated.
+	r.Header.Set("X-Session-ID", "evil\nid")
+	if got := httpmw.DefaultSessionKey(r); got != tok {
+		t.Errorf("unsafe session id not discarded: %q", got)
+	}
+}

@@ -1,0 +1,58 @@
+package httpmw
+
+import "net/http"
+
+// responseRecorder observes the status code and body byte count of a
+// response on behalf of the AccessLog and Metrics layers.
+//
+// It deliberately implements http.Flusher by delegation: provmarkd's
+// NDJSON job stream flushes after every cell, and an observability
+// wrapper that hid the Flusher interface would silently turn the
+// stream into one buffered blob — and break owner-cancel-on-disconnect
+// detection. When the underlying writer cannot flush, Flush is a
+// no-op, which is exactly the behavior of serving without the wrapper.
+type responseRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (rw *responseRecorder) WriteHeader(code int) {
+	if rw.status == 0 {
+		rw.status = code
+	}
+	rw.ResponseWriter.WriteHeader(code)
+}
+
+func (rw *responseRecorder) Write(b []byte) (int, error) {
+	if rw.status == 0 {
+		rw.status = http.StatusOK
+	}
+	n, err := rw.ResponseWriter.Write(b)
+	rw.bytes += int64(n)
+	return n, err
+}
+
+func (rw *responseRecorder) Flush() {
+	if f, ok := rw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController pass-through.
+func (rw *responseRecorder) Unwrap() http.ResponseWriter { return rw.ResponseWriter }
+
+// statusOrDefault resolves the recorded status once the handler has
+// returned: an untouched writer means net/http will send 200 on a
+// normal return, while an unwinding panic (completed == false) will be
+// converted to a 500 by the Recover layer above.
+func (rw *responseRecorder) statusOrDefault(completed bool) int {
+	switch {
+	case rw.status != 0:
+		return rw.status
+	case completed:
+		return http.StatusOK
+	default:
+		return http.StatusInternalServerError
+	}
+}

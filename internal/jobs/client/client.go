@@ -2,6 +2,12 @@
 // speaks only the versioned wire vocabulary (internal/wire), so local
 // and remote execution share one schema; provmark-batch uses it for
 // its --remote mode.
+//
+// Requests rejected with 429 (rate limited) or 503 (shutting down /
+// overloaded) are retried with jittered exponential backoff honoring
+// the server's Retry-After header — both statuses mean the server
+// refused the request before processing it, so replaying is safe even
+// for POSTs. Retries are bounded (RetryPolicy) and context-aware.
 package client
 
 import (
@@ -10,8 +16,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"provmark/internal/wire"
 )
@@ -20,10 +29,34 @@ import (
 // graphs; generous but finite).
 const maxLineBytes = 32 << 20
 
+// RetryPolicy bounds the client's 429/503 retry loop.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per request (1 = no
+	// retries).
+	Attempts int
+	// BaseDelay seeds the exponential backoff (doubled per attempt,
+	// halved-to-full jittered).
+	BaseDelay time.Duration
+	// MaxDelay caps the computed backoff. A server Retry-After larger
+	// than the cap is still honored — the header is authoritative.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is installed by New: 4 attempts, 100ms base,
+// capped at 5s.
+var DefaultRetryPolicy = RetryPolicy{Attempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}
+
 // Client talks to one provmarkd instance.
 type Client struct {
 	base string
 	hc   *http.Client
+	// Retry governs 429/503 handling; adjust it before issuing
+	// requests. A zero Attempts disables retries.
+	Retry RetryPolicy
+	// token is the optional bearer credential; see SetAuthToken.
+	token string
+	// sleep is swapped by tests to observe backoff without waiting.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // New builds a client for a base URL like "http://host:8177". A nil
@@ -32,12 +65,21 @@ func New(base string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	return &Client{
+		base:  strings.TrimRight(base, "/"),
+		hc:    hc,
+		Retry: DefaultRetryPolicy,
+		sleep: sleepCtx,
+	}
 }
+
+// SetAuthToken attaches a bearer token to every request (provmarkd's
+// -auth-token). An empty token clears it.
+func (c *Client) SetAuthToken(token string) { c.token = token }
 
 // Health checks GET /healthz.
 func (c *Client) Health(ctx context.Context) error {
-	resp, err := c.get(ctx, "/healthz")
+	resp, err := c.do(ctx, http.MethodGet, "/healthz", nil)
 	if err != nil {
 		return err
 	}
@@ -54,12 +96,7 @@ func (c *Client) Submit(ctx context.Context, spec *wire.JobSpec) (*wire.JobStatu
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.hc.Do(req)
+	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", body)
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +109,7 @@ func (c *Client) Submit(ctx context.Context, spec *wire.JobSpec) (*wire.JobStatu
 
 // Status fetches GET /v1/jobs/{id}.
 func (c *Client) Status(ctx context.Context, id string) (*wire.JobStatus, error) {
-	resp, err := c.get(ctx, "/v1/jobs/"+id)
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +122,7 @@ func (c *Client) Status(ctx context.Context, id string) (*wire.JobStatus, error)
 
 // Result fetches a stored cell result by dedup key.
 func (c *Client) Result(ctx context.Context, cellKey string) (*wire.Result, error) {
-	resp, err := c.get(ctx, "/v1/results/"+cellKey)
+	resp, err := c.do(ctx, http.MethodGet, "/v1/results/"+cellKey, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -107,12 +144,7 @@ func (c *Client) Query(ctx context.Context, req *wire.QueryRequest) (*wire.Query
 	if err != nil {
 		return nil, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/query", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := c.hc.Do(hreq)
+	resp, err := c.do(ctx, http.MethodPost, "/v1/query", body)
 	if err != nil {
 		return nil, err
 	}
@@ -130,9 +162,11 @@ func (c *Client) Query(ctx context.Context, req *wire.QueryRequest) (*wire.Query
 // Stream follows GET /v1/jobs/{id}/stream, invoking fn for every
 // decoded cell. It returns when the stream ends, ctx is done, or fn
 // errors; aborting a stream tells the server to cancel the job (the
-// stream client owns the job).
+// stream client owns the job). Only the initial request is retried —
+// once NDJSON bytes flow, a drop aborts (replaying mid-stream would
+// re-deliver cells).
 func (c *Client) Stream(ctx context.Context, id string, fn func(*wire.MatrixResult) error) error {
-	resp, err := c.get(ctx, "/v1/jobs/"+id+"/stream")
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/stream", nil)
 	if err != nil {
 		return err
 	}
@@ -177,12 +211,105 @@ func (c *Client) Run(ctx context.Context, spec *wire.JobSpec, fn func(*wire.Matr
 	return c.Status(ctx, status.ID)
 }
 
-func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return nil, err
+// do issues one request, replaying it on 429/503 up to
+// Retry.Attempts times. The request body is a byte slice precisely so
+// every attempt can resend it. Backoff is exponential with jitter,
+// raised to the server's Retry-After when the header asks for more.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	attempts := c.Retry.Attempts
+	if attempts < 1 {
+		attempts = 1
 	}
-	return c.hc.Do(req)
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if c.token != "" {
+			req.Header.Set("Authorization", "Bearer "+c.token)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if !retryable(resp.StatusCode) || attempt+1 >= attempts {
+			return resp, nil
+		}
+		delay := c.Retry.delay(attempt, resp.Header.Get("Retry-After"))
+		drain(resp)
+		if err := c.sleep(ctx, delay); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// retryable statuses mean "not processed, try later": rate limited or
+// temporarily unavailable.
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// delay computes the wait before retry number attempt+1: exponential
+// backoff from BaseDelay, jittered to [d/2, d), capped at MaxDelay —
+// then raised to the server's Retry-After if that is longer, because
+// retrying earlier than the server asked is guaranteed rejection.
+func (p RetryPolicy) delay(attempt int, retryAfter string) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		d = DefaultRetryPolicy.BaseDelay
+	}
+	for i := 0; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if ra := parseRetryAfter(retryAfter); ra > d {
+		d = ra
+	}
+	return d
+}
+
+// parseRetryAfter reads an RFC 9110 Retry-After value: delay-seconds
+// or an HTTP-date. Unparseable or absent values yield 0.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 func decodeStatus(r io.Reader) (*wire.JobStatus, error) {

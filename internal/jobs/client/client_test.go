@@ -1,0 +1,189 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newRetryServer answers 429 (with the given Retry-After) until
+// failures requests have been rejected, then 200.
+func newRetryServer(t *testing.T, failures int, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= int64(failures) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+// fastClient swaps the retry sleeper for one that records the waits
+// instead of taking them.
+func fastClient(base string) (*Client, *[]time.Duration) {
+	c := New(base, nil)
+	waits := &[]time.Duration{}
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		*waits = append(*waits, d)
+		return ctx.Err()
+	}
+	return c, waits
+}
+
+func TestRetryOn429ThenSuccess(t *testing.T) {
+	ts, hits := newRetryServer(t, 2, "")
+	c, waits := fastClient(ts.URL)
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health after transient 429s: %v", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+	// Backoff grows: the second wait is no shorter than half the
+	// doubled base can be relative to the first's ceiling.
+	if len(*waits) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*waits))
+	}
+	for i, d := range *waits {
+		if d <= 0 {
+			t.Errorf("wait %d = %v, want > 0", i, d)
+		}
+	}
+	if (*waits)[1] > 2*DefaultRetryPolicy.BaseDelay || (*waits)[1] < DefaultRetryPolicy.BaseDelay {
+		t.Errorf("second wait %v outside jittered doubled base [%v, %v]",
+			(*waits)[1], DefaultRetryPolicy.BaseDelay, 2*DefaultRetryPolicy.BaseDelay)
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	ts, _ := newRetryServer(t, 1, "7")
+	c, waits := fastClient(ts.URL)
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(*waits) != 1 || (*waits)[0] != 7*time.Second {
+		t.Fatalf("waits = %v, want exactly the server's 7s Retry-After", *waits)
+	}
+}
+
+func TestRetryBounded(t *testing.T) {
+	ts, hits := newRetryServer(t, 1<<30, "")
+	c, _ := fastClient(ts.URL)
+	err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("endless 429s eventually succeeded?")
+	}
+	if got := hits.Load(); got != int64(DefaultRetryPolicy.Attempts) {
+		t.Fatalf("server saw %d requests, want the %d-attempt bound", got, DefaultRetryPolicy.Attempts)
+	}
+}
+
+func TestRetryContextCanceled(t *testing.T) {
+	ts, hits := newRetryServer(t, 1<<30, "3600")
+	c := New(ts.URL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.Health(ctx)
+	if err == nil {
+		t.Fatal("Health succeeded under a canceled context")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("context cancellation did not interrupt the Retry-After sleep (%v)", elapsed)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests after cancellation, want 1", got)
+	}
+}
+
+func TestRetryOn503(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	t.Cleanup(ts.Close)
+	c, _ := fastClient(ts.URL)
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2", hits.Load())
+	}
+}
+
+// TestNoRetryOnClientError: a 4xx other than 429 is the caller's bug;
+// replaying it would be noise.
+func TestNoRetryOnClientError(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "bad spec", http.StatusBadRequest)
+	}))
+	t.Cleanup(ts.Close)
+	c, _ := fastClient(ts.URL)
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("400 reported as success")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("400 retried: server saw %d requests", hits.Load())
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"0", 0},
+		{"2", 2 * time.Second},
+		{"-3", 0},
+		{"garbage", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// HTTP-date form: a date ~10s out parses to a positive wait ≤ 10s.
+	date := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(date); got <= 0 || got > 10*time.Second {
+		t.Errorf("parseRetryAfter(%q) = %v", date, got)
+	}
+	// A date in the past means "now": no wait.
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(past); got != 0 {
+		t.Errorf("parseRetryAfter(past) = %v", got)
+	}
+}
+
+func TestSendsBearerToken(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("Authorization"))
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	t.Cleanup(ts.Close)
+	c := New(ts.URL, nil)
+	c.SetAuthToken("sesame")
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "Bearer sesame" {
+		t.Fatalf("Authorization = %q", got.Load())
+	}
+}

@@ -75,6 +75,20 @@ func init() {
 	})
 }
 
+// newTestServer wraps a manager in the (chain-validated) HTTP surface
+// and an httptest server. Options pass through to jobs.NewServer, so
+// middleware e2e tests build servers with auth/rate/quota enabled.
+func newTestServer(t *testing.T, m *jobs.Manager, opts ...jobs.ServerOption) *httptest.Server {
+	t.Helper()
+	h, err := jobs.NewServer(m, opts...)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
 // TestServiceEndToEnd is the acceptance flow: submit a multi-cell
 // matrix job over HTTP, stream its NDJSON cells, decode them through
 // internal/wire, check Render(..., JSON) is byte-identical for every
@@ -83,8 +97,7 @@ func init() {
 func TestServiceEndToEnd(t *testing.T) {
 	m := jobs.NewManager(jobs.Config{Workers: 4, StoreSize: 64})
 	defer m.Close()
-	ts := httptest.NewServer(jobs.NewServer(m))
-	defer ts.Close()
+	ts := newTestServer(t, m)
 
 	spec := `{"tools":["jobstest-counting"],"benchmarks":["creat","open"],"trials":2,"capture":{"fast":true}}`
 	const wantCells = 2
@@ -229,8 +242,7 @@ func TestManagerEvictsFinishedJobs(t *testing.T) {
 func TestServerRejectsBadSpecs(t *testing.T) {
 	m := jobs.NewManager(jobs.Config{Workers: 1})
 	defer m.Close()
-	ts := httptest.NewServer(jobs.NewServer(m))
-	defer ts.Close()
+	ts := newTestServer(t, m)
 	bad := []string{
 		`{"benchmarks":["creat"]}`,                  // no tools
 		`{"tools":["no-such-tool"]}`,                // unknown backend
@@ -273,8 +285,7 @@ func TestServerRejectsBadSpecs(t *testing.T) {
 func TestStreamDisconnectCancelsJob(t *testing.T) {
 	m := jobs.NewManager(jobs.Config{Workers: 2})
 	defer m.Close()
-	ts := httptest.NewServer(jobs.NewServer(m))
-	defer ts.Close()
+	ts := newTestServer(t, m)
 
 	gateStarted, gateRelease := resetGate()
 	baseline := runtime.NumGoroutine()

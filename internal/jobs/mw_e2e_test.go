@@ -1,0 +1,348 @@
+package jobs_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"provmark/internal/httpmw"
+	"provmark/internal/jobs"
+	"provmark/internal/jobs/client"
+	"provmark/internal/wire"
+)
+
+// doReq issues one request with optional bearer token and returns
+// (status, body, header).
+func doReq(t *testing.T, method, url, token, body string) (int, string, http.Header) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data), resp.Header
+}
+
+// TestMiddlewareEndToEnd is the acceptance e2e for the chain: an
+// unauthenticated request gets 401, an authenticated submit succeeds,
+// the next request 429s under a 1-token bucket, and GET /metrics
+// (rate-limit exempt) reports the rejection.
+func TestMiddlewareEndToEnd(t *testing.T) {
+	m := jobs.NewManager(jobs.Config{Workers: 2, StoreSize: 16})
+	defer m.Close()
+	const token = "e2e-secret"
+	ts := newTestServer(t, m,
+		jobs.WithAuthToken(token),
+		// One token, essentially never refilled: the authed submit
+		// spends it and every later non-exempt request must 429.
+		jobs.WithRateLimit(0.0001, 1),
+	)
+
+	// /healthz stays open: liveness probes carry no credential.
+	if code, _, _ := doReq(t, "GET", ts.URL+"/healthz", "", ""); code != http.StatusOK {
+		t.Fatalf("unauthenticated /healthz = %d, want 200", code)
+	}
+
+	// Unauthenticated and wrongly authenticated requests are rejected
+	// before touching the rate budget.
+	for _, tok := range []string{"", "wrong"} {
+		code, _, hdr := doReq(t, "GET", ts.URL+"/v1/stats", tok, "")
+		if code != http.StatusUnauthorized {
+			t.Fatalf("token %q: status %d, want 401", tok, code)
+		}
+		if hdr.Get("WWW-Authenticate") == "" {
+			t.Fatal("401 without WWW-Authenticate")
+		}
+	}
+
+	// The authenticated submit round-trips and spends the one token.
+	code, body, hdr := doReq(t, "POST", ts.URL+"/v1/jobs", token,
+		`{"tools":["spade"],"benchmarks":["creat"],"trials":1,"capture":{"fast":true}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("authed submit = %d: %s", code, body)
+	}
+	if hdr.Get(httpmw.RequestIDHeader) == "" {
+		t.Error("response carries no X-Request-ID")
+	}
+	status, err := wire.DecodeJobStatus([]byte(strings.TrimSpace(body)))
+	if err != nil {
+		t.Fatalf("submit response does not decode: %v", err)
+	}
+
+	// Bucket empty: the next application request is rate limited with a
+	// Retry-After hint.
+	code, body, hdr = doReq(t, "GET", ts.URL+"/v1/jobs/"+status.ID, token, "")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status after bucket exhaustion = %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if !strings.Contains(body, "rate limit") {
+		t.Errorf("429 body = %q", body)
+	}
+
+	// /metrics is rate-limit exempt (but still authed) and reports the
+	// rejection plus the session the bucket tracked.
+	if code, _, _ := doReq(t, "GET", ts.URL+"/metrics", "", ""); code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated /metrics = %d, want 401", code)
+	}
+	code, metrics, _ := doReq(t, "GET", ts.URL+"/metrics", token, "")
+	if code != http.StatusOK {
+		t.Fatalf("authed /metrics = %d", code)
+	}
+	for _, want := range []string{
+		"provmarkd_rate_limit_rejections_total 1",
+		"provmarkd_sessions 1",
+		`provmarkd_http_requests_total{route="POST /v1/jobs",code="202"} 1`,
+		`code="401"`,
+		`code="429"`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Let the submitted job settle before the manager closes.
+	if job, ok := m.Job(status.ID); ok {
+		select {
+		case <-job.Done():
+		case <-time.After(15 * time.Second):
+			t.Fatal("submitted job never settled")
+		}
+	}
+}
+
+// TestSessionQuotaEndToEnd: a session's lifetime budget runs dry with
+// a distinct 429 body, while other sessions keep working.
+func TestSessionQuotaEndToEnd(t *testing.T) {
+	m := jobs.NewManager(jobs.Config{Workers: 1})
+	defer m.Close()
+	ts := newTestServer(t, m, jobs.WithSessionQuota(2))
+
+	get := func(session string) (int, string) {
+		req, err := http.NewRequest("GET", ts.URL+"/v1/stats", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Session-ID", session)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(data)
+	}
+	for i := 0; i < 2; i++ {
+		if code, body := get("alice"); code != http.StatusOK {
+			t.Fatalf("request %d = %d: %s", i, code, body)
+		}
+	}
+	code, body := get("alice")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota = %d, want 429", code)
+	}
+	if !strings.Contains(body, "quota") || strings.Contains(body, "rate limit") {
+		t.Fatalf("quota 429 body not distinct: %q", body)
+	}
+	if code, _ := get("bob"); code != http.StatusOK {
+		t.Fatalf("fresh session rejected: %d", code)
+	}
+	if code, metrics, _ := doReq(t, "GET", ts.URL+"/metrics", "", ""); code != http.StatusOK ||
+		!strings.Contains(metrics, "provmarkd_quota_rejections_total 1") {
+		t.Fatalf("quota rejection not exported (code %d)", code)
+	}
+}
+
+// TestMetricsMoveAfterJob: the /metrics surface reflects a real job —
+// request counters, store puts, and job-state gauges all move.
+func TestMetricsMoveAfterJob(t *testing.T) {
+	m := jobs.NewManager(jobs.Config{Workers: 2, StoreSize: 16})
+	defer m.Close()
+	ts := newTestServer(t, m)
+
+	c := client.New(ts.URL, nil)
+	if _, err := c.Run(context.Background(), &wire.JobSpec{
+		Tools:      []string{"jobstest-counting"},
+		Benchmarks: []string{"creat"},
+		Trials:     2,
+		Capture:    &wire.CaptureOptions{Fast: true},
+	}, func(cell *wire.MatrixResult) error {
+		if cell.Err != "" {
+			return errors.New("cell error: " + cell.Err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	code, metrics, _ := doReq(t, "GET", ts.URL+"/metrics", "", "")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		`provmarkd_http_requests_total{route="POST /v1/jobs",code="202"} 1`,
+		`provmarkd_http_requests_total{route="GET /v1/jobs/{id}/stream",code="200"} 1`,
+		"provmarkd_store_puts_total 1",
+		"provmarkd_jobs_done 1",
+		"provmarkd_store_len 1",
+		"# TYPE provmarkd_http_request_duration_seconds histogram",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestOversizedBodies: the submit and query handlers distinguish an
+// oversized body (413, from the body cap) from a malformed one (400).
+func TestOversizedBodies(t *testing.T) {
+	m := jobs.NewManager(jobs.Config{Workers: 1})
+	defer m.Close()
+	ts := newTestServer(t, m)
+
+	huge := `{"tools":["spade"],"pad":"` + strings.Repeat("x", 2<<20) + `"}`
+	for _, path := range []string{"/v1/jobs", "/v1/query"} {
+		code, body, _ := doReq(t, "POST", ts.URL+path, "", huge)
+		if code != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s oversized body = %d, want 413 (%s)", path, code, body)
+		}
+		if code, _, _ := doReq(t, "POST", ts.URL+path, "", "not json"); code != http.StatusBadRequest {
+			t.Errorf("%s malformed body = %d, want 400", path, code)
+		}
+	}
+	// The failed queries land in the error counters (decode/oversize
+	// both count as query errors).
+	_, stats, _ := doReq(t, "GET", ts.URL+"/v1/stats", "", "")
+	if !strings.Contains(stats, `"errors":2`) {
+		t.Errorf("query errors not counted: %s", stats)
+	}
+}
+
+// TestStreamDisconnectCancelsJobFullChain reruns the owner-cancel
+// disconnect flow with EVERY middleware layer installed — auth, rate
+// limiting (generous), quota — proving the chain's response wrappers
+// preserve flushing and disconnect detection, and that no goroutines
+// leak. It reuses the gate/barrier machinery from e2e_test.go.
+func TestStreamDisconnectCancelsJobFullChain(t *testing.T) {
+	m := jobs.NewManager(jobs.Config{Workers: 2})
+	defer m.Close()
+	const token = "chain-secret"
+	ts := newTestServer(t, m,
+		jobs.WithAuthToken(token),
+		jobs.WithRateLimit(1000, 1000),
+		jobs.WithSessionQuota(1000),
+	)
+
+	gateStarted, gateRelease := resetGate()
+	baseline := runtime.NumGoroutine()
+
+	code, body, _ := doReq(t, "POST", ts.URL+"/v1/jobs", token,
+		`{"tools":["jobstest-gate"],"benchmarks":["creat","open","close"],"trials":1}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", code, body)
+	}
+	status, err := wire.DecodeJobStatus([]byte(strings.TrimSpace(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, ok := m.Job(status.ID)
+	if !ok {
+		t.Fatal("job not registered")
+	}
+
+	// Both pool workers enter blocked recordings.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-gateStarted:
+		case <-time.After(10 * time.Second):
+			t.Fatal("workers never reached the recorder")
+		}
+	}
+
+	// Open the stream through the full chain, then vanish mid-stream.
+	streamCtx, cancelStream := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(streamCtx, http.MethodGet, ts.URL+"/v1/jobs/"+status.ID+"/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	streamResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamResp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: %s", streamResp.Status)
+	}
+	cancelStream()
+	io.Copy(io.Discard, streamResp.Body)
+	streamResp.Body.Close()
+
+	// The server notices the vanished stream owner through the chain's
+	// wrapped writer and cancels the job.
+	select {
+	case <-job.Canceled():
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream disconnect did not cancel the job under the full chain")
+	}
+	close(gateRelease)
+	select {
+	case <-job.Done():
+	case <-time.After(15 * time.Second):
+		t.Fatal("job never settled after stream disconnect")
+	}
+
+	// No goroutine leak once idle HTTP connections are dropped.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestMisorderedChainFailsStartup mirrors provmarkd's fail-fast
+// guarantee at the jobs layer: chain assembly errors surface from
+// NewServer-style construction rather than at request time.
+func TestMisorderedChainFailsStartup(t *testing.T) {
+	_, err := httpmw.NewChain(
+		httpmw.BodyLimitLayer(1024),
+		httpmw.RecoverLayer(nil),
+	)
+	if err == nil {
+		t.Fatal("misordered chain did not fail")
+	}
+	for _, want := range []string{`"recover"`, `"bodylimit"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name layer %s", err, want)
+		}
+	}
+}

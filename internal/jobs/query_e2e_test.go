@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
-	"net/http/httptest"
 	"os"
 	"strings"
 	"testing"
@@ -26,8 +25,7 @@ func TestQueryEndToEnd(t *testing.T) {
 	ctx := context.Background()
 	m := jobs.NewManager(jobs.Config{Workers: 2})
 	defer m.Close()
-	srv := httptest.NewServer(jobs.NewServer(m))
-	defer srv.Close()
+	srv := newTestServer(t, m)
 	c := client.New(srv.URL, srv.Client())
 
 	// Run the privesc benchmark so a cell lands in the store.

@@ -54,8 +54,7 @@ func postJob(t *testing.T, ts *httptest.Server, body string) *wire.JobStatus {
 func TestInlineScenarioJobEndToEnd(t *testing.T) {
 	m := jobs.NewManager(jobs.Config{Workers: 2})
 	defer m.Close()
-	ts := httptest.NewServer(jobs.NewServer(m))
-	defer ts.Close()
+	ts := newTestServer(t, m)
 
 	spec := fmt.Sprintf(`{"tools":["spade"],"benchmarks":["creat"],"scenarios":[%s],"trials":2,"capture":{"fast":true}}`, inlineScenarioJSON)
 	status := postJob(t, ts, spec)
@@ -110,8 +109,7 @@ func TestInlineScenarioJobEndToEnd(t *testing.T) {
 func TestInlineScenarioDedup(t *testing.T) {
 	m := jobs.NewManager(jobs.Config{Workers: 2})
 	defer m.Close()
-	ts := httptest.NewServer(jobs.NewServer(m))
-	defer ts.Close()
+	ts := newTestServer(t, m)
 
 	spec := fmt.Sprintf(`{"tools":["spade"],"scenarios":[%s],"trials":2}`, inlineScenarioJSON)
 	first := postJob(t, ts, spec)
@@ -149,8 +147,7 @@ func TestInlineScenarioDedup(t *testing.T) {
 func TestInlineScenarioNameCollision(t *testing.T) {
 	m := jobs.NewManager(jobs.Config{Workers: 2})
 	defer m.Close()
-	ts := httptest.NewServer(jobs.NewServer(m))
-	defer ts.Close()
+	ts := newTestServer(t, m)
 
 	builtin := postJob(t, ts, `{"tools":["spade"],"benchmarks":["creat"],"trials":2}`)
 	bcells := streamCells(t, ts.URL, builtin.ID)
@@ -173,8 +170,7 @@ func TestInlineScenarioNameCollision(t *testing.T) {
 func TestInlineScenarioRejects(t *testing.T) {
 	m := jobs.NewManager(jobs.Config{Workers: 1})
 	defer m.Close()
-	ts := httptest.NewServer(jobs.NewServer(m))
-	defer ts.Close()
+	ts := newTestServer(t, m)
 	for name, body := range map[string]string{
 		"unknown op":      `{"tools":["spade"],"scenarios":[{"name":"x","steps":[{"op":"mount"}]}]}`,
 		"unknown field":   `{"tools":["spade"],"scenarios":[{"name":"x","bogus":1,"steps":[{"op":"pipe"}]}]}`,
@@ -199,8 +195,7 @@ func TestInlineScenarioRejects(t *testing.T) {
 func TestStatsEndpoint(t *testing.T) {
 	m := jobs.NewManager(jobs.Config{Workers: 2})
 	defer m.Close()
-	ts := httptest.NewServer(jobs.NewServer(m))
-	defer ts.Close()
+	ts := newTestServer(t, m)
 
 	spec := `{"tools":["spade"],"benchmarks":["creat"],"trials":2}`
 	first := postJob(t, ts, spec)
