@@ -79,6 +79,9 @@ func run(ctx context.Context, args []string) error {
 		for _, p := range benchprog.FailureCases() {
 			fmt.Printf("%d %-16s %s\n", p.Group, p.Name, p.Desc)
 		}
+		for _, p := range benchprog.AttackChains() {
+			fmt.Printf("%d %-16s %s\n", p.Group, p.Name, p.Desc)
+		}
 		return nil
 	}
 	if (*benchName == "") == (*scenarioPath == "") {

@@ -1,0 +1,288 @@
+package bench
+
+// Perf snapshots: a small, deterministic performance harness over the
+// two counter-instrumented hot paths — Datalog ancestry evaluation
+// (join probes) and similarity classification (fingerprint
+// computations, ASP solver invocations). Each workload runs exactly
+// once and reports wall clock, allocations, and its counters; the
+// counters are exact and reproducible (the workloads are seeded and the
+// engines deterministic), so the regression gate compares counters, not
+// noisy nanoseconds.
+//
+// cmd/provmark-perf writes the snapshot as BENCH_<id>.json and CI fails
+// the build when any counter regresses past the gate factor.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"provmark/internal/asp"
+	"provmark/internal/datalog"
+	"provmark/internal/graph"
+	"provmark/internal/provmark"
+)
+
+// PerfSchema versions the snapshot document.
+const PerfSchema = "provmark/bench-snapshot/v1"
+
+// perfID numbers the snapshot artifact (BENCH_7.json).
+const perfID = 7
+
+// PerfResult is one workload's measurement.
+type PerfResult struct {
+	Name string `json:"name"`
+	// NsOp / AllocsOp / BytesOp are single-iteration wall clock and
+	// allocation figures — informative, not gated.
+	NsOp     int64  `json:"ns_op"`
+	AllocsOp uint64 `json:"allocs_op"`
+	BytesOp  uint64 `json:"bytes_op"`
+	// Counters holds the workload's deterministic work counters
+	// (join_probes, fingerprints, solver_invocations) — the gated part.
+	Counters map[string]int64 `json:"counters"`
+}
+
+// PerfSnapshot is the BENCH_*.json document.
+type PerfSnapshot struct {
+	Schema  string       `json:"schema"`
+	ID      int          `json:"id"`
+	Results []PerfResult `json:"results"`
+}
+
+// perfBaselines pins the expected counter values per workload. The
+// workloads are deterministic, so these are exact measurements, not
+// estimates; Gate fails when a counter exceeds baseline*factor.
+var perfBaselines = map[string]map[string]int64{
+	"datalog/ancestry/seminaive-flat": {"join_probes": 15600},
+	"datalog/ancestry/seminaive-deep": {"join_probes": 4002},
+	"datalog/ancestry/naive-flat":     {"join_probes": 44032000},
+	"classify/similarity/asym-32x4":   {"fingerprints": 32, "solver_invocations": 0},
+	"classify/similarity/sym-32x4":    {"fingerprints": 32, "solver_invocations": 28},
+}
+
+// RunPerf executes every workload once and assembles the snapshot.
+func RunPerf() (*PerfSnapshot, error) {
+	snap := &PerfSnapshot{Schema: PerfSchema, ID: perfID}
+	workloads := []struct {
+		name string
+		work func() (map[string]int64, error)
+	}{
+		{"datalog/ancestry/seminaive-flat", func() (map[string]int64, error) {
+			return ancestryWorkload(400, 5, 400*15, (*datalog.Database).Run)
+		}},
+		{"datalog/ancestry/seminaive-deep", deepAncestryWorkload},
+		{"datalog/ancestry/naive-flat", func() (map[string]int64, error) {
+			return ancestryWorkload(400, 5, 400*15, (*datalog.Database).RunNaive)
+		}},
+		{"classify/similarity/asym-32x4", func() (map[string]int64, error) {
+			return classifyWorkload(asymPerfCorpus(32, 4, 2))
+		}},
+		{"classify/similarity/sym-32x4", func() (map[string]int64, error) {
+			return classifyWorkload(symPerfCorpus(32, 4, 4))
+		}},
+	}
+	for _, w := range workloads {
+		res, err := measure(w.name, w.work)
+		if err != nil {
+			return nil, fmt.Errorf("bench: perf %s: %w", w.name, err)
+		}
+		snap.Results = append(snap.Results, res)
+	}
+	return snap, nil
+}
+
+// Gate checks every gated counter against its baseline: a counter above
+// baseline*factor is a regression and fails the snapshot. Counters
+// below baseline are improvements and pass (the next snapshot commit
+// can ratchet the baseline down).
+func (s *PerfSnapshot) Gate(factor float64) error {
+	byName := map[string]PerfResult{}
+	for _, r := range s.Results {
+		byName[r.Name] = r
+	}
+	for name, counters := range perfBaselines {
+		r, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("bench: perf gate: workload %s missing from snapshot", name)
+		}
+		for counter, base := range counters {
+			got, ok := r.Counters[counter]
+			if !ok {
+				return fmt.Errorf("bench: perf gate: %s lacks counter %s", name, counter)
+			}
+			if float64(got) > float64(base)*factor {
+				return fmt.Errorf("bench: perf gate: %s %s = %d exceeds %.1fx baseline %d",
+					name, counter, got, factor, base)
+			}
+		}
+	}
+	return nil
+}
+
+// measure runs one workload once, bracketing it with GC-settled memory
+// stats so the allocation figures are attributable to the workload.
+func measure(name string, work func() (map[string]int64, error)) (PerfResult, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	counters, err := work()
+	elapsed := time.Since(start)
+	if err != nil {
+		return PerfResult{}, err
+	}
+	runtime.ReadMemStats(&after)
+	return PerfResult{
+		Name:     name,
+		NsOp:     elapsed.Nanoseconds(),
+		AllocsOp: after.Mallocs - before.Mallocs,
+		BytesOp:  after.TotalAlloc - before.TotalAlloc,
+		Counters: counters,
+	}, nil
+}
+
+// perfAncestryGraph builds `chains` parallel chains of `length` edges —
+// the corpus shape of the Datalog acceptance benchmarks.
+func perfAncestryGraph(chains, length int) *graph.Graph {
+	g := graph.New()
+	for c := 0; c < chains; c++ {
+		prev := g.AddNode("N", nil)
+		for i := 0; i < length; i++ {
+			next := g.AddNode("N", nil)
+			if _, err := g.AddEdge(prev, next, "E", nil); err != nil {
+				panic(err) // cannot happen: both endpoints were just added
+			}
+			prev = next
+		}
+	}
+	return g
+}
+
+// ancestryWorkload evaluates full transitive closure over the flat
+// chain corpus and reports the engine's join-probe counter.
+func ancestryWorkload(chains, length, wantFacts int, eval func(*datalog.Database, []datalog.Rule) error) (map[string]int64, error) {
+	rules, err := datalog.ParseRules(`
+anc(X, Y) :- edge(_, X, Y, _).
+anc(X, Z) :- anc(X, Y), edge(_, Y, Z, _).
+`)
+	if err != nil {
+		return nil, err
+	}
+	db := datalog.NewDatabase()
+	db.LoadGraph(perfAncestryGraph(chains, length))
+	if err := eval(db, rules); err != nil {
+		return nil, err
+	}
+	if got := len(db.Facts("anc")); got != wantFacts {
+		return nil, fmt.Errorf("anc facts = %d, want %d", got, wantFacts)
+	}
+	return map[string]int64{"join_probes": db.Stats().JoinProbes}, nil
+}
+
+// deepAncestryWorkload evaluates single-source ancestry over one
+// 2000-edge chain — recursion the naive engine cannot finish, so it
+// runs semi-naive only.
+func deepAncestryWorkload() (map[string]int64, error) {
+	rules, err := datalog.ParseRules(`
+anc(Y) :- edge(_, "n1", Y, _).
+anc(Z) :- anc(Y), edge(_, Y, Z, _).
+`)
+	if err != nil {
+		return nil, err
+	}
+	db := datalog.NewDatabase()
+	db.LoadGraph(perfAncestryGraph(1, 2000))
+	if err := db.Run(rules); err != nil {
+		return nil, err
+	}
+	if got := len(db.Facts("anc")); got != 2000 {
+		return nil, fmt.Errorf("anc facts = %d, want 2000", got)
+	}
+	return map[string]int64{"join_probes": db.Stats().JoinProbes}, nil
+}
+
+// classifyWorkload runs similarity classification over a corpus and
+// reports the global fingerprint / solver counter deltas (both engines
+// count through process-wide atomics).
+func classifyWorkload(corpus []*graph.Graph) (map[string]int64, error) {
+	startSolves := asp.SolveInvocations()
+	startPrints := graph.FingerprintComputations()
+	classes := provmark.SimilarityClasses(corpus)
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("empty classification")
+	}
+	return map[string]int64{
+		"fingerprints":       int64(graph.FingerprintComputations() - startPrints),
+		"solver_invocations": int64(asp.SolveInvocations() - startSolves),
+	}, nil
+}
+
+// symPerfCorpus builds trials of star graphs (hub plus interchangeable
+// leaves): classes differ by leaf count, members are permuted copies.
+// Mirrors the classification benchmark corpus.
+func symPerfCorpus(trials, classes int, seed int64) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*graph.Graph, 0, trials)
+	for i := 0; i < trials; i++ {
+		leaves := 3 + i%classes
+		base := graph.New()
+		hub := base.AddNode("hub", nil)
+		for l := 0; l < leaves; l++ {
+			leaf := base.AddNode("leaf", nil)
+			if _, err := base.AddEdge(hub, leaf, "spoke", nil); err != nil {
+				panic(err)
+			}
+		}
+		out = append(out, permutedPerfCopy(base, rng, fmt.Sprintf("t%d", i)))
+	}
+	return out
+}
+
+// asymPerfCorpus builds permuted copies of distinct labelled chains.
+func asymPerfCorpus(trials, classes int, seed int64) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*graph.Graph, 0, trials)
+	for i := 0; i < trials; i++ {
+		shape := i % classes
+		base := graph.New()
+		var prev graph.ElemID
+		for p := 0; p <= shape+2; p++ {
+			id := base.AddNode(fmt.Sprintf("s%dp%d", shape, p), nil)
+			if p > 0 {
+				if _, err := base.AddEdge(prev, id, "next", nil); err != nil {
+					panic(err)
+				}
+			}
+			prev = id
+		}
+		out = append(out, permutedPerfCopy(base, rng, fmt.Sprintf("t%d", i)))
+	}
+	return out
+}
+
+// permutedPerfCopy rebuilds a graph with shuffled insertion order and
+// fresh element IDs, so structural equivalence is all the classifier
+// can rely on.
+func permutedPerfCopy(g *graph.Graph, rng *rand.Rand, prefix string) *graph.Graph {
+	out := graph.New()
+	nodes := g.Nodes()
+	rename := make(map[graph.ElemID]graph.ElemID, len(nodes))
+	for i, pi := range rng.Perm(len(nodes)) {
+		n := nodes[pi]
+		id := graph.ElemID(fmt.Sprintf("%s_n%d", prefix, i))
+		rename[n.ID] = id
+		if err := out.InsertNode(id, n.Label, n.Props); err != nil {
+			panic(err)
+		}
+	}
+	edges := g.Edges()
+	for i, pi := range rng.Perm(len(edges)) {
+		e := edges[pi]
+		id := graph.ElemID(fmt.Sprintf("%s_e%d", prefix, i))
+		if err := out.InsertEdge(id, rename[e.Src], rename[e.Tgt], e.Label, e.Props); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}

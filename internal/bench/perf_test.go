@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestPerfSnapshot: the harness produces a complete snapshot whose
+// deterministic counters match the checked-in baselines exactly, and
+// the gate logic separates pass from regression. The naive-flat
+// workload costs seconds, so the full snapshot is skipped under -short
+// and the race detector (CI's non-race perf step runs it instead).
+func TestPerfSnapshot(t *testing.T) {
+	if testing.Short() || raceDetector {
+		t.Skip("perf snapshot is expensive; covered by the dedicated CI step")
+	}
+	snap, err := RunPerf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != PerfSchema || snap.ID != perfID {
+		t.Errorf("snapshot header = %q id %d", snap.Schema, snap.ID)
+	}
+	if len(snap.Results) != len(perfBaselines) {
+		t.Errorf("snapshot has %d results, want %d", len(snap.Results), len(perfBaselines))
+	}
+	for _, r := range snap.Results {
+		base, ok := perfBaselines[r.Name]
+		if !ok {
+			t.Errorf("unexpected workload %s", r.Name)
+			continue
+		}
+		if r.NsOp <= 0 {
+			t.Errorf("%s: ns_op = %d", r.Name, r.NsOp)
+		}
+		// The counters are exact: seeded corpora, deterministic engines.
+		for counter, want := range base {
+			if got := r.Counters[counter]; got != want {
+				t.Errorf("%s: %s = %d, want %d (update the baseline if intentional)", r.Name, counter, got, want)
+			}
+		}
+	}
+	if err := snap.Gate(2); err != nil {
+		t.Errorf("gate(2) failed on a baseline-exact snapshot: %v", err)
+	}
+	if err := snap.Gate(0.5); err == nil {
+		t.Error("gate(0.5) passed — the gate compares nothing")
+	}
+	// The snapshot must round-trip as JSON (it is a committed artifact).
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PerfSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != PerfSchema {
+		t.Errorf("round-trip schema = %q", back.Schema)
+	}
+}
+
+// TestPerfGateDetectsMissingData: a snapshot missing workloads or
+// counters is a gate failure, not a silent pass.
+func TestPerfGateDetectsMissingData(t *testing.T) {
+	empty := &PerfSnapshot{Schema: PerfSchema, ID: perfID}
+	if err := empty.Gate(2); err == nil {
+		t.Error("gate passed an empty snapshot")
+	}
+	noCounter := &PerfSnapshot{Schema: PerfSchema, ID: perfID}
+	for name := range perfBaselines {
+		noCounter.Results = append(noCounter.Results, PerfResult{Name: name, Counters: map[string]int64{}})
+	}
+	if err := noCounter.Gate(2); err == nil {
+		t.Error("gate passed a snapshot with no counters")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceDetector gates the expensive perf snapshot out of race-enabled
+// test runs (the dedicated CI perf step runs it without the detector).
+const raceDetector = true

@@ -1,0 +1,95 @@
+package benchprog
+
+// Long attack-chain scenarios (KindAttack): staged intrusions built
+// from the same declarative vocabulary as the Table 2 suite, but many
+// steps deep — privilege escalation followed by the activity it
+// enables. They exist to be *detected*: the Datalog rules in
+// examples/detection/suspicious.dl must flag the escalated task
+// version and everything it taints in the provenance ProvMark derives
+// for each chain (attacks_test.go holds that contract).
+//
+// All chains start root-capable (Cred "root", like privesc) so the
+// setuid escalation succeeds, and every step from the credential
+// change onward is target activity: a credential change hangs the rest
+// of the process history off a new task version, so leaving later
+// steps in the background would break ProvMark's monotonic-containment
+// assumption (the same limitation the paper notes for exit/kill).
+
+func init() {
+	mustRegister(Scenario{
+		Name:  "attack-exfil",
+		Group: 3,
+		Desc:  "escalate, read a secret, stage a world-readable copy",
+		Cred:  CredRoot,
+		Setup: []SetupOp{{Kind: "file", Path: "/stage/secret.txt", UID: 1000, Mode: 0o600}},
+		Steps: []Instr{
+			{Op: "open", Path: "/stage/secret.txt", Flags: []string{"rdwr"}, SaveFD: "sec"},
+			{Op: "read", FD: "sec", N: 64},
+			{Op: "setuid", Target: true, UID: 0},
+			{Op: "read", Target: true, FD: "sec", N: 64},
+			{Op: "creat", Target: true, Path: "/stage/exfil.txt", SaveFD: "out"},
+			{Op: "write", Target: true, FD: "out", N: 64},
+			{Op: "chmod", Target: true, Path: "/stage/exfil.txt", Mode: 0o444},
+			{Op: "close", Target: true, FD: "out"},
+		},
+	}, KindAttack)
+
+	mustRegister(Scenario{
+		Name:  "attack-fork-taint",
+		Group: 2,
+		Desc:  "forked child escalates and taints a shared file",
+		Cred:  CredRoot,
+		Setup: []SetupOp{{Kind: "file", Path: "/stage/shared.txt", UID: 1000, Mode: 0o644}},
+		Steps: []Instr{
+			{Op: "fork", SaveProc: "p1"},
+			{Op: "open", Proc: "p1", Path: "/stage/shared.txt", Flags: []string{"rdwr"}, SaveFD: "sh"},
+			{Op: "setuid", Target: true, Proc: "p1", UID: 0},
+			{Op: "write", Target: true, Proc: "p1", FD: "sh", N: 32},
+			{Op: "fchmod", Target: true, Proc: "p1", FD: "sh", Mode: 0o666},
+			{Op: "creat", Target: true, Proc: "p1", Path: "/stage/loot.txt", SaveFD: "lt"},
+			{Op: "write", Target: true, Proc: "p1", FD: "lt", N: 32},
+			{Op: "exit", Target: true, Proc: "p1"},
+		},
+	}, KindAttack)
+
+	// The whole chain — fork included — is target activity, so the
+	// background variant never creates the child at all and every child
+	// task version survives graph subtraction as a real node. With a
+	// background child present, its implicit task-end node would embed
+	// onto the first foreground-only task version (the escalated one),
+	// generalizing the cf:uid="0" property into a dummy boundary node
+	// that the detection rules cannot match.
+	mustRegister(Scenario{
+		Name:  "attack-cover-tracks",
+		Group: 3,
+		Desc:  "forked child escalates, dumps a secret, unlinks the dump, drops privileges",
+		Cred:  CredRoot,
+		Setup: []SetupOp{{Kind: "file", Path: "/stage/secret.txt", UID: 1000, Mode: 0o600}},
+		Steps: []Instr{
+			{Op: "fork", Target: true, SaveProc: "p1"},
+			{Op: "open", Target: true, Proc: "p1", Path: "/stage/secret.txt", Flags: []string{"rdwr"}, SaveFD: "sec"},
+			{Op: "read", Target: true, Proc: "p1", FD: "sec", N: 64},
+			{Op: "setuid", Target: true, Proc: "p1", UID: 0},
+			{Op: "creat", Target: true, Proc: "p1", Path: "/stage/dump.txt", SaveFD: "dmp"},
+			{Op: "write", Target: true, Proc: "p1", FD: "dmp", N: 64},
+			{Op: "close", Target: true, Proc: "p1", FD: "dmp"},
+			{Op: "unlink", Target: true, Proc: "p1", Path: "/stage/dump.txt"},
+			// Dropping back to uid 1000 is what the detection rules'
+			// stratified negation probes: dropped(P) holds, so the chain
+			// is suspicious but not unmitigated.
+			{Op: "setuid", Target: true, Proc: "p1", UID: 1000},
+		},
+	}, KindAttack)
+}
+
+// AttackChains returns the attack-chain suite compiled from the
+// registry in registration order.
+func AttackChains() []Program {
+	names := ScenarioNames(KindAttack)
+	out := make([]Program, 0, len(names))
+	for _, name := range names {
+		p, _ := ByName(name)
+		out = append(out, p)
+	}
+	return out
+}

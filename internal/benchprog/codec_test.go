@@ -10,7 +10,7 @@ import (
 // TestCodecRoundTripRegistered: every registered scenario encodes
 // canonically and survives a round trip.
 func TestCodecRoundTripRegistered(t *testing.T) {
-	for _, kind := range []Kind{KindTable2, KindExtra, KindFailure} {
+	for _, kind := range []Kind{KindTable2, KindExtra, KindFailure, KindAttack} {
 		for _, name := range ScenarioNames(kind) {
 			s, _ := ScenarioByName(name)
 			data, err := EncodeScenario(&s)
@@ -96,7 +96,7 @@ func TestCodecNormalizesFlags(t *testing.T) {
 // re-encode canonically and decode back to the same value — the
 // invariant dedup cell keys rely on.
 func FuzzScenarioRoundTrip(f *testing.F) {
-	for _, kind := range []Kind{KindTable2, KindExtra, KindFailure} {
+	for _, kind := range []Kind{KindTable2, KindExtra, KindFailure, KindAttack} {
 		for _, name := range ScenarioNames(kind) {
 			s, _ := ScenarioByName(name)
 			data, err := EncodeScenario(&s)

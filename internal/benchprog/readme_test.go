@@ -27,6 +27,7 @@ func registryMarkdown() string {
 	}
 	fmt.Fprintf(&b, "\nextras: %s\n", strings.Join(ScenarioNames(KindExtra), ", "))
 	fmt.Fprintf(&b, "\nfailures: %s\n", strings.Join(ScenarioNames(KindFailure), ", "))
+	fmt.Fprintf(&b, "\nattacks: %s\n", strings.Join(ScenarioNames(KindAttack), ", "))
 	return b.String()
 }
 

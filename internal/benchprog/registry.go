@@ -19,6 +19,10 @@ const (
 	KindExtra Kind = "extra"
 	// KindFailure marks the failure-case suite (target expected to fail).
 	KindFailure Kind = "failure"
+	// KindAttack marks long attack-chain scenarios (attacks.go): staged
+	// intrusions whose provenance the detection rules in
+	// examples/detection must flag.
+	KindAttack Kind = "attack"
 )
 
 type regEntry struct {
@@ -43,7 +47,7 @@ var registry = struct {
 // Names are unique across kinds.
 func RegisterScenario(s Scenario, kind Kind) error {
 	switch kind {
-	case KindTable2, KindExtra, KindFailure:
+	case KindTable2, KindExtra, KindFailure, KindAttack:
 	default:
 		return fmt.Errorf("benchprog: register %q: unknown kind %q", s.Name, kind)
 	}

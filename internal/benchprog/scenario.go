@@ -113,6 +113,29 @@ var openFlagBits = map[string]int{
 	"cloexec": oskernel.OCloexec,
 }
 
+// OpenFlagNames lists the symbolic open-flag vocabulary in canonical
+// encoding order (the zero-valued "rdonly" is not included: it
+// normalizes away in the codec). Exported for scenario synthesis,
+// which samples flag sets from this vocabulary.
+func OpenFlagNames() []string {
+	return append([]string(nil), openFlagOrder...)
+}
+
+// OpenFlagBits maps a symbolic flag list to the kernel's open-flag
+// bits — the compiler's flag parsing, exported so synthesized and
+// shadow-executed instructions resolve flags identically.
+func OpenFlagBits(flags []string) (int, error) {
+	bits := 0
+	for _, f := range flags {
+		b, ok := openFlagBits[f]
+		if !ok {
+			return 0, fmt.Errorf("benchprog: unknown open flag %q", f)
+		}
+		bits |= b
+	}
+	return bits, nil
+}
+
 // saveProcSlot resolves the effective save_proc slot name of a
 // process-creating instruction.
 func (in Instr) saveProcSlot() string {

@@ -1,0 +1,246 @@
+package synth
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"provmark/internal/benchprog"
+	"provmark/internal/oskernel"
+)
+
+// ReportSchema versions the campaign's NDJSON report: one header line,
+// one "divergence" line per divergence class, one trailing "summary"
+// line.
+const ReportSchema = "provmark/synth-report/v1"
+
+// CampaignOptions configures a synthesis campaign.
+type CampaignOptions struct {
+	Seed   int64
+	Budget int
+	// Tools / Trials / Fast configure the differ (see DifferOptions).
+	Tools  []string
+	Trials int
+	Fast   bool
+	// Synth bounds the synthesizer (see Options).
+	Synth Options
+	// NoDiff synthesizes and verifies only (no pipeline runs).
+	NoDiff bool
+	// NoShrink reports divergences unminimized.
+	NoShrink bool
+	// Report receives the NDJSON report (nil discards it).
+	Report io.Writer
+	// Logf receives progress lines (nil is silent).
+	Logf func(format string, args ...any)
+}
+
+// Divergence is one reported divergence class: the first scenario of
+// the class, shrunk to the smallest sequence preserving the signature,
+// re-verified, and embedded as canonical scenario JSON ready for the
+// registry.
+type Divergence struct {
+	Kind        string          `json:"kind"`
+	Name        string          `json:"name"`
+	Signature   string          `json:"signature"`
+	TargetOps   []string        `json:"target_ops"`
+	Outcomes    []ToolOutcome   `json:"outcomes"`
+	Steps       int             `json:"steps"`
+	ShrunkSteps int             `json:"shrunk_steps"`
+	Reverified  bool            `json:"reverified"`
+	Scenario    json.RawMessage `json:"scenario"`
+}
+
+// CampaignSummary is the trailing NDJSON summary line.
+type CampaignSummary struct {
+	Kind      string `json:"kind"`
+	Scenarios int    `json:"scenarios"`
+	// The three failure counters are measured independently of the
+	// synthesizer's own guarantees; the acceptance bar is all-zero.
+	ValidatorFailures int `json:"validator_failures"`
+	CompileFailures   int `json:"compile_failures"`
+	ExecFailures      int `json:"exec_failures"`
+	// Divergent counts scenarios whose tools disagreed; Classes the
+	// distinct (signature, target-op-set) classes among them. Only the
+	// first scenario of each class is shrunk and reported — the rest
+	// are counted here, not silently dropped.
+	Divergent         int     `json:"divergent"`
+	Classes           int     `json:"classes"`
+	DuplicatesSkipped int     `json:"duplicates_skipped"`
+	Reverified        int     `json:"reverified"`
+	Coverage          Summary `json:"coverage"`
+	Synth             Stats   `json:"synth"`
+}
+
+type reportHeader struct {
+	Schema string   `json:"schema"`
+	Seed   int64    `json:"seed"`
+	Budget int      `json:"budget"`
+	Tools  []string `json:"tools"`
+}
+
+// targetOps lists the distinct ops of a scenario's target steps,
+// sorted — the second half of the divergence class identity.
+func targetOps(scn benchprog.Scenario) []string {
+	seen := map[string]bool{}
+	for _, in := range scn.Steps {
+		if in.Target {
+			seen[in.Op] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for op := range seen {
+		out = append(out, op)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunCampaign synthesizes Budget scenarios, measures the validator /
+// compile / execution failure counters, diffs every scenario across
+// the tools, and shrinks + re-verifies the first scenario of each
+// divergence class. It returns the summary and the reported
+// divergences; the NDJSON report mirrors both.
+func RunCampaign(ctx context.Context, opts CampaignOptions) (*CampaignSummary, []Divergence, error) {
+	if opts.Budget <= 0 {
+		return nil, nil, fmt.Errorf("synth: campaign: budget must be positive")
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var differ *Differ
+	if !opts.NoDiff {
+		var err error
+		differ, err = NewDiffer(DifferOptions{Tools: opts.Tools, Trials: opts.Trials, Fast: opts.Fast})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	var enc *json.Encoder
+	if opts.Report != nil {
+		enc = json.NewEncoder(opts.Report)
+		tools := opts.Tools
+		if len(tools) == 0 {
+			tools = DefaultTools
+		}
+		if err := enc.Encode(reportHeader{Schema: ReportSchema, Seed: opts.Seed, Budget: opts.Budget, Tools: tools}); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	syn := New(opts.Seed, opts.Synth)
+	sum := &CampaignSummary{Kind: "summary"}
+	classes := map[string]bool{}
+	var divergences []Divergence
+	for i := 0; i < opts.Budget; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		scn, err := syn.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		sum.Scenarios++
+		// Measure the guarantees instead of trusting them: the summary's
+		// zero counters are evidence, not assumption.
+		if err := scn.Validate(); err != nil {
+			sum.ValidatorFailures++
+			logf("synth: %s: validator: %v", scn.Name, err)
+			continue
+		}
+		prog, err := scn.Compile()
+		if err != nil {
+			sum.CompileFailures++
+			logf("synth: %s: compile: %v", scn.Name, err)
+			continue
+		}
+		execOK := true
+		for _, v := range []benchprog.Variant{benchprog.Background, benchprog.Foreground} {
+			if err := benchprog.Run(oskernel.New(), prog, v); err != nil {
+				sum.ExecFailures++
+				logf("synth: %s: %s exec: %v", scn.Name, v, err)
+				execOK = false
+				break
+			}
+		}
+		if !execOK || differ == nil {
+			continue
+		}
+		verdict, err := differ.Diff(ctx, scn)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !verdict.Divergent {
+			continue
+		}
+		sum.Divergent++
+		sig := verdict.Signature()
+		ops := targetOps(scn)
+		classKey := sig + "|" + strings.Join(ops, ",")
+		if classes[classKey] {
+			sum.DuplicatesSkipped++
+			continue
+		}
+		classes[classKey] = true
+		logf("synth: divergence class %d: %s (targets: %s)", len(classes), sig, strings.Join(ops, ","))
+
+		shrunk := scn
+		if !opts.NoShrink {
+			shrunk = Shrink(scn, func(c benchprog.Scenario) bool {
+				v, err := differ.Diff(ctx, c)
+				return err == nil && v.Signature() == sig
+			})
+			if ctx.Err() != nil {
+				return nil, nil, ctx.Err()
+			}
+		}
+		// Re-verify: the shrunk scenario must still execute cleanly and
+		// reproduce the exact divergence signature.
+		reverified := false
+		var outcomes []ToolOutcome
+		if Verify(shrunk) == nil {
+			if v2, err := differ.Diff(ctx, shrunk); err == nil && v2.Signature() == sig {
+				reverified = true
+				outcomes = v2.Outcomes
+			}
+		}
+		if !reverified {
+			outcomes = verdict.Outcomes
+		} else {
+			sum.Reverified++
+		}
+		raw, err := benchprog.EncodeScenario(&shrunk)
+		if err != nil {
+			return nil, nil, fmt.Errorf("synth: campaign: encode %s: %w", shrunk.Name, err)
+		}
+		d := Divergence{
+			Kind:        "divergence",
+			Name:        scn.Name,
+			Signature:   sig,
+			TargetOps:   ops,
+			Outcomes:    outcomes,
+			Steps:       len(scn.Steps),
+			ShrunkSteps: len(shrunk.Steps),
+			Reverified:  reverified,
+			Scenario:    raw,
+		}
+		divergences = append(divergences, d)
+		if enc != nil {
+			if err := enc.Encode(d); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	sum.Classes = len(classes)
+	sum.Coverage = syn.Coverage().Summarize()
+	sum.Synth = syn.Stats()
+	if enc != nil {
+		if err := enc.Encode(sum); err != nil {
+			return nil, nil, err
+		}
+	}
+	return sum, divergences, nil
+}

@@ -1,0 +1,163 @@
+package synth
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"provmark/internal/benchprog"
+)
+
+// campaignBudget scales the acceptance campaign: the full thousand
+// scenarios normally, a slice of it when the race detector (which
+// multiplies the cost of every pipeline run) or -short is in effect.
+func campaignBudget() int {
+	if raceDetector || testing.Short() {
+		return 120
+	}
+	return 1000
+}
+
+// TestCampaignAcceptance is the PR's acceptance bar: a fixed-seed
+// campaign completes with zero validator / compile / execution
+// failures, and every reported divergence still reproduces its exact
+// signature after shrinking.
+func TestCampaignAcceptance(t *testing.T) {
+	budget := campaignBudget()
+	var report bytes.Buffer
+	sum, divs, err := RunCampaign(context.Background(), CampaignOptions{
+		Seed:   7,
+		Budget: budget,
+		Fast:   true,
+		Report: &report,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Scenarios != budget {
+		t.Errorf("ran %d scenarios, want %d", sum.Scenarios, budget)
+	}
+	if sum.ValidatorFailures != 0 || sum.CompileFailures != 0 || sum.ExecFailures != 0 {
+		t.Errorf("synthesized scenarios failed verification: %d validator, %d compile, %d exec",
+			sum.ValidatorFailures, sum.CompileFailures, sum.ExecFailures)
+	}
+	if len(divs) == 0 {
+		t.Fatal("campaign found no divergences — Table 2 guarantees they exist")
+	}
+	if sum.Classes != len(divs) {
+		t.Errorf("summary reports %d classes but %d divergences returned", sum.Classes, len(divs))
+	}
+	if sum.Reverified != len(divs) {
+		t.Errorf("only %d of %d divergences re-verified after shrinking", sum.Reverified, len(divs))
+	}
+	if sum.Divergent < sum.Classes {
+		t.Errorf("divergent total %d below class count %d", sum.Divergent, sum.Classes)
+	}
+	if sum.Coverage.DistinctTotal == 0 || sum.Synth.Emitted != budget {
+		t.Errorf("summary counters inconsistent: %+v", sum)
+	}
+	for _, d := range divs {
+		if !d.Reverified {
+			t.Errorf("%s (%s) did not re-verify after shrinking", d.Name, d.Signature)
+		}
+		if d.ShrunkSteps > d.Steps {
+			t.Errorf("%s grew while shrinking: %d steps from %d", d.Name, d.ShrunkSteps, d.Steps)
+		}
+		scn, err := benchprog.DecodeScenario(d.Scenario)
+		if err != nil {
+			t.Errorf("%s: embedded scenario does not decode: %v", d.Name, err)
+			continue
+		}
+		if err := scn.Validate(); err != nil {
+			t.Errorf("%s: embedded scenario fails the validator: %v", d.Name, err)
+		}
+	}
+	checkReport(t, report.Bytes(), sum, len(divs))
+}
+
+// checkReport asserts the NDJSON report's shape: header first, one
+// divergence line per class, summary last.
+func checkReport(t *testing.T, raw []byte, sum *CampaignSummary, classes int) {
+	t.Helper()
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var lines [][]byte
+	for sc.Scan() {
+		lines = append(lines, append([]byte(nil), sc.Bytes()...))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != classes+2 {
+		t.Fatalf("report has %d lines, want header + %d divergences + summary", len(lines), classes)
+	}
+	var hdr reportHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		t.Fatalf("header line: %v", err)
+	}
+	if hdr.Schema != ReportSchema {
+		t.Errorf("header schema = %q, want %q", hdr.Schema, ReportSchema)
+	}
+	for _, line := range lines[1 : len(lines)-1] {
+		var d Divergence
+		if err := json.Unmarshal(line, &d); err != nil {
+			t.Fatalf("divergence line: %v", err)
+		}
+		if d.Kind != "divergence" || d.Signature == "" || len(d.TargetOps) == 0 {
+			t.Errorf("malformed divergence line: %s", line)
+		}
+	}
+	var tail CampaignSummary
+	if err := json.Unmarshal(lines[len(lines)-1], &tail); err != nil {
+		t.Fatalf("summary line: %v", err)
+	}
+	if tail.Kind != "summary" || tail.Scenarios != sum.Scenarios || tail.Classes != sum.Classes {
+		t.Errorf("summary line disagrees with returned summary: %s", lines[len(lines)-1])
+	}
+}
+
+// TestCampaignNoDiff: verification-only campaigns report no divergences
+// and still measure the failure counters.
+func TestCampaignNoDiff(t *testing.T) {
+	sum, divs, err := RunCampaign(context.Background(), CampaignOptions{
+		Seed: 3, Budget: 10, NoDiff: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divs) != 0 || sum.Divergent != 0 {
+		t.Errorf("no-diff campaign reported divergences: %+v", sum)
+	}
+	if sum.Scenarios != 10 || sum.ValidatorFailures+sum.CompileFailures+sum.ExecFailures != 0 {
+		t.Errorf("no-diff campaign counters: %+v", sum)
+	}
+}
+
+// TestCampaignCancellation: a cancelled context aborts the campaign
+// with its error instead of running the full budget.
+func TestCampaignCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := RunCampaign(ctx, CampaignOptions{Seed: 1, Budget: 5}); err == nil {
+		t.Fatal("cancelled campaign returned nil error")
+	}
+}
+
+// TestCampaignDeterminism: two campaigns with the same seed produce
+// identical reports byte for byte.
+func TestCampaignDeterminism(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		if _, _, err := RunCampaign(context.Background(), CampaignOptions{
+			Seed: 9, Budget: 15, Fast: true, Report: &buf,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Errorf("same-seed campaigns produced different reports:\n%s\n---\n%s", a, b)
+	}
+}

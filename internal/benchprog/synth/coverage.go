@@ -1,0 +1,113 @@
+// Package synth generates benchmark scenarios automatically: a seeded,
+// deterministic synthesizer draws ops from the kernel's syscall
+// dispatch-table metadata and maintains fd/proc slot state so every
+// emitted scenario passes the static validator — and executes cleanly
+// in both variants — by construction. Generation is steered by
+// coverage counters (op-pair transitions, expected-errno outcomes,
+// multi-process interleavings) so a campaign keeps finding new shapes
+// instead of resampling the same ones.
+//
+// On top of the synthesizer sit an expressiveness differ (run one
+// scenario through all three capture tools and classify agreement vs
+// divergence — the automated form of the paper's hand-curated Table 2
+// search), a delta-debugging shrinker that minimizes a diverging
+// scenario while preserving its verdict, and a campaign driver that
+// ties the three together behind cmd/provmark-synth.
+package synth
+
+import "sort"
+
+// Coverage key prefixes. Each accepted instruction contributes one key
+// per axis; the synthesizer scores candidates by how rare their keys
+// are, so generation drifts toward uncovered transitions, outcomes and
+// interleavings.
+const (
+	// coverPair tracks op-pair transitions: "pair:<prev>><op>".
+	coverPair = "pair:"
+	// coverOut tracks expected-errno outcomes: "out:<op>/<errno|ok>".
+	coverOut = "out:"
+	// coverProc tracks process interleavings: which process class
+	// (main or child) follows which: "proc:<m|c>><m|c>".
+	coverProc = "proc:"
+	// coverRole tracks which ops have appeared as background vs target
+	// activity: "role:<op>/<B|T>".
+	coverRole = "role:"
+)
+
+// Coverage counts how often each generation feature has been emitted.
+// The zero score of a feature decays as its count grows, so candidates
+// exercising unseen features win the per-step tournament.
+type Coverage struct {
+	counts map[string]int
+}
+
+// NewCoverage returns an empty coverage map.
+func NewCoverage() *Coverage {
+	return &Coverage{counts: make(map[string]int)}
+}
+
+// score sums the novelty of a key set: an unseen key is worth 1, a key
+// seen n times 1/(1+n).
+func (c *Coverage) score(keys []string) float64 {
+	var s float64
+	for _, k := range keys {
+		s += 1 / float64(1+c.counts[k])
+	}
+	return s
+}
+
+// note records one emission of each key.
+func (c *Coverage) note(keys []string) {
+	for _, k := range keys {
+		c.counts[k]++
+	}
+}
+
+// Distinct counts the distinct keys seen under one prefix (coverPair,
+// coverOut, coverProc, coverRole).
+func (c *Coverage) Distinct(prefix string) int {
+	n := 0
+	for k := range c.counts {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			n++
+		}
+	}
+	return n
+}
+
+// Summary is the coverage snapshot a campaign reports.
+type Summary struct {
+	OpPairs       int `json:"op_pairs"`
+	Outcomes      int `json:"outcomes"`
+	Interleavings int `json:"interleavings"`
+	Roles         int `json:"roles"`
+	DistinctTotal int `json:"distinct_total"`
+	Emitted       int `json:"emitted"`
+}
+
+// Summarize snapshots the distinct-key counts per axis.
+func (c *Coverage) Summarize() Summary {
+	total := 0
+	for _, n := range c.counts {
+		total += n
+	}
+	return Summary{
+		OpPairs:       c.Distinct(coverPair),
+		Outcomes:      c.Distinct(coverOut),
+		Interleavings: c.Distinct(coverProc),
+		Roles:         c.Distinct(coverRole),
+		DistinctTotal: len(c.counts),
+		Emitted:       total,
+	}
+}
+
+// Keys lists every seen key, sorted — for tests asserting coverage
+// actually grows with budget.
+func (c *Coverage) Keys() []string {
+	out := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package synth
+
+// raceDetector lets campaign-scale tests shrink their budgets when the
+// race detector multiplies the cost of every memory access.
+const raceDetector = true

@@ -1,0 +1,166 @@
+package synth
+
+import (
+	"provmark/internal/benchprog"
+	"provmark/internal/oskernel"
+)
+
+// A shadow executes scenario instructions in a bare kernel (no tracers
+// attached) and reports the errno each call actually produced. The
+// synthesizer keeps one shadow per variant: because the kernel is
+// fully deterministic, the errno a candidate instruction observes in
+// the shadow is exactly the errno the compiled scenario will observe
+// in the pipeline — which is how synthesized scenarios carry correct
+// expected-errno annotations by construction instead of by guessing.
+type shadow struct {
+	k     *oskernel.Kernel
+	main  *oskernel.Process
+	fd    map[string]int
+	procs map[string]*oskernel.Process
+}
+
+// newShadow boots a fresh kernel, applies the scenario's setup ops and
+// launches the benchmark process under the scenario's credentials —
+// mirroring benchprog.Run's launch sequence.
+func newShadow(cred string, setup []benchprog.SetupOp) (*shadow, error) {
+	k := oskernel.New()
+	for _, op := range setup {
+		if op.Kind == "dir" {
+			k.MkDir(op.Path, op.UID, op.Mode)
+		} else {
+			k.MkFile(op.Path, op.UID, op.Mode)
+		}
+	}
+	c := oskernel.Cred{UID: 1000, EUID: 1000, SUID: 1000, GID: 1000, EGID: 1000, SGID: 1000}
+	if cred == benchprog.CredRoot {
+		c = oskernel.Cred{}
+	}
+	main, err := k.Launch("/usr/bin/bench", []string{"synth", "1"}, c)
+	if err != nil {
+		return nil, err
+	}
+	return &shadow{k: k, main: main, fd: map[string]int{}, procs: map[string]*oskernel.Process{}}, nil
+}
+
+// proc resolves an instruction's process slot.
+func (sh *shadow) proc(name string) (*oskernel.Process, bool) {
+	if name == "" || name == "main" {
+		return sh.main, true
+	}
+	p, ok := sh.procs[name]
+	return p, ok
+}
+
+// exec runs one instruction (Count times) and reports the observed
+// errno. ok is false when a slot is unresolvable or repeated calls
+// disagree on their errno — either way the instruction cannot carry a
+// single truthful expectation and the candidate must be dropped.
+func (sh *shadow) exec(in benchprog.Instr) (oskernel.Errno, bool) {
+	sys, found := oskernel.Dispatch(in.Op)
+	if !found {
+		return 0, false
+	}
+	p, ok := sh.proc(in.Proc)
+	if !ok {
+		return 0, false
+	}
+	flags, err := benchprog.OpenFlagBits(in.Flags)
+	if err != nil {
+		return 0, false
+	}
+	count := in.Count
+	if count < 1 {
+		count = 1
+	}
+	var first oskernel.Errno
+	for i := 0; i < count; i++ {
+		a := oskernel.Args{
+			Path: in.Path, Path2: in.Path2,
+			NewFD: in.NewFD, DirFD: in.DirFD,
+			Flags: flags, Mode: in.Mode,
+			N: in.N, Off: in.Off, Len: in.Len,
+			UID: in.UID, EUID: in.EUID, SUID: in.SUID,
+			GID: in.GID, EGID: in.EGID, SGID: in.SGID,
+			PID: in.PID, Sig: in.Sig,
+			Exe: in.Exe, Argv: in.Argv, Code: in.Code,
+		}
+		if in.FD != "" {
+			fd, ok := sh.fd[in.FD]
+			if !ok {
+				return 0, false
+			}
+			a.FD = fd
+		}
+		if in.FD2 != "" {
+			fd, ok := sh.fd[in.FD2]
+			if !ok {
+				return 0, false
+			}
+			a.FD2 = fd
+		}
+		if in.PIDOf != "" {
+			victim, ok := sh.proc(in.PIDOf)
+			if !ok {
+				return 0, false
+			}
+			a.PID = victim.PID
+		}
+		out := sys.Invoke(sh.k, p, a)
+		if in.Op == "exit" {
+			// exit does not return; the scenario compiler treats it as
+			// expectation-free success.
+			out.Errno = oskernel.OK
+		}
+		if i == 0 {
+			first = out.Errno
+		} else if out.Errno != first {
+			return 0, false
+		}
+		if out.Errno == oskernel.OK {
+			if in.SaveFD != "" {
+				sh.fd[in.SaveFD] = int(out.Ret)
+			}
+			if in.SaveFD2 != "" {
+				sh.fd[in.SaveFD2] = int(out.Ret2)
+			}
+			if out.Child != nil {
+				slot := in.SaveProc
+				if slot == "" {
+					slot = "child"
+				}
+				sh.procs[slot] = out.Child
+			}
+		}
+	}
+	return first, true
+}
+
+// replay re-executes accepted steps of one variant and checks each
+// observation against the recorded expectation. A mismatch means the
+// shadow and the recorded history disagree — the candidate trial that
+// follows would be meaningless — so replay reports failure and the
+// synthesizer abandons the attempt.
+func (sh *shadow) replay(steps []benchprog.Instr, target bool) bool {
+	for _, in := range steps {
+		if in.Target && !target {
+			continue
+		}
+		e, ok := sh.exec(in)
+		if !ok {
+			return false
+		}
+		if errnoName(e) != in.Errno {
+			return false
+		}
+	}
+	return true
+}
+
+// errnoName renders an observed errno in the scenario expectation
+// vocabulary: success is the empty string, failure its symbolic name.
+func errnoName(e oskernel.Errno) string {
+	if e == oskernel.OK {
+		return ""
+	}
+	return e.Error()
+}

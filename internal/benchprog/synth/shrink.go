@@ -1,0 +1,98 @@
+package synth
+
+import "provmark/internal/benchprog"
+
+// Shrink minimizes a scenario while the keep predicate still accepts
+// it: delta-debugging (ddmin) over the step list, then greedy removal
+// of setup ops, then collapsing repeat counts. Candidates that fail
+// the static validator are never shown to keep — removal that breaks
+// slot discipline is rejected structurally, so the output is
+// validator-clean by construction and never larger than the input.
+//
+// keep is typically "the divergence signature is unchanged": the
+// shrunk scenario is the smallest instruction sequence found that
+// still makes the tools disagree the same way.
+func Shrink(scn benchprog.Scenario, keep func(benchprog.Scenario) bool) benchprog.Scenario {
+	cur := scn.Clone()
+	accept := func(c benchprog.Scenario) bool {
+		return c.Validate() == nil && keep(c)
+	}
+	cur.Steps = ddmin(cur, cur.Steps, accept)
+	cur.Setup = shrinkSetup(cur, accept)
+	cur.Steps = shrinkCounts(cur, accept)
+	return cur
+}
+
+// with returns the scenario with a replaced step list.
+func with(scn benchprog.Scenario, steps []benchprog.Instr) benchprog.Scenario {
+	c := scn.Clone()
+	c.Steps = steps
+	return c
+}
+
+// ddmin is the classic minimizing delta debugging loop over steps:
+// split into n chunks, try dropping each chunk, refine granularity
+// until single-step removals no longer help.
+func ddmin(scn benchprog.Scenario, steps []benchprog.Instr, accept func(benchprog.Scenario) bool) []benchprog.Instr {
+	n := 2
+	for len(steps) >= 2 && n <= len(steps) {
+		chunk := (len(steps) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(steps); start += chunk {
+			end := start + chunk
+			if end > len(steps) {
+				end = len(steps)
+			}
+			cand := make([]benchprog.Instr, 0, len(steps)-(end-start))
+			cand = append(cand, steps[:start]...)
+			cand = append(cand, steps[end:]...)
+			if len(cand) == 0 {
+				continue
+			}
+			if accept(with(scn, cand)) {
+				steps = cand
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(steps) {
+				break
+			}
+			n = min(n*2, len(steps))
+		}
+	}
+	return steps
+}
+
+// shrinkSetup greedily drops setup ops that the verdict does not need.
+func shrinkSetup(scn benchprog.Scenario, accept func(benchprog.Scenario) bool) []benchprog.SetupOp {
+	setup := append([]benchprog.SetupOp(nil), scn.Setup...)
+	for i := 0; i < len(setup); {
+		cand := scn.Clone()
+		cand.Setup = append(append([]benchprog.SetupOp(nil), setup[:i]...), setup[i+1:]...)
+		if accept(cand) {
+			setup = cand.Setup
+		} else {
+			i++
+		}
+	}
+	return setup
+}
+
+// shrinkCounts collapses repeat counts to single calls where the
+// verdict survives.
+func shrinkCounts(scn benchprog.Scenario, accept func(benchprog.Scenario) bool) []benchprog.Instr {
+	steps := append([]benchprog.Instr(nil), scn.Steps...)
+	for i := range steps {
+		if steps[i].Count > 1 {
+			cand := with(scn, append([]benchprog.Instr(nil), steps...))
+			cand.Steps[i].Count = 0
+			if accept(cand) {
+				steps[i].Count = 0
+			}
+		}
+	}
+	return steps
+}

@@ -1,0 +1,128 @@
+package synth
+
+import (
+	"context"
+	"testing"
+
+	"provmark/internal/benchprog"
+)
+
+// knownDiverging lists registered Table 2 scenarios the paper's Table 2
+// reports as divergent across the three tools (one tool records where
+// another comes back empty). They are the shrinker's ground-truth
+// fixtures: real divergences with known shape, independent of the
+// synthesizer.
+var knownDiverging = []string{"dup", "tee", "clone", "pipe", "read"}
+
+// TestShrinkPreservesVerdictOnKnownDivergences: for each fixture, the
+// differ must report divergence, and the shrunk scenario must be (a)
+// validator-clean, (b) no larger than the input, and (c) carry the
+// exact same divergence signature.
+func TestShrinkPreservesVerdictOnKnownDivergences(t *testing.T) {
+	differ, err := NewDiffer(DifferOptions{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, name := range knownDiverging {
+		t.Run(name, func(t *testing.T) {
+			scn, ok := benchprog.ScenarioByName(name)
+			if !ok {
+				t.Fatalf("%s not registered", name)
+			}
+			v, err := differ.Diff(ctx, scn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !v.Divergent {
+				t.Fatalf("%s is not divergent (Table 2 says it is): %s", name, v.Signature())
+			}
+			sig := v.Signature()
+			shrunk := Shrink(scn, func(c benchprog.Scenario) bool {
+				vc, err := differ.Diff(ctx, c)
+				return err == nil && vc.Signature() == sig
+			})
+			if err := shrunk.Validate(); err != nil {
+				t.Errorf("shrunk %s fails the validator: %v", name, err)
+			}
+			if len(shrunk.Steps) > len(scn.Steps) {
+				t.Errorf("shrunk %s grew: %d steps from %d", name, len(shrunk.Steps), len(scn.Steps))
+			}
+			if len(shrunk.Setup) > len(scn.Setup) {
+				t.Errorf("shrunk %s setup grew: %d ops from %d", name, len(shrunk.Setup), len(scn.Setup))
+			}
+			v2, err := differ.Diff(ctx, shrunk)
+			if err != nil {
+				t.Fatalf("shrunk %s does not diff: %v", name, err)
+			}
+			if v2.Signature() != sig {
+				t.Errorf("shrunk %s changed verdict: %s, want %s", name, v2.Signature(), sig)
+			}
+		})
+	}
+}
+
+// TestShrinkMinimizesSyntheticPadding: a known-diverging fixture padded
+// with irrelevant background steps shrinks back below the padded size —
+// ddmin actually removes work, it does not just re-validate the input.
+func TestShrinkMinimizesSyntheticPadding(t *testing.T) {
+	differ, err := NewDiffer(DifferOptions{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	scn, ok := benchprog.ScenarioByName("pipe")
+	if !ok {
+		t.Fatal("pipe not registered")
+	}
+	padded := scn.Clone()
+	padded.Name = "pipe-padded"
+	padded.Setup = append(padded.Setup, benchprog.SetupOp{Kind: "file", Path: "/stage/pad.txt", UID: 1000, Mode: 0o644})
+	pad := []benchprog.Instr{
+		{Op: "open", Path: "/stage/pad.txt", Flags: []string{"rdwr"}, SaveFD: "padfd"},
+		{Op: "read", FD: "padfd", N: 8},
+		{Op: "close", FD: "padfd"},
+	}
+	padded.Steps = append(pad, padded.Steps...)
+	if err := padded.Validate(); err != nil {
+		t.Fatalf("padded fixture invalid: %v", err)
+	}
+	v, err := differ.Diff(ctx, padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Divergent {
+		t.Fatalf("padded pipe not divergent: %s", v.Signature())
+	}
+	sig := v.Signature()
+	shrunk := Shrink(padded, func(c benchprog.Scenario) bool {
+		vc, err := differ.Diff(ctx, c)
+		return err == nil && vc.Signature() == sig
+	})
+	if len(shrunk.Steps) >= len(padded.Steps) {
+		t.Errorf("shrink removed nothing: %d steps of %d remain", len(shrunk.Steps), len(padded.Steps))
+	}
+	if len(shrunk.Setup) >= len(padded.Setup) {
+		t.Errorf("shrink kept the padding setup: %d ops of %d remain", len(shrunk.Setup), len(padded.Setup))
+	}
+}
+
+// TestShrinkNeverShowsInvalidCandidates: the keep predicate only ever
+// sees validator-clean scenarios, so callers may run them directly.
+func TestShrinkNeverShowsInvalidCandidates(t *testing.T) {
+	scn, ok := benchprog.ScenarioByName("dup")
+	if !ok {
+		t.Fatal("dup not registered")
+	}
+	seen := 0
+	Shrink(scn, func(c benchprog.Scenario) bool {
+		seen++
+		if err := c.Validate(); err != nil {
+			t.Fatalf("keep saw an invalid candidate: %v", err)
+		}
+		return false // force the shrinker to try everything
+	})
+	if seen == 0 {
+		t.Fatal("keep was never called")
+	}
+}

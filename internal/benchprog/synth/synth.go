@@ -1,0 +1,526 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"provmark/internal/benchprog"
+	"provmark/internal/oskernel"
+)
+
+// Options bounds the shape of synthesized scenarios.
+type Options struct {
+	// MinSteps / MaxSteps bound the instruction count (defaults 4, 12).
+	MinSteps, MaxSteps int
+	// MaxProcs caps the child processes a scenario may create
+	// (default 2).
+	MaxProcs int
+	// Candidates is the per-step tournament size: how many candidate
+	// instructions are trialed before the highest-novelty one is
+	// accepted (default 6).
+	Candidates int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSteps <= 0 {
+		o.MinSteps = 4
+	}
+	if o.MaxSteps < o.MinSteps {
+		o.MaxSteps = o.MinSteps + 8
+	}
+	if o.MaxProcs <= 0 {
+		o.MaxProcs = 2
+	}
+	if o.Candidates <= 0 {
+		o.Candidates = 6
+	}
+	return o
+}
+
+// Stats counts the synthesizer's work.
+type Stats struct {
+	// Emitted is how many scenarios Next returned.
+	Emitted int `json:"emitted"`
+	// Attempts is how many generation attempts ran (retries included).
+	Attempts int `json:"attempts"`
+	// CandidateRejects counts candidate instructions dropped by the
+	// shadow trial (unresolvable slots, variant-dependent errnos,
+	// non-uniform repeat outcomes).
+	CandidateRejects int `json:"candidate_rejects"`
+}
+
+// Synthesizer is a seeded, deterministic scenario generator. The same
+// seed and options replay the same scenario sequence; coverage state
+// accumulates across Next calls, so a campaign's later scenarios steer
+// away from shapes its earlier ones already exercised.
+type Synthesizer struct {
+	seed  int64
+	rng   *rand.Rand
+	opts  Options
+	cov   *Coverage
+	seq   int
+	stats Stats
+}
+
+// New builds a synthesizer. Determinism contract: New(seed, opts)
+// followed by n Next calls yields the same n scenarios on every run
+// and platform.
+func New(seed int64, opts Options) *Synthesizer {
+	return &Synthesizer{
+		seed: seed,
+		rng:  rand.New(rand.NewSource(seed)),
+		opts: opts.withDefaults(),
+		cov:  NewCoverage(),
+	}
+}
+
+// Coverage exposes the accumulated coverage map.
+func (s *Synthesizer) Coverage() *Coverage { return s.cov }
+
+// Stats snapshots the synthesizer counters.
+func (s *Synthesizer) Stats() Stats { return s.stats }
+
+// Next synthesizes one scenario. The result is guaranteed — by shadow
+// execution during generation plus a final compile-and-run check — to
+// pass the static validator, compile, and execute cleanly in both
+// variants. An error here means generation itself is wedged (it does
+// not happen for any seed in practice; the retry bound is a backstop).
+func (s *Synthesizer) Next() (benchprog.Scenario, error) {
+	for attempt := 0; attempt < 64; attempt++ {
+		s.stats.Attempts++
+		scn, ok := s.generate()
+		if !ok {
+			continue
+		}
+		if err := Verify(scn); err != nil {
+			// The shadow and the compiler disagreed — should be
+			// impossible; regenerate rather than emit a broken scenario.
+			continue
+		}
+		s.seq++
+		s.stats.Emitted++
+		return scn, nil
+	}
+	return benchprog.Scenario{}, fmt.Errorf("synth: no viable scenario after 64 attempts (seed %d, #%d)", s.seed, s.seq)
+}
+
+// Verify is the full acceptance check a synthesized scenario must
+// pass: static validation, compilation, and a clean execution of both
+// variants in a fresh bare kernel.
+func Verify(scn benchprog.Scenario) error {
+	if err := scn.Validate(); err != nil {
+		return err
+	}
+	prog, err := scn.Compile()
+	if err != nil {
+		return err
+	}
+	for _, v := range []benchprog.Variant{benchprog.Background, benchprog.Foreground} {
+		if err := benchprog.Run(oskernel.New(), prog, v); err != nil {
+			return fmt.Errorf("%s variant: %w", v, err)
+		}
+	}
+	return nil
+}
+
+// variantState tracks the slots one variant has available: fd slots
+// ever bound (a closed slot stays usable — EBADF outcomes are coverage
+// too), child proc slots ever bound, and the subset still alive.
+type variantState struct {
+	fds       []string
+	procsAll  []string
+	procsLive []string
+}
+
+func (v *variantState) liveIndex(slot string) int {
+	for i, p := range v.procsLive {
+		if p == slot {
+			return i
+		}
+	}
+	return -1
+}
+
+func (v *variantState) dropLive(slot string) {
+	if i := v.liveIndex(slot); i >= 0 {
+		v.procsLive = append(v.procsLive[:i], v.procsLive[i+1:]...)
+	}
+}
+
+// genState is one in-progress scenario.
+type genState struct {
+	cred      string
+	setup     []benchprog.SetupOp
+	steps     []benchprog.Instr
+	bg, fg    variantState
+	paths     []string
+	fdSeq     int
+	procSeq   int
+	lastOp    string
+	lastClass string
+}
+
+// opPool is the weighted op vocabulary: every dispatch-table op once,
+// with the structurally central ops (descriptor producers and users)
+// repeated so random rolls find runnable candidates quickly. The pool
+// is derived from the live dispatch table, so a new syscall in the
+// table automatically enters the synthesis vocabulary.
+var opPool = buildOpPool()
+
+func buildOpPool() []string {
+	weights := map[string]int{
+		"open": 4, "creat": 3, "read": 3, "write": 3, "close": 2,
+		"dup": 2, "pipe": 2, "unlink": 2, "rename": 2, "fork": 2,
+	}
+	var pool []string
+	for _, op := range oskernel.Syscalls() {
+		w := weights[op]
+		if w == 0 {
+			w = 1
+		}
+		for i := 0; i < w; i++ {
+			pool = append(pool, op)
+		}
+	}
+	return pool
+}
+
+var flagSets = [][]string{
+	nil, // rdonly
+	{"wronly"},
+	{"rdwr"},
+	{"wronly", "creat"},
+	{"rdwr", "creat"},
+	{"wronly", "creat", "trunc"},
+	{"wronly", "append"},
+	{"cloexec"},
+}
+
+var modePool = []uint32{0, 0o600, 0o644, 0o755, 0o444}
+
+var idPool = []int{0, 1000, 1001}
+
+// generate runs one scenario attempt: roll a skeleton (setup, cred,
+// length), then grow the step list one tournament-selected instruction
+// at a time, shadow-trialing every candidate so each accepted step
+// carries its true expected errno.
+func (s *Synthesizer) generate() (benchprog.Scenario, bool) {
+	g := s.skeleton()
+	n := s.opts.MinSteps + s.rng.Intn(s.opts.MaxSteps-s.opts.MinSteps+1)
+	for len(g.steps) < n {
+		last := len(g.steps) == n-1
+		in, keys, ok := s.tournament(g, last)
+		if !ok {
+			if len(g.steps) >= s.opts.MinSteps {
+				// Force the final step to be target activity and stop
+				// growing; an earlier stall means the attempt failed.
+				if in, keys, ok = s.tournament(g, true); !ok {
+					break
+				}
+				s.accept(g, in, keys)
+				break
+			}
+			return benchprog.Scenario{}, false
+		}
+		s.accept(g, in, keys)
+	}
+	if len(g.steps) < s.opts.MinSteps || !hasTarget(g.steps) {
+		return benchprog.Scenario{}, false
+	}
+	return benchprog.Scenario{
+		Name:  fmt.Sprintf("synth-s%d-%d", s.seed, s.seq),
+		Desc:  fmt.Sprintf("synthesized scenario (seed %d, #%d)", s.seed, s.seq),
+		Cred:  g.cred,
+		Setup: g.setup,
+		Steps: g.steps,
+	}, true
+}
+
+func hasTarget(steps []benchprog.Instr) bool {
+	for _, in := range steps {
+		if in.Target {
+			return true
+		}
+	}
+	return false
+}
+
+// skeleton rolls the scenario frame: staged files, credentials, and
+// the path vocabulary the steps will draw from.
+func (s *Synthesizer) skeleton() *genState {
+	g := &genState{lastOp: "^", lastClass: "m"}
+	add := func(kind, path string, uid int, mode uint32) {
+		g.setup = append(g.setup, benchprog.SetupOp{Kind: kind, Path: path, UID: uid, Mode: mode})
+		g.paths = append(g.paths, path)
+	}
+	add("file", "/stage/a.txt", 1000, 0o644)
+	if s.rng.Float64() < 0.6 {
+		add("file", "/stage/b.txt", 1000, 0o644)
+	}
+	if s.rng.Float64() < 0.3 {
+		// Root-owned, unreadable by the default user: EACCES territory.
+		add("file", "/stage/locked.txt", 0, 0o600)
+	}
+	if s.rng.Float64() < 0.2 {
+		add("dir", "/stage/d", 1000, 0o755)
+		g.paths = append(g.paths, "/stage/d/in.txt")
+	}
+	// Paths that do not (yet) exist, a shared system file, and a path
+	// with a missing parent round out the vocabulary.
+	g.paths = append(g.paths, "/stage/n1.txt", "/stage/n2.txt", "/stage/missing.txt", "/etc/passwd")
+	if s.rng.Float64() < 0.25 {
+		g.cred = benchprog.CredRoot
+	}
+	return g
+}
+
+// tournament trials up to Candidates viable candidate instructions and
+// returns the one whose coverage keys score highest (first wins ties —
+// rng order keeps selection deterministic).
+func (s *Synthesizer) tournament(g *genState, forceTarget bool) (benchprog.Instr, []string, bool) {
+	var (
+		best      benchprog.Instr
+		bestKeys  []string
+		bestScore = -1.0
+	)
+	rolls := s.opts.Candidates * 4
+	found := 0
+	for r := 0; r < rolls && found < s.opts.Candidates; r++ {
+		in, ok := s.roll(g, forceTarget)
+		if !ok {
+			continue
+		}
+		errno, ok := s.trial(g, in)
+		if !ok {
+			s.stats.CandidateRejects++
+			continue
+		}
+		if errno != "" {
+			if _, known := oskernel.ErrnoByName(errno); !known {
+				s.stats.CandidateRejects++
+				continue
+			}
+			// A failed call binds nothing; drop the save slots so the
+			// scenario's slot discipline matches what actually happens.
+			in.SaveFD, in.SaveFD2, in.SaveProc = "", "", ""
+		}
+		in.Errno = errno
+		found++
+		keys := s.coverageKeys(g, in)
+		if score := s.cov.score(keys); score > bestScore {
+			best, bestKeys, bestScore = in, keys, score
+		}
+	}
+	if bestScore < 0 {
+		return benchprog.Instr{}, nil, false
+	}
+	return best, bestKeys, true
+}
+
+// coverageKeys derives the coverage features one instruction would
+// contribute.
+func (s *Synthesizer) coverageKeys(g *genState, in benchprog.Instr) []string {
+	out := "ok"
+	if in.Errno != "" {
+		out = in.Errno
+	}
+	role := "B"
+	if in.Target {
+		role = "T"
+	}
+	return []string{
+		coverPair + g.lastOp + ">" + in.Op,
+		coverOut + in.Op + "/" + out,
+		coverProc + g.lastClass + ">" + procClass(in.Proc),
+		coverRole + in.Op + "/" + role,
+	}
+}
+
+func procClass(proc string) string {
+	if proc == "" || proc == "main" {
+		return "m"
+	}
+	return "c"
+}
+
+// trial replays the accepted prefix in fresh shadow kernels and
+// executes the candidate on top, reporting the errno it produces. A
+// background candidate must observe the same errno in both variants —
+// its expectation has to hold whether or not the target steps ran.
+func (s *Synthesizer) trial(g *genState, in benchprog.Instr) (string, bool) {
+	fg, err := newShadow(g.cred, g.setup)
+	if err != nil || !fg.replay(g.steps, true) {
+		return "", false
+	}
+	e, ok := fg.exec(in)
+	if !ok {
+		return "", false
+	}
+	if !in.Target {
+		bg, err := newShadow(g.cred, g.setup)
+		if err != nil || !bg.replay(g.steps, false) {
+			return "", false
+		}
+		eb, ok := bg.exec(in)
+		if !ok || eb != e {
+			return "", false
+		}
+	}
+	return errnoName(e), true
+}
+
+// accept appends the instruction and folds its effects into the slot
+// state of the variants that execute it.
+func (s *Synthesizer) accept(g *genState, in benchprog.Instr, keys []string) {
+	s.cov.note(keys)
+	g.steps = append(g.steps, in)
+	g.lastOp = in.Op
+	g.lastClass = procClass(in.Proc)
+	views := []*variantState{&g.fg}
+	if !in.Target {
+		views = append(views, &g.bg)
+	}
+	if in.Errno == "" {
+		for _, v := range views {
+			if in.SaveFD != "" {
+				v.fds = append(v.fds, in.SaveFD)
+			}
+			if in.SaveFD2 != "" {
+				v.fds = append(v.fds, in.SaveFD2)
+			}
+			if in.SaveProc != "" {
+				v.procsAll = append(v.procsAll, in.SaveProc)
+				v.procsLive = append(v.procsLive, in.SaveProc)
+			}
+		}
+		if in.SaveFD != "" {
+			g.fdSeq++
+		}
+		if in.SaveFD2 != "" {
+			g.fdSeq++
+		}
+		if in.SaveProc != "" {
+			g.procSeq++
+		}
+		// A proc that exits or is killed in either variant is retired
+		// from both live sets, so no later instruction runs on (or
+		// re-exits) a process that may already be dead in one variant.
+		switch in.Op {
+		case "exit":
+			g.bg.dropLive(in.Proc)
+			g.fg.dropLive(in.Proc)
+		case "kill":
+			g.bg.dropLive(in.PIDOf)
+			g.fg.dropLive(in.PIDOf)
+		}
+	}
+}
+
+// roll builds one structurally valid candidate instruction against the
+// current slot state, or reports that the rolled op is not satisfiable
+// right now (no descriptor to consume, proc budget exhausted, …).
+func (s *Synthesizer) roll(g *genState, forceTarget bool) (benchprog.Instr, bool) {
+	target := forceTarget || s.rng.Float64() < 0.4
+	view := &g.fg
+	if !target {
+		view = &g.bg
+	}
+	op := opPool[s.rng.Intn(len(opPool))]
+	sys, _ := oskernel.Dispatch(op)
+	in := benchprog.Instr{Op: op, Target: target}
+
+	// Executing process: mostly main, sometimes a live child.
+	if len(view.procsLive) > 0 && s.rng.Float64() < 0.4 {
+		in.Proc = view.procsLive[s.rng.Intn(len(view.procsLive))]
+	}
+
+	switch op {
+	case "exit":
+		// Never exit main (later steps and the final sweep need it).
+		if len(view.procsLive) == 0 {
+			return in, false
+		}
+		in.Proc = view.procsLive[s.rng.Intn(len(view.procsLive))]
+		return in, true
+	case "kill":
+		if len(view.procsAll) == 0 {
+			return in, false
+		}
+		in.Proc = "" // the killer is main
+		in.PIDOf = view.procsAll[s.rng.Intn(len(view.procsAll))]
+		in.Sig = []int{9, 15}[s.rng.Intn(2)]
+		return in, true
+	case "fork", "vfork", "clone":
+		if len(g.fg.procsAll) >= s.opts.MaxProcs {
+			return in, false
+		}
+		in.SaveProc = fmt.Sprintf("p%d", g.procSeq+1)
+		return in, true
+	case "execve":
+		in.Exe = "/usr/bin/helper"
+		in.Argv = []string{"helper"}
+		return in, true
+	}
+
+	for _, f := range sys.Fields {
+		switch f {
+		case oskernel.FPath:
+			in.Path = g.paths[s.rng.Intn(len(g.paths))]
+		case oskernel.FPath2:
+			in.Path2 = g.paths[s.rng.Intn(len(g.paths))]
+		case oskernel.FFD:
+			if len(view.fds) == 0 {
+				return in, false
+			}
+			in.FD = view.fds[s.rng.Intn(len(view.fds))]
+		case oskernel.FFD2:
+			if len(view.fds) == 0 {
+				return in, false
+			}
+			in.FD2 = view.fds[s.rng.Intn(len(view.fds))]
+		case oskernel.FNewFD:
+			in.NewFD = s.rng.Intn(8)
+		case oskernel.FDirFD:
+			// AT_FDCWD-style zero: paths in the pool are absolute.
+		case oskernel.FFlags:
+			in.Flags = append([]string(nil), flagSets[s.rng.Intn(len(flagSets))]...)
+		case oskernel.FMode:
+			in.Mode = modePool[s.rng.Intn(len(modePool))]
+		case oskernel.FN:
+			in.N = int64(1 + s.rng.Intn(64))
+		case oskernel.FOff:
+			in.Off = int64(s.rng.Intn(128))
+		case oskernel.FLen:
+			in.Len = int64(s.rng.Intn(128))
+		case oskernel.FUID:
+			in.UID = idPool[s.rng.Intn(len(idPool))]
+		case oskernel.FEUID:
+			in.EUID = idPool[s.rng.Intn(len(idPool))]
+		case oskernel.FSUID:
+			in.SUID = idPool[s.rng.Intn(len(idPool))]
+		case oskernel.FGID:
+			in.GID = idPool[s.rng.Intn(len(idPool))]
+		case oskernel.FEGID:
+			in.EGID = idPool[s.rng.Intn(len(idPool))]
+		case oskernel.FSGID:
+			in.SGID = idPool[s.rng.Intn(len(idPool))]
+		}
+	}
+	switch sys.Returns {
+	case oskernel.RFD:
+		in.SaveFD = fmt.Sprintf("f%d", g.fdSeq+1)
+	case oskernel.RFDPair:
+		in.SaveFD = fmt.Sprintf("f%d", g.fdSeq+1)
+		in.SaveFD2 = fmt.Sprintf("f%d", g.fdSeq+2)
+	}
+	// Repeated identical calls (the IORuns probe shape) for plain
+	// read/write ops only — repeats of binding or state-toggling ops
+	// cannot carry one uniform expectation.
+	switch op {
+	case "read", "write", "pread", "pwrite":
+		if s.rng.Float64() < 0.15 {
+			in.Count = 2 + s.rng.Intn(3)
+		}
+	}
+	return in, true
+}

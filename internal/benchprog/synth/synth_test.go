@@ -1,0 +1,160 @@
+package synth
+
+import (
+	"bytes"
+	"testing"
+
+	"provmark/internal/benchprog"
+)
+
+// TestSynthDeterminism: the same seed and options replay byte-identical
+// scenario sequences — the contract campaigns, CI smoke runs, and
+// divergence reports all build on.
+func TestSynthDeterminism(t *testing.T) {
+	const n = 25
+	a, b := New(5, Options{}), New(5, Options{})
+	for i := 0; i < n; i++ {
+		sa, err := a.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := b.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ea, err := benchprog.EncodeScenario(&sa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := benchprog.EncodeScenario(&sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ea, eb) {
+			t.Fatalf("scenario #%d differs between identical synthesizers:\n%s\n%s", i, ea, eb)
+		}
+	}
+}
+
+// TestSynthScenariosClean: every synthesized scenario passes the static
+// validator, compiles, executes cleanly in both variants, respects the
+// step bounds, and contains target activity.
+func TestSynthScenariosClean(t *testing.T) {
+	n := 150
+	if testing.Short() || raceDetector {
+		n = 40
+	}
+	opts := Options{}.withDefaults()
+	syn := New(11, Options{})
+	for i := 0; i < n; i++ {
+		scn, err := syn.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(scn); err != nil {
+			data, _ := benchprog.EncodeScenario(&scn)
+			t.Fatalf("scenario #%d fails verification: %v\n%s", i, err, data)
+		}
+		if len(scn.Steps) < opts.MinSteps || len(scn.Steps) > opts.MaxSteps {
+			t.Errorf("scenario #%d has %d steps, want %d..%d", i, len(scn.Steps), opts.MinSteps, opts.MaxSteps)
+		}
+		hasTarget := false
+		for _, in := range scn.Steps {
+			if in.Target {
+				hasTarget = true
+			}
+		}
+		if !hasTarget {
+			t.Errorf("scenario #%d has no target step", i)
+		}
+	}
+	stats := syn.Stats()
+	if stats.Emitted != n {
+		t.Errorf("stats.Emitted = %d, want %d", stats.Emitted, n)
+	}
+}
+
+// TestSynthStepBoundsRespectOptions: custom bounds flow through.
+func TestSynthStepBoundsRespectOptions(t *testing.T) {
+	syn := New(3, Options{MinSteps: 2, MaxSteps: 5})
+	for i := 0; i < 15; i++ {
+		scn, err := syn.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(scn.Steps) < 2 || len(scn.Steps) > 5 {
+			t.Fatalf("scenario #%d has %d steps, want 2..5", i, len(scn.Steps))
+		}
+	}
+}
+
+// TestSynthCoverageGrows: coverage accumulates across Next calls — a
+// later batch of scenarios must have strictly expanded the distinct
+// key set, or the guidance loop is dead.
+func TestSynthCoverageGrows(t *testing.T) {
+	syn := New(2, Options{})
+	for i := 0; i < 5; i++ {
+		if _, err := syn.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after5 := len(syn.Coverage().Keys())
+	for i := 0; i < 20; i++ {
+		if _, err := syn.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after25 := len(syn.Coverage().Keys())
+	if after5 == 0 {
+		t.Fatal("no coverage keys after 5 scenarios")
+	}
+	if after25 <= after5 {
+		t.Errorf("coverage stalled: %d distinct keys after 5 scenarios, %d after 25", after5, after25)
+	}
+	sum := syn.Coverage().Summarize()
+	if sum.DistinctTotal != after25 {
+		t.Errorf("Summarize().DistinctTotal = %d, want %d", sum.DistinctTotal, after25)
+	}
+	if sum.OpPairs == 0 || sum.Outcomes == 0 || sum.Roles == 0 {
+		t.Errorf("coverage axes empty: %+v", sum)
+	}
+}
+
+// FuzzSynthScenario: any (seed, budget) yields scenarios that pass the
+// validator, compile, and execute without panicking — the synthesizer
+// has no bad seeds.
+func FuzzSynthScenario(f *testing.F) {
+	f.Add(int64(7), byte(20))
+	f.Add(int64(0), byte(1))
+	f.Add(int64(-1), byte(3))
+	f.Add(int64(1<<62), byte(5))
+	f.Fuzz(func(t *testing.T, seed int64, budget byte) {
+		n := int(budget%4) + 1
+		syn := New(seed, Options{})
+		for i := 0; i < n; i++ {
+			scn, err := syn.Next()
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if err := Verify(scn); err != nil {
+				data, _ := benchprog.EncodeScenario(&scn)
+				t.Fatalf("seed %d scenario #%d: %v\n%s", seed, i, err, data)
+			}
+		}
+	})
+}
+
+// TestVerifyRejectsBrokenScenario: Verify is a real check, not a
+// formality — a scenario with an impossible expectation fails it.
+func TestVerifyRejectsBrokenScenario(t *testing.T) {
+	scn := benchprog.Scenario{
+		Name: "broken",
+		Steps: []benchprog.Instr{
+			{Op: "open", Path: "/stage/missing.txt", SaveFD: "f1", Errno: ""}, // actually ENOENT
+			{Op: "close", Target: true, FD: "f1"},
+		},
+	}
+	if err := Verify(scn); err == nil {
+		t.Fatal("Verify accepted a scenario whose expectations cannot hold")
+	}
+}

@@ -133,11 +133,18 @@ func Syscalls() []string {
 	return out
 }
 
+// Errnos lists every errno value the simulator distinguishes, OK
+// first — the outcome vocabulary of the dispatch table, exported so
+// scenario synthesis can enumerate expected-errno coverage targets.
+func Errnos() []Errno {
+	return []Errno{OK, EPERM, ENOENT, ESRCH, EBADF, EACCES, EEXIST, ENOTDIR, EISDIR, EINVAL, ESPIPE}
+}
+
 // ErrnoByName parses a symbolic errno name ("EACCES", "ok") back to
 // its value — the inverse of Errno.Error for every errno the simulator
 // distinguishes.
 func ErrnoByName(name string) (Errno, bool) {
-	for _, e := range []Errno{OK, EPERM, ENOENT, ESRCH, EBADF, EACCES, EEXIST, ENOTDIR, EISDIR, EINVAL, ESPIPE} {
+	for _, e := range Errnos() {
 		if e.Error() == name {
 			return e, true
 		}
