@@ -25,6 +25,7 @@ import (
 	"provmark/internal/benchprog"
 	"provmark/internal/capture"
 	"provmark/internal/datalog"
+	"provmark/internal/datalog/analyze"
 	"provmark/internal/graph"
 	"provmark/internal/jobs/client"
 	"provmark/internal/provmark"
@@ -72,10 +73,10 @@ func run(ctx context.Context, args []string) error {
 	var goal datalog.Atom
 	if *rulesPath != "" {
 		var err error
-		if rules, err = datalog.ParseRulesFile(*rulesPath); err != nil {
+		if goal, err = datalog.ParseAtom(*goalText); err != nil {
 			return err
 		}
-		if goal, err = datalog.ParseAtom(*goalText); err != nil {
+		if rules, err = loadRules(*rulesPath, goal); err != nil {
 			return err
 		}
 	}
@@ -146,6 +147,26 @@ func run(ctx context.Context, args []string) error {
 		fmt.Printf("html report: %s\n", path)
 	}
 	return nil
+}
+
+// loadRules parses the suite's rule file through the static analyzer,
+// mirroring provmark's rule loading: diagnostics print to stderr with
+// positions, analysis errors abort before any benchmark runs, and the
+// reporter evaluates the goal-optimized program (the goal is fixed for
+// the whole batch, so pruning to its dependency closure is sound for
+// every cell).
+func loadRules(path string, goal datalog.Atom) ([]datalog.Rule, error) {
+	prog, diags, err := analyze.CheckFile(path, analyze.Options{Goal: &goal})
+	if err != nil {
+		return nil, err
+	}
+	diags = analyze.Exclude(diags, analyze.CodeUnreachableRule)
+	fmt.Fprint(os.Stderr, analyze.Render(path, diags))
+	if analyze.HasErrors(diags) {
+		return nil, fmt.Errorf("%s: rules rejected by analysis (%s)", path, analyze.Summary(diags))
+	}
+	rules, _ := analyze.Optimize(prog.Rules, goal)
+	return rules, nil
 }
 
 // runLocal executes the suite as a streaming matrix run in-process.

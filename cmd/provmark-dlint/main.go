@@ -1,0 +1,129 @@
+// Command provmark-dlint lints Datalog rule files with the static
+// analyzer of internal/datalog/analyze: structured, positioned
+// diagnostics over the rule language that /v1/query and the -rules
+// flags evaluate.
+//
+// Usage:
+//
+//	provmark-dlint [-format human|ndjson] [-Werror] [-goal atom] file.dl...
+//
+// Human output is one conventional compiler line per finding
+// ("file:line:col: severity: message [code]"); ndjson emits a header
+// record, one record per diagnostic, and a summary record. With -goal
+// the analysis is goal-directed: the goal's predicate and arity are
+// checked and rules the goal cannot reach are reported as
+// unreachable. -Werror promotes warnings to a failing exit.
+//
+// Exit status: 0 clean, 1 findings (errors, or warnings under
+// -Werror), 2 usage or I/O failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"provmark/internal/datalog"
+	"provmark/internal/datalog/analyze"
+)
+
+// ReportSchema versions the NDJSON report stream.
+const ReportSchema = "provmark/dlint-report/v1"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("provmark-dlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "human", "output format: human or ndjson")
+	werror := fs.Bool("Werror", false, "treat warnings as errors (exit 1 on any finding)")
+	goalText := fs.String("goal", "", "goal atom for goal-directed analysis, e.g. 'suspicious(P)'")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "human" && *format != "ndjson" {
+		fmt.Fprintf(stderr, "provmark-dlint: unknown format %q\n", *format)
+		return 2
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		fmt.Fprintln(stderr, "provmark-dlint: no rule files (usage: provmark-dlint [-format human|ndjson] [-Werror] [-goal atom] file.dl...)")
+		return 2
+	}
+	opts := analyze.Options{}
+	if *goalText != "" {
+		goal, err := datalog.ParseAtom(*goalText)
+		if err != nil {
+			fmt.Fprintln(stderr, "provmark-dlint:", err)
+			return 2
+		}
+		opts.Goal = &goal
+	}
+	enc := json.NewEncoder(stdout)
+	if *format == "ndjson" {
+		if err := enc.Encode(header{Schema: ReportSchema, Kind: "header", Files: len(files)}); err != nil {
+			fmt.Fprintln(stderr, "provmark-dlint:", err)
+			return 2
+		}
+	}
+	totalErrors, totalWarnings := 0, 0
+	for _, path := range files {
+		_, diags, err := analyze.CheckFile(path, opts)
+		if err != nil {
+			fmt.Fprintln(stderr, "provmark-dlint:", err)
+			return 2
+		}
+		errs, warns := analyze.Count(diags)
+		totalErrors += errs
+		totalWarnings += warns
+		switch *format {
+		case "human":
+			fmt.Fprint(stdout, analyze.Render(path, diags))
+		case "ndjson":
+			for _, d := range diags {
+				if err := enc.Encode(record{Kind: "diagnostic", File: path, Diagnostic: d}); err != nil {
+					fmt.Fprintln(stderr, "provmark-dlint:", err)
+					return 2
+				}
+			}
+		}
+	}
+	if *format == "ndjson" {
+		if err := enc.Encode(summary{Kind: "summary", Files: len(files), Errors: totalErrors, Warnings: totalWarnings}); err != nil {
+			fmt.Fprintln(stderr, "provmark-dlint:", err)
+			return 2
+		}
+	} else if totalErrors+totalWarnings > 0 {
+		fmt.Fprintf(stderr, "provmark-dlint: %d error(s), %d warning(s) in %d file(s)\n", totalErrors, totalWarnings, len(files))
+	}
+	if totalErrors > 0 || (*werror && totalWarnings > 0) {
+		return 1
+	}
+	return 0
+}
+
+// header is the first NDJSON record.
+type header struct {
+	Schema string `json:"schema"`
+	Kind   string `json:"kind"`
+	Files  int    `json:"files"`
+}
+
+// record carries one diagnostic with its file.
+type record struct {
+	Kind string `json:"kind"`
+	File string `json:"file"`
+	analyze.Diagnostic
+}
+
+// summary is the final NDJSON record.
+type summary struct {
+	Kind     string `json:"kind"`
+	Files    int    `json:"files"`
+	Errors   int    `json:"errors"`
+	Warnings int    `json:"warnings"`
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixtures = "../../internal/datalog/analyze/testdata"
+
+func runDlint(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestHumanOutputMatchesGolden(t *testing.T) {
+	path := filepath.Join(fixtures, "unsafe.dl")
+	code, stdout, stderr := runDlint(t, path)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, stderr)
+	}
+	golden, err := os.ReadFile(filepath.Join(fixtures, "unsafe.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Golden files render with the bare fixture name; the CLI prints
+	// the path it was given.
+	want := strings.ReplaceAll(string(golden), "unsafe.dl:", path+":")
+	if stdout != want {
+		t.Errorf("stdout:\n%s\nwant:\n%s", stdout, want)
+	}
+	if !strings.Contains(stderr, "error(s)") {
+		t.Errorf("stderr lacks summary: %q", stderr)
+	}
+}
+
+func TestCleanFileExitsZero(t *testing.T) {
+	code, stdout, _ := runDlint(t, filepath.Join(fixtures, "clean.dl"))
+	if code != 0 || stdout != "" {
+		t.Errorf("exit = %d, stdout = %q; want 0 and empty", code, stdout)
+	}
+}
+
+func TestWerrorPromotesWarnings(t *testing.T) {
+	warnOnly := filepath.Join(fixtures, "cartesian_product.dl")
+	if code, _, _ := runDlint(t, warnOnly); code != 0 {
+		t.Fatalf("warnings alone must exit 0 without -Werror (got %d)", code)
+	}
+	if code, _, _ := runDlint(t, "-Werror", warnOnly); code != 1 {
+		t.Error("-Werror must exit 1 on warnings")
+	}
+}
+
+func TestGoalDirectedAnalysis(t *testing.T) {
+	path := filepath.Join(fixtures, "unreachable_rule.dl")
+	if code, _, _ := runDlint(t, path); code != 0 {
+		t.Fatal("fixture must be clean without a goal")
+	}
+	code, stdout, _ := runDlint(t, "-goal", "tainted(X)", path)
+	if code != 0 {
+		t.Errorf("unreachable warnings are not errors (exit %d)", code)
+	}
+	if !strings.Contains(stdout, "unreachable-rule") {
+		t.Errorf("missing unreachable-rule findings:\n%s", stdout)
+	}
+}
+
+func TestNDJSONStream(t *testing.T) {
+	code, stdout, _ := runDlint(t, "-format", "ndjson",
+		filepath.Join(fixtures, "unsafe.dl"), filepath.Join(fixtures, "clean.dl"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	sc := bufio.NewScanner(strings.NewReader(stdout))
+	var kinds []string
+	var lastLine string
+	for sc.Scan() {
+		var probe struct {
+			Kind     string `json:"kind"`
+			Schema   string `json:"schema"`
+			File     string `json:"file"`
+			Severity string `json:"severity"`
+			Code     string `json:"code"`
+			Span     struct {
+				Line int `json:"line"`
+				Col  int `json:"col"`
+			} `json:"span"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		kinds = append(kinds, probe.Kind)
+		if probe.Kind == "header" && probe.Schema != ReportSchema {
+			t.Errorf("header schema = %q", probe.Schema)
+		}
+		if probe.Kind == "diagnostic" {
+			if probe.File == "" || probe.Severity == "" || probe.Code == "" || probe.Span.Line == 0 {
+				t.Errorf("incomplete diagnostic record: %s", sc.Text())
+			}
+		}
+		lastLine = sc.Text()
+	}
+	if kinds[0] != "header" || kinds[len(kinds)-1] != "summary" {
+		t.Errorf("stream shape: %v", kinds)
+	}
+	var sum summary
+	if err := json.Unmarshal([]byte(lastLine), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Files != 2 || sum.Errors == 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestUsageAndIOFailures(t *testing.T) {
+	if code, _, _ := runDlint(t); code != 2 {
+		t.Error("no files must exit 2")
+	}
+	if code, _, _ := runDlint(t, "-format", "xml", "x.dl"); code != 2 {
+		t.Error("bad format must exit 2")
+	}
+	if code, _, _ := runDlint(t, "-goal", "not p(X)", "x.dl"); code != 2 {
+		t.Error("bad goal must exit 2")
+	}
+	if code, _, _ := runDlint(t, "no-such-file.dl"); code != 2 {
+		t.Error("missing file must exit 2")
+	}
+}

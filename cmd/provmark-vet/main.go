@@ -1,0 +1,54 @@
+// Command provmark-vet runs the repo's own static checks (internal/
+// lint) over Go package patterns — currently the credlog analyzer,
+// which flags slog/log calls that reference raw credential-named
+// identifiers (bearer tokens, Authorization headers, secrets).
+//
+// Usage:
+//
+//	provmark-vet ./...
+//	provmark-vet ./internal/httpmw ./internal/jobs
+//
+// Findings print one per line in vet form; the exit status is 1 when
+// anything is flagged, 2 on usage or I/O errors, 0 on a clean tree.
+// CI runs it over ./... so a credential can never quietly reach a log
+// line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"provmark/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("provmark-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("root", ".", "directory the package patterns resolve against")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.CheckPatterns(*root, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "provmark-vet:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "provmark-vet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFindsLeak(t *testing.T) {
+	root := t.TempDir()
+	src := `package p
+import "log/slog"
+func f(authToken string) { slog.Info("x", "t", authToken) }`
+	if err := os.WriteFile(filepath.Join(root, "leak.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-root", root, "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, stderr = %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "authToken") || !strings.Contains(out.String(), "[credlog]") {
+		t.Errorf("output = %q", out.String())
+	}
+	if !strings.Contains(errOut.String(), "1 finding(s)") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+func TestRunCleanTree(t *testing.T) {
+	// The repository itself must vet clean — the same gate CI enforces.
+	var out, errOut strings.Builder
+	if code := run([]string{"-root", "../..", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d\n%s%s", code, out.String(), errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("clean tree printed %q", out.String())
+	}
+}
+
+func TestRunBadPath(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-root", "does-not-exist", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d", code)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"provmark/internal/benchprog"
 	"provmark/internal/capture"
 	"provmark/internal/datalog"
+	"provmark/internal/datalog/analyze"
 	"provmark/internal/profile"
 	"provmark/internal/provmark"
 
@@ -96,10 +97,10 @@ func run(ctx context.Context, args []string) error {
 	}
 	if *rulesPath != "" {
 		var err error
-		if rules, err = datalog.ParseRulesFile(*rulesPath); err != nil {
+		if goal, err = datalog.ParseAtom(*goalText); err != nil {
 			return err
 		}
-		if goal, err = datalog.ParseAtom(*goalText); err != nil {
+		if rules, err = loadRules(*rulesPath, goal); err != nil {
 			return err
 		}
 		if *resultType != "rb" && *resultType != "rg" {
@@ -158,6 +159,25 @@ func run(ctx context.Context, args []string) error {
 		fmt.Print(out)
 	}
 	return nil
+}
+
+// loadRules parses a rule file through the static analyzer: every
+// diagnostic prints to stderr with its source position, analysis
+// errors abort before the recording stages run, and the surviving
+// program comes back goal-optimized (pruned to the goal's dependency
+// closure, bodies reordered bound-first — binding-preserving).
+func loadRules(path string, goal datalog.Atom) ([]datalog.Rule, error) {
+	prog, diags, err := analyze.CheckFile(path, analyze.Options{Goal: &goal})
+	if err != nil {
+		return nil, err
+	}
+	diags = analyze.Exclude(diags, analyze.CodeUnreachableRule)
+	fmt.Fprint(os.Stderr, analyze.Render(path, diags))
+	if analyze.HasErrors(diags) {
+		return nil, fmt.Errorf("%s: rules rejected by analysis (%s)", path, analyze.Summary(diags))
+	}
+	rules, _ := analyze.Optimize(prog.Rules, goal)
+	return rules, nil
 }
 
 // evalRules matches a Datalog detection program against the benchmark

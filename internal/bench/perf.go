@@ -20,6 +20,7 @@ import (
 
 	"provmark/internal/asp"
 	"provmark/internal/datalog"
+	"provmark/internal/datalog/analyze"
 	"provmark/internal/graph"
 	"provmark/internal/provmark"
 )
@@ -27,8 +28,8 @@ import (
 // PerfSchema versions the snapshot document.
 const PerfSchema = "provmark/bench-snapshot/v1"
 
-// perfID numbers the snapshot artifact (BENCH_7.json).
-const perfID = 7
+// perfID numbers the snapshot artifact (BENCH_8.json).
+const perfID = 8
 
 // PerfResult is one workload's measurement.
 type PerfResult struct {
@@ -57,6 +58,8 @@ var perfBaselines = map[string]map[string]int64{
 	"datalog/ancestry/seminaive-flat": {"join_probes": 15600},
 	"datalog/ancestry/seminaive-deep": {"join_probes": 4002},
 	"datalog/ancestry/naive-flat":     {"join_probes": 44032000},
+	"datalog/goal-ancestry/unoptimized": {"join_probes": 180105},
+	"datalog/goal-ancestry/optimized":   {"join_probes": 807},
 	"classify/similarity/asym-32x4":   {"fingerprints": 32, "solver_invocations": 0},
 	"classify/similarity/sym-32x4":    {"fingerprints": 32, "solver_invocations": 28},
 }
@@ -74,6 +77,12 @@ func RunPerf() (*PerfSnapshot, error) {
 		{"datalog/ancestry/seminaive-deep", deepAncestryWorkload},
 		{"datalog/ancestry/naive-flat", func() (map[string]int64, error) {
 			return ancestryWorkload(400, 5, 400*15, (*datalog.Database).RunNaive)
+		}},
+		{"datalog/goal-ancestry/unoptimized", func() (map[string]int64, error) {
+			return goalAncestryWorkload(false)
+		}},
+		{"datalog/goal-ancestry/optimized", func() (map[string]int64, error) {
+			return goalAncestryWorkload(true)
 		}},
 		{"classify/similarity/asym-32x4", func() (map[string]int64, error) {
 			return classifyWorkload(asymPerfCorpus(32, 4, 2))
@@ -198,6 +207,74 @@ anc(Z) :- anc(Y), edge(_, Y, Z, _).
 	}
 	if got := len(db.Facts("anc")); got != 2000 {
 		return nil, fmt.Errorf("anc facts = %d, want 2000", got)
+	}
+	return map[string]int64{"join_probes": db.Stats().JoinProbes}, nil
+}
+
+// goalAncestryRules is the goal-directed corpus program, written the
+// way a rule library accumulates: a full transitive closure (anc/2)
+// that the reach goal never consumes, and a start rule whose body
+// enumerates every edge before the selective node("root") test. The
+// optimizer prunes the closure (goal-directed relevance) and flips the
+// start body bound-first; both programs bind the same reach facts.
+const goalAncestryRules = `
+anc(X, Y) :- edge(_, X, Y, _).
+anc(X, Z) :- anc(X, Y), edge(_, Y, Z, _).
+start(P) :- edge(_, P, _, _), node(P, "root").
+reach(P) :- start(P).
+reach(Z) :- reach(Y), edge(_, Y, Z, _).
+`
+
+// perfGoalGraph builds the goal-ancestry corpus: one chain of rootLen
+// edges whose head node carries the "root" label, buried among decoys
+// anonymous chains of decoyLen edges each — only the labelled chain is
+// relevant to the goal.
+func perfGoalGraph(rootLen, decoys, decoyLen int) *graph.Graph {
+	g := graph.New()
+	prev := g.AddNode("root", nil)
+	for i := 0; i < rootLen; i++ {
+		next := g.AddNode("N", nil)
+		if _, err := g.AddEdge(prev, next, "E", nil); err != nil {
+			panic(err) // cannot happen: both endpoints were just added
+		}
+		prev = next
+	}
+	for c := 0; c < decoys; c++ {
+		prev := g.AddNode("N", nil)
+		for i := 0; i < decoyLen; i++ {
+			next := g.AddNode("N", nil)
+			if _, err := g.AddEdge(prev, next, "E", nil); err != nil {
+				panic(err)
+			}
+			prev = next
+		}
+	}
+	return g
+}
+
+// goalAncestryWorkload evaluates the reach(X) goal over the corpus,
+// optionally through the analyzer's goal-directed optimizer. Both
+// variants must derive exactly the 401 reach facts of the root chain —
+// the probe counters differ, the answers may not.
+func goalAncestryWorkload(optimize bool) (map[string]int64, error) {
+	rules, err := datalog.ParseRules(goalAncestryRules)
+	if err != nil {
+		return nil, err
+	}
+	goal, err := datalog.ParseAtom("reach(X)")
+	if err != nil {
+		return nil, err
+	}
+	if optimize {
+		rules, _ = analyze.Optimize(rules, goal)
+	}
+	db := datalog.NewDatabase()
+	db.LoadGraph(perfGoalGraph(400, 300, 6))
+	if err := db.Run(rules); err != nil {
+		return nil, err
+	}
+	if got := len(db.Facts("reach")); got != 401 {
+		return nil, fmt.Errorf("reach facts = %d, want 401", got)
 	}
 	return map[string]int64{"join_probes": db.Stats().JoinProbes}, nil
 }

@@ -43,6 +43,18 @@ func TestPerfSnapshot(t *testing.T) {
 	if err := snap.Gate(2); err != nil {
 		t.Errorf("gate(2) failed on a baseline-exact snapshot: %v", err)
 	}
+	// The goal-directed optimizer claim: pruning + bound-first
+	// reordering must cut join probes by at least 5x on the goal
+	// corpus (the measured ratio is ~223x; 5x is the gated floor).
+	byName := map[string]PerfResult{}
+	for _, r := range snap.Results {
+		byName[r.Name] = r
+	}
+	unopt := byName["datalog/goal-ancestry/unoptimized"].Counters["join_probes"]
+	opt := byName["datalog/goal-ancestry/optimized"].Counters["join_probes"]
+	if opt <= 0 || unopt < opt*5 {
+		t.Errorf("goal-ancestry probes: unoptimized %d vs optimized %d — optimizer reduction below 5x", unopt, opt)
+	}
 	if err := snap.Gate(0.5); err == nil {
 		t.Error("gate(0.5) passed — the gate compares nothing")
 	}

@@ -1,0 +1,63 @@
+package analyze
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Human renders one diagnostic in the conventional compiler shape:
+// "file:line:col: severity: message [code]". Program-level findings
+// (zero span) carry no line:col.
+func (d Diagnostic) Human(file string) string {
+	pos := file
+	if d.Span.Line > 0 {
+		pos = fmt.Sprintf("%s:%d:%d", file, d.Span.Line, d.Span.Col)
+	}
+	return fmt.Sprintf("%s: %s: %s [%s]", pos, d.Severity, d.Message, d.Code)
+}
+
+// Render joins the human form of every diagnostic, one per line —
+// what the CLIs print to stderr.
+func Render(file string, diags []Diagnostic) string {
+	if len(diags) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.Human(file))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Exclude returns diags without the findings of one code — e.g. the
+// evaluation surfaces drop unreachable-rule warnings, which describe
+// the optimizer's pruning rather than a defect, while provmark-dlint
+// -goal keeps them.
+func Exclude(diags []Diagnostic, code Code) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Code != code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Count tallies diagnostics by severity.
+func Count(diags []Diagnostic) (errors, warnings int) {
+	for _, d := range diags {
+		if d.Severity == Error {
+			errors++
+		} else {
+			warnings++
+		}
+	}
+	return errors, warnings
+}
+
+// Summary renders "N error(s), M warning(s)" for CLI status lines.
+func Summary(diags []Diagnostic) string {
+	errors, warnings := Count(diags)
+	return fmt.Sprintf("%d error(s), %d warning(s)", errors, warnings)
+}

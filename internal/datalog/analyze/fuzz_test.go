@@ -1,0 +1,77 @@
+package analyze_test
+
+import (
+	"testing"
+
+	"provmark/internal/datalog"
+	"provmark/internal/datalog/analyze"
+)
+
+// FuzzAnalyzeRules drives the analyzer with arbitrary rule text and
+// enforces its two contracts: it never panics, and a program it
+// passes as error-free is never rejected by the engine — neither as
+// written nor after goal-directed optimization, and the optimized
+// bindings match the unoptimized ones on a small fact set.
+func FuzzAnalyzeRules(f *testing.F) {
+	seeds := []string{
+		"",
+		"% only a comment\n",
+		`anc(X, Y) :- edge(_, X, Y, _).` + "\n" + `anc(X, Z) :- anc(X, Y), edge(_, Y, Z, _).`,
+		`safe(X) :- node(X, "a"), not bad(X).` + "\n" + `bad(X) :- prop(X, "k", "v").`,
+		`not bad(X) :- node(X, "a").`,
+		`win(X) :- move(X, Y), not win(Y).` + "\n" + `move(X, Y) :- edge(_, X, Y, _).`,
+		`p(X) :- q(X, X, X).` + "\n" + `q(A) :- node(A, "a").`,
+		`pair(X, Y) :- node(X, "a"), node(Y, "b").`,
+		`p("\\") :- node(":-", "a,b").`,
+		"broken(X :- node(X).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	facts := []datalog.Fact{
+		{Pred: "node", Args: []string{"n1", "a"}},
+		{Pred: "node", Args: []string{"n2", "b"}},
+		{Pred: "edge", Args: []string{"e1", "n1", "n2", "x"}},
+		{Pred: "prop", Args: []string{"n1", "k", "v"}},
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Bound the program so adversarial inputs cannot blow up the
+		// fixpoint inside the fuzz budget; the analyzer itself must
+		// survive anything.
+		if len(src) > 2048 {
+			return
+		}
+		prog, diags := analyze.Check(src, analyze.Options{})
+		if analyze.HasErrors(diags) || len(prog.Rules) == 0 {
+			return
+		}
+		if len(prog.Rules) > 6 {
+			return
+		}
+		for _, r := range prog.Rules {
+			if len(r.Head.Terms) > 3 || len(r.Body) > 4 {
+				return
+			}
+		}
+		run := func(rules []datalog.Rule) *datalog.Database {
+			db := datalog.NewDatabase()
+			for _, fa := range facts {
+				db.Assert(fa)
+			}
+			if err := db.Run(rules); err != nil {
+				t.Fatalf("engine rejected an analysis-clean program: %v\n%s", err, src)
+			}
+			return db
+		}
+		base := run(prog.Rules)
+		// Optimize for the first rule's head predicate and compare.
+		goal := prog.Rules[0].Head
+		goal.Negated = false
+		want := datalog.FormatBindings(goal, base.Query(goal))
+		optimized, _ := analyze.Optimize(prog.Rules, goal)
+		got := datalog.FormatBindings(goal, run(optimized).Query(goal))
+		if got != want {
+			t.Fatalf("optimized bindings differ for %s\ngot:\n%s\nwant:\n%s\nprogram:\n%s", goal, got, want, src)
+		}
+	})
+}

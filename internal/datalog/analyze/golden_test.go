@@ -1,0 +1,80 @@
+package analyze_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"provmark/internal/datalog"
+	"provmark/internal/datalog/analyze"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden diagnostic files")
+
+// goldenGoals maps fixtures that are analyzed goal-directed to their
+// goal atom; everything else runs the no-goal passes.
+var goldenGoals = map[string]string{
+	"unreachable_rule.dl": "tainted(X)",
+}
+
+// TestGoldenDiagnostics checks the full human-rendered diagnostic
+// output of every .dl fixture against its .golden file — one fixture
+// per diagnostic class, pinning spans, severities, codes and message
+// wording. Regenerate with: go test ./internal/datalog/analyze -run Golden -update
+func TestGoldenDiagnostics(t *testing.T) {
+	fixtures, err := filepath.Glob(filepath.Join("testdata", "*.dl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) == 0 {
+		t.Fatal("no fixtures in testdata")
+	}
+	covered := map[analyze.Code]bool{}
+	for _, path := range fixtures {
+		name := filepath.Base(path)
+		t.Run(name, func(t *testing.T) {
+			opts := analyze.Options{}
+			if goalText, ok := goldenGoals[name]; ok {
+				goal, err := datalog.ParseAtom(goalText)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts.Goal = &goal
+			}
+			_, diags, err := analyze.CheckFile(path, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range diags {
+				covered[d.Code] = true
+			}
+			got := analyze.Render(name, diags)
+			goldenPath := strings.TrimSuffix(path, ".dl") + ".golden"
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics drifted from golden file\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+	if *update {
+		return
+	}
+	// Every catalogued diagnostic class must appear in some fixture, so
+	// a new code cannot land without a golden example.
+	for _, entry := range analyze.Catalogue() {
+		if !covered[entry.Code] {
+			t.Errorf("diagnostic class %s has no golden fixture", entry.Code)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package analyze
+
+import (
+	"provmark/internal/datalog"
+)
+
+// The optimizer: two semantics-preserving program transforms run
+// before evaluation. Both leave the engine untouched — they only
+// rewrite the rule list — and both are proven equivalent by the
+// differential tests (byte-identical goal bindings on the randomized
+// corpus and the checked-in rule files).
+
+// OptStats reports what Optimize did to a program.
+type OptStats struct {
+	// RulesIn / RulesOut count rules before and after pruning.
+	RulesIn  int `json:"rules_in"`
+	RulesOut int `json:"rules_out"`
+	// PrunedRules counts rules dropped as unreachable from the goal.
+	PrunedRules int `json:"pruned_rules"`
+	// ReorderedRules counts rules whose body order changed.
+	ReorderedRules int `json:"reordered_rules"`
+}
+
+// Optimize prunes the program down to the goal's dependency closure
+// and reorders each surviving body bound-first. The result derives
+// exactly the same extent for the goal predicate (and every predicate
+// it depends on) as the input program.
+func Optimize(rules []datalog.Rule, goal datalog.Atom) ([]datalog.Rule, OptStats) {
+	pruned := PruneForGoal(rules, goal.Pred)
+	out, reordered := ReorderBodies(pruned)
+	return out, OptStats{
+		RulesIn:        len(rules),
+		RulesOut:       len(out),
+		PrunedRules:    len(rules) - len(pruned),
+		ReorderedRules: reordered,
+	}
+}
+
+// PruneForGoal keeps only the rules whose head predicate lies in the
+// goal predicate's dependency closure — the magic-set-lite relevance
+// cut. Rules outside the closure can never contribute a fact any
+// goal-relevant join reads (negated dependencies count as reads, so
+// negation stays correct), and dropping whole strata shrinks the
+// fixpoint the engine must run. Rule order is preserved.
+func PruneForGoal(rules []datalog.Rule, goalPred string) []datalog.Rule {
+	relevant := reachable(rules, map[string]bool{goalPred: true})
+	out := make([]datalog.Rule, 0, len(rules))
+	for _, r := range rules {
+		if relevant[r.Head.Pred] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ReorderBodies rewrites each rule body bound-first: greedily pick the
+// positive literal with the most bound argument positions (constants
+// plus variables bound by already-placed literals), so every join
+// probes a selective index instead of scanning a full relation.
+// Negated literals are placed as early as their variables are all
+// bound — never before, which preserves the engine's safety invariant
+// that negation only evaluates ground atoms. Ties break on original
+// position, so the rewrite is deterministic and a program that is
+// already bound-first is returned unchanged. Returns the new rules and
+// how many bodies changed order.
+func ReorderBodies(rules []datalog.Rule) ([]datalog.Rule, int) {
+	out := make([]datalog.Rule, len(rules))
+	changed := 0
+	for i, r := range rules {
+		body, moved := reorderBody(r.Body)
+		out[i] = datalog.Rule{Head: r.Head, Body: body}
+		if moved {
+			changed++
+		}
+	}
+	return out, changed
+}
+
+func reorderBody(body []datalog.Atom) ([]datalog.Atom, bool) {
+	if len(body) < 2 {
+		return body, false
+	}
+	order := make([]int, 0, len(body))
+	placed := make([]bool, len(body))
+	bound := map[string]bool{}
+	// flush places every pending negated literal whose variables are
+	// all bound, in original order.
+	flush := func() {
+		for ai, at := range body {
+			if placed[ai] || !at.Negated {
+				continue
+			}
+			ready := true
+			for _, t := range at.Terms {
+				if t.Var != "" && !bound[t.Var] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				placed[ai] = true
+				order = append(order, ai)
+			}
+		}
+	}
+	flush()
+	for {
+		best, bestScore := -1, -1
+		for ai, at := range body {
+			if placed[ai] || at.Negated {
+				continue
+			}
+			score := 0
+			for _, t := range at.Terms {
+				switch {
+				case t.Wild:
+				case t.Var == "":
+					score++
+				case bound[t.Var]:
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = ai, score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		placed[best] = true
+		order = append(order, best)
+		for _, t := range body[best].Terms {
+			if t.Var != "" {
+				bound[t.Var] = true
+			}
+		}
+		flush()
+	}
+	// Any leftover negated literal has an unbound variable — the
+	// program is unsafe and the engine will reject it; keep such
+	// literals in original order rather than losing them.
+	for ai := range body {
+		if !placed[ai] {
+			order = append(order, ai)
+		}
+	}
+	moved := false
+	out := make([]datalog.Atom, len(body))
+	for pos, ai := range order {
+		out[pos] = body[ai]
+		if pos != ai {
+			moved = true
+		}
+	}
+	return out, moved
+}

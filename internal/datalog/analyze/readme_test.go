@@ -1,0 +1,44 @@
+package analyze_test
+
+// The README's "Linting and optimizing rules" section carries the
+// diagnostic catalogue between <!-- dlint-catalogue:begin/end -->
+// markers. This drift guard regenerates the table from the live
+// Catalogue() and fails when the document and the analyzer disagree —
+// same pattern as the benchmark-registry guard in internal/benchprog.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"provmark/internal/datalog/analyze"
+)
+
+func catalogueMarkdown() string {
+	var b strings.Builder
+	b.WriteString("| code | severity | meaning |\n|---|---|---|\n")
+	for _, e := range analyze.Catalogue() {
+		fmt.Fprintf(&b, "| `%s` | %s | %s |\n", e.Code, e.Severity, e.Summary)
+	}
+	return b.String()
+}
+
+func TestReadmeDiagnosticCatalogue(t *testing.T) {
+	data, err := os.ReadFile("../../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const begin, end = "<!-- dlint-catalogue:begin -->", "<!-- dlint-catalogue:end -->"
+	doc := string(data)
+	i := strings.Index(doc, begin)
+	j := strings.Index(doc, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md lacks the %s/%s markers", begin, end)
+	}
+	got := strings.TrimSpace(doc[i+len(begin) : j])
+	want := strings.TrimSpace(catalogueMarkdown())
+	if got != want {
+		t.Errorf("README diagnostic catalogue drifted from analyze.Catalogue().\n--- README ---\n%s\n--- catalogue ---\n%s", got, want)
+	}
+}

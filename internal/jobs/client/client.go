@@ -137,8 +137,35 @@ func (c *Client) Result(ctx context.Context, cellKey string) (*wire.Result, erro
 	return wire.DecodeResult(bytes.TrimSpace(data))
 }
 
+// QueryRejectedError is a 422 whose body carried structured analysis
+// diagnostics: the server's static analyzer refused the rule program
+// before evaluation. Response.Diagnostics holds the positioned
+// findings.
+type QueryRejectedError struct {
+	Response *wire.QueryResponse
+}
+
+func (e *QueryRejectedError) Error() string {
+	errs, warns := 0, 0
+	first := ""
+	for _, d := range e.Response.Diagnostics {
+		switch d.Severity {
+		case wire.DiagError:
+			if errs == 0 {
+				first = d.Message
+			}
+			errs++
+		case wire.DiagWarning:
+			warns++
+		}
+	}
+	return fmt.Sprintf("provmarkd query: 422 rules rejected by analysis: %d error(s), %d warning(s), first: %s", errs, warns, first)
+}
+
 // Query posts a Datalog query against a stored cell (POST /v1/query)
-// and returns the decoded bindings.
+// and returns the decoded bindings. A 422 carrying a decodable wire
+// response comes back as *QueryRejectedError with the analyzer's
+// structured diagnostics; other non-200s are plain errors.
 func (c *Client) Query(ctx context.Context, req *wire.QueryRequest) (*wire.QueryResponse, error) {
 	body, err := wire.EncodeQueryRequest(req)
 	if err != nil {
@@ -149,6 +176,16 @@ func (c *Client) Query(ctx context.Context, req *wire.QueryRequest) (*wire.Query
 		return nil, err
 	}
 	defer drain(resp)
+	if resp.StatusCode == http.StatusUnprocessableEntity {
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxLineBytes))
+		if err != nil {
+			return nil, err
+		}
+		if qr, err := wire.DecodeQueryResponse(bytes.TrimSpace(data)); err == nil && len(qr.Diagnostics) > 0 {
+			return nil, &QueryRejectedError{Response: qr}
+		}
+		return nil, fmt.Errorf("provmarkd query: %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, httpError("query", resp)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"os"
 	"strings"
@@ -101,13 +102,54 @@ func TestQueryEndToEnd(t *testing.T) {
 		t.Fatalf("fg query: %v", err)
 	}
 
+	// Analysis warnings ride along on a successful response: an extra
+	// rule over an undefined predicate still evaluates, but the
+	// analyzer flags it with positioned diagnostics.
+	warned := string(rules) + "\nphantomuse(X) :- ghostpred(X).\n"
+	resp, err = c.Query(ctx, &wire.QueryRequest{Cell: cellKey, Rules: warned, Goal: "suspicious(P)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Matches != 1 || resp.Bindings[0]["P"] != "n16" {
+		t.Errorf("warned query = %+v", resp)
+	}
+	codes := map[string]bool{}
+	for _, d := range resp.Diagnostics {
+		if d.Severity != wire.DiagWarning {
+			t.Errorf("non-warning diagnostic on a 200: %+v", d)
+		}
+		codes[d.Code] = true
+	}
+	if !codes["undefined-predicate"] {
+		t.Errorf("missing undefined-predicate warning: %+v", resp.Diagnostics)
+	}
+
 	// Client errors: unknown cell is 404, an unsafe program is 422;
 	// both land in the error counter, not a match.
 	if _, err := c.Query(ctx, &wire.QueryRequest{Cell: "nope", Rules: string(rules), Goal: "suspicious(P)"}); err == nil || !strings.Contains(err.Error(), "404") {
 		t.Errorf("unknown cell error = %v", err)
 	}
-	if _, err := c.Query(ctx, &wire.QueryRequest{Cell: cellKey, Rules: `bad(X) :- not node(X, "a").`, Goal: "bad(X)"}); err == nil || !strings.Contains(err.Error(), "422") {
-		t.Errorf("unsafe program error = %v", err)
+	// The unsafe program's 422 now carries structured diagnostics: the
+	// client surfaces them as a typed rejection.
+	_, err = c.Query(ctx, &wire.QueryRequest{Cell: cellKey, Rules: `bad(X) :- not node(X, "a").`, Goal: "bad(X)"})
+	if err == nil || !strings.Contains(err.Error(), "422") {
+		t.Fatalf("unsafe program error = %v", err)
+	}
+	var rejected *client.QueryRejectedError
+	if !errors.As(err, &rejected) {
+		t.Fatalf("rejection is not a *client.QueryRejectedError: %v", err)
+	}
+	if rejected.Response.Matches != 0 {
+		t.Errorf("rejected response has matches: %+v", rejected.Response)
+	}
+	rcodes := map[string]int{}
+	for _, d := range rejected.Response.Diagnostics {
+		if d.Severity == wire.DiagError {
+			rcodes[d.Code] = d.Line
+		}
+	}
+	if rcodes["unbound-negation-var"] != 1 || rcodes["unbound-head-var"] != 1 {
+		t.Errorf("rejection diagnostics = %+v", rejected.Response.Diagnostics)
 	}
 
 	// Raw HTTP decode errors count too (strict wire decode).
@@ -139,15 +181,15 @@ func TestQueryEndToEnd(t *testing.T) {
 	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
-	// 5 successful queries (4 matched + 1 fg escalated), 3 errors.
-	if stats.Queries.Total != 8 {
-		t.Errorf("queries.total = %d, want 8", stats.Queries.Total)
+	// 6 successful queries (5 matched + 1 fg escalated), 3 errors.
+	if stats.Queries.Total != 9 {
+		t.Errorf("queries.total = %d, want 9", stats.Queries.Total)
 	}
 	if stats.Queries.Errors != 3 {
 		t.Errorf("queries.errors = %d, want 3", stats.Queries.Errors)
 	}
-	if stats.Queries.Matched < 4 {
-		t.Errorf("queries.matched = %d, want >= 4", stats.Queries.Matched)
+	if stats.Queries.Matched < 5 {
+		t.Errorf("queries.matched = %d, want >= 5", stats.Queries.Matched)
 	}
 	if stats.Queries.Matched+stats.Queries.Errors > stats.Queries.Total {
 		t.Errorf("inconsistent counters: %+v", stats.Queries)

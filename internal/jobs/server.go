@@ -345,6 +345,16 @@ func (s *server) query(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := EvalQuery(req, res)
+	var rejected *RejectedQueryError
+	if errors.As(err, &rejected) {
+		// Analysis rejections carry structured diagnostics: a 422 with
+		// a full wire response body instead of a plain-text error.
+		s.m.queries.record(false, true)
+		writeJSON(w, http.StatusUnprocessableEntity, func() ([]byte, error) {
+			return wire.EncodeQueryResponse(rejected.Response)
+		})
+		return
+	}
 	if err != nil {
 		fail(http.StatusUnprocessableEntity, err.Error())
 		return

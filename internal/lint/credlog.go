@@ -1,0 +1,294 @@
+// Package lint holds the repo's own static checks, in the style of
+// go/analysis but dependency-free (go/ast + go/parser only, so the
+// checks build in hermetic environments without the analysis module).
+//
+// The one analyzer today is credlog: it flags slog/log calls whose
+// arguments reference credential-named identifiers (authToken, bearer,
+// Authorization headers, secrets, passwords), because a log line is the
+// easiest way for a bearer token to leak into storage nobody audits.
+// Comparisons (`*authToken != ""`) and sanitizer-wrapped values
+// (`hash(token)`, `len(secret)`) are deliberately exempt: logging that
+// auth is *enabled*, or a digest of the credential, is fine.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one credential-logging diagnostic.
+type Finding struct {
+	// Pos locates the offending identifier.
+	Pos token.Position
+	// Ident is the credential-named identifier reaching the log call.
+	Ident string
+	// Call is the logging callee as written, e.g. "slog.Info" or
+	// "logger.LogAttrs".
+	Call string
+}
+
+// String renders the finding in the conventional vet shape.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: credential-named identifier %q reaches logging call %s [credlog]", f.Pos, f.Ident, f.Call)
+}
+
+// slogFuncs are the log/slog package-level functions (and attr
+// constructors — a credential inside slog.String leaks just the same)
+// treated as logging sinks.
+var slogFuncs = map[string]bool{
+	"Debug": true, "DebugContext": true,
+	"Info": true, "InfoContext": true,
+	"Warn": true, "WarnContext": true,
+	"Error": true, "ErrorContext": true,
+	"Log": true, "LogAttrs": true, "With": true,
+	"String": true, "Any": true, "Bool": true, "Int": true,
+	"Int64": true, "Uint64": true, "Float64": true,
+	"Time": true, "Duration": true, "Group": true,
+}
+
+// logFuncs are the standard log package's printing functions.
+var logFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+	"Output": true,
+}
+
+// methodFuncs are method names that mark a call on a non-package
+// receiver as a logger call (*slog.Logger and *log.Logger methods).
+var methodFuncs = map[string]bool{
+	"Debug": true, "DebugContext": true,
+	"Info": true, "InfoContext": true,
+	"Warn": true, "WarnContext": true,
+	"Error": true, "ErrorContext": true,
+	"Log": true, "LogAttrs": true, "With": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+// credWords mark an identifier as credential-carrying when they appear
+// anywhere in its lowercased name.
+var credWords = []string{"token", "bearer", "authorization", "credential", "secret", "passwd", "password", "apikey"}
+
+// safePrefixes exempt identifiers that advertise a derived, loggable
+// form of the credential.
+var safePrefixes = []string{"hashed", "masked", "redacted", "scrubbed", "sanitized"}
+
+// sanitizers exempt call wrappers whose name promises the raw value
+// does not survive the call.
+var sanitizers = []string{"hash", "redact", "mask", "sanitize", "scrub", "len"}
+
+// credNamed reports whether an identifier names a raw credential.
+func credNamed(name string) bool {
+	lower := strings.ToLower(name)
+	for _, p := range safePrefixes {
+		if strings.HasPrefix(lower, p) {
+			return false
+		}
+	}
+	for _, w := range credWords {
+		if strings.Contains(lower, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// sanitizing reports whether a callee name neutralizes its argument.
+func sanitizing(name string) bool {
+	lower := strings.ToLower(name)
+	for _, s := range sanitizers {
+		if strings.HasPrefix(lower, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckFile runs the credlog analyzer over one parsed file.
+func CheckFile(fset *token.FileSet, file *ast.File) []Finding {
+	// Map package-qualified selectors: only calls through the slog and
+	// log imports count as package-level sinks; any other package ident
+	// (fmt, errors, ...) is not a logging call no matter the name.
+	pkgNames := map[string]string{}
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path[strings.LastIndexByte(path, '/')+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		pkgNames[name] = path
+	}
+	var findings []Finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, isSink := loggingCallee(call, pkgNames)
+		if !isSink {
+			return true
+		}
+		for _, arg := range call.Args {
+			findings = append(findings, scanArg(fset, callee, arg)...)
+		}
+		return true
+	})
+	return findings
+}
+
+// loggingCallee classifies a call expression: ("slog.Info", true) for
+// a sink, ("", false) otherwise.
+func loggingCallee(call *ast.CallExpr, pkgNames map[string]string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if recv, ok := sel.X.(*ast.Ident); ok {
+		if path, imported := pkgNames[recv.Name]; imported {
+			switch {
+			case path == "log/slog" && slogFuncs[name]:
+				return recv.Name + "." + name, true
+			case path == "log" && logFuncs[name]:
+				return recv.Name + "." + name, true
+			}
+			// A call through any other package is not a logging sink.
+			return "", false
+		}
+		if methodFuncs[name] {
+			return recv.Name + "." + name, true
+		}
+		return "", false
+	}
+	if methodFuncs[name] {
+		return "(...)." + name, true
+	}
+	return "", false
+}
+
+// scanArg walks one call argument for credential-named identifiers,
+// pruning comparison expressions (logging *whether* a token is set is
+// fine) and sanitizer wrappers (logging a digest is fine).
+func scanArg(fset *token.FileSet, callee string, arg ast.Expr) []Finding {
+	var findings []Finding
+	ast.Inspect(arg, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.BinaryExpr:
+			switch node.Op {
+			case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+				return false
+			}
+		case *ast.CallExpr:
+			if sanitizing(calleeBaseName(node)) {
+				return false
+			}
+		case *ast.Ident:
+			if credNamed(node.Name) {
+				findings = append(findings, Finding{
+					Pos:   fset.Position(node.Pos()),
+					Ident: node.Name,
+					Call:  callee,
+				})
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// calleeBaseName extracts the final name of a call's callee:
+// "redactToken" for both redactToken(x) and auth.redactToken(x).
+func calleeBaseName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// CheckDir parses every non-test .go file in one directory (no
+// recursion) and runs the analyzer over each.
+func CheckDir(dir string) ([]Finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, CheckFile(fset, file)...)
+	}
+	return findings, nil
+}
+
+// CheckPatterns expands go-style package patterns relative to root —
+// "./..." recurses, a plain path names one directory — and runs the
+// analyzer over every matched directory, skipping testdata, vendor,
+// and hidden trees. Findings come back sorted by position.
+func CheckPatterns(root string, patterns []string) ([]Finding, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		base, recurse := strings.CutSuffix(pat, "...")
+		base = filepath.Join(root, strings.TrimSuffix(base, "/"))
+		if !recurse {
+			dirs[base] = true
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".")) {
+				return fs.SkipDir
+			}
+			dirs[path] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var findings []Finding
+	for dir := range dirs {
+		fs, err := CheckDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}

@@ -1,0 +1,183 @@
+package lint_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"provmark/internal/lint"
+)
+
+// check parses one source snippet and runs the analyzer.
+func check(t *testing.T, src string) []lint.Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lint.CheckFile(fset, file)
+}
+
+func TestCredlogFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string // flagged identifiers, in order; empty = clean
+	}{
+		{
+			name: "slog package call with raw token",
+			src: `package p
+import "log/slog"
+func f(authToken string) { slog.Info("starting", "token", authToken) }`,
+			want: []string{"authToken"},
+		},
+		{
+			name: "attr constructor leaks too",
+			src: `package p
+import "log/slog"
+func f(bearerToken string) []slog.Attr { return []slog.Attr{slog.String("h", bearerToken)} }`,
+			want: []string{"bearerToken"},
+		},
+		{
+			name: "logger method with header selector",
+			src: `package p
+import "net/http"
+type logger struct{}
+func (logger) LogAttrs(args ...any) {}
+func f(l logger, r *http.Request) { l.LogAttrs("hdr", r.Header.Get("X"), r.AuthSecret) }`,
+			want: []string{"AuthSecret"},
+		},
+		{
+			name: "log package printf with password",
+			src: `package p
+import "log"
+func f(password string) { log.Printf("login %s", password) }`,
+			want: []string{"password"},
+		},
+		{
+			name: "comparison is the sanctioned enabled-flag idiom",
+			src: `package p
+import "log/slog"
+func f(authToken *string) { slog.Info("ready", slog.Bool("auth", *authToken != "")) }`,
+		},
+		{
+			name: "sanitizer wrappers are exempt",
+			src: `package p
+import "log/slog"
+func hashToken(s string) string { return s }
+func f(apiKey string) { slog.Info("ready", "digest", hashToken(apiKey), "n", len(apiKey)) }`,
+		},
+		{
+			name: "derived-name prefixes are exempt",
+			src: `package p
+import "log/slog"
+func f(redactedToken string) { slog.Info("ready", "token", redactedToken) }`,
+		},
+		{
+			name: "other packages are not sinks",
+			src: `package p
+import "fmt"
+func f(secret string) error { fmt.Println(secret); return fmt.Errorf("bad %s", secret) }`,
+		},
+		{
+			name: "non-logging method names are not sinks",
+			src: `package p
+func f(c interface{ SetAuthToken(string) }, token string) { c.SetAuthToken(token) }`,
+		},
+		{
+			name: "renamed slog import still a sink",
+			src: `package p
+import l "log/slog"
+func f(clientSecret string) { l.Warn("cfg", "s", clientSecret) }`,
+			want: []string{"clientSecret"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			findings := check(t, tc.src)
+			var got []string
+			for _, f := range findings {
+				got = append(got, f.Ident)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("findings = %v, want idents %v", findings, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("finding %d = %q, want %q", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestCredlogFindingString(t *testing.T) {
+	findings := check(t, `package p
+import "log/slog"
+func f(authToken string) { slog.Info("x", "t", authToken) }`)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v", findings)
+	}
+	s := findings[0].String()
+	for _, want := range []string{"src.go:3:", `"authToken"`, "slog.Info", "[credlog]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("finding %q lacks %q", s, want)
+		}
+	}
+}
+
+// TestCheckPatternsSkipsTests builds a throwaway tree: violations in
+// regular files are reported sorted, while _test.go files and testdata
+// directories stay invisible.
+func TestCheckPatternsSkipsTests(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const bad = `package p
+import "log/slog"
+func f(authToken string) { slog.Info("x", "t", authToken) }`
+	write("a/leak.go", bad)
+	write("a/leak_test.go", bad)
+	write("a/testdata/fixture.go", bad)
+	write("b/clean.go", "package q\n")
+	findings, err := lint.CheckPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.HasSuffix(findings[0].Pos.Filename, filepath.Join("a", "leak.go")) {
+		t.Fatalf("findings = %v, want exactly the non-test file", findings)
+	}
+	// A plain (non-recursive) pattern checks just that directory.
+	findings, err = lint.CheckPatterns(root, []string{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("clean dir findings = %v", findings)
+	}
+}
+
+// TestRepoIsCredlogClean is the tree gate: the analyzer over the whole
+// repository must report nothing. cmd/provmarkd's slog.Bool("auth",
+// *authToken != "") is the sanctioned pattern this pins.
+func TestRepoIsCredlogClean(t *testing.T) {
+	findings, err := lint.CheckPatterns("../..", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

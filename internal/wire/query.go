@@ -31,7 +31,10 @@ type QueryRequest struct {
 // QueryResponse carries the deterministic, sorted, deduplicated
 // bindings of the goal atom. Matches always equals len(Bindings);
 // Derived counts the facts the rule program derived on top of the
-// graph's base facts.
+// graph's base facts. Diagnostics carries the static analyzer's
+// findings for the submitted program: on a 422 rejection at least one
+// has severity "error" and Matches is 0 (nothing was evaluated); on a
+// 200 success they are warnings riding along with the answer.
 type QueryResponse struct {
 	Schema   int                 `json:"schema"`
 	Cell     string              `json:"cell"`
@@ -39,6 +42,65 @@ type QueryResponse struct {
 	Matches  int                 `json:"matches"`
 	Bindings []map[string]string `json:"bindings,omitempty"`
 	Derived  int64               `json:"derived"`
+	// Diagnostics are ordered by source position (line, then column).
+	Diagnostics []QueryDiagnostic `json:"diagnostics,omitempty"`
+}
+
+// Diagnostic severities on the wire.
+const (
+	DiagWarning = "warning"
+	DiagError   = "error"
+)
+
+// QueryDiagnostic is one static-analysis finding about the submitted
+// rule program, positioned in the request's Rules text (1-based line
+// and byte columns; a zero line means the finding is program-level,
+// e.g. about the goal).
+type QueryDiagnostic struct {
+	Severity string `json:"severity"`
+	Code     string `json:"code"`
+	Message  string `json:"message"`
+	Pred     string `json:"pred,omitempty"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	EndCol   int    `json:"end_col,omitempty"`
+}
+
+func (d *QueryDiagnostic) validate() error {
+	if d.Severity != DiagWarning && d.Severity != DiagError {
+		return fmt.Errorf("diagnostic severity %q (want %q or %q)", d.Severity, DiagWarning, DiagError)
+	}
+	if d.Code == "" || d.Message == "" {
+		return fmt.Errorf("diagnostic needs a code and a message")
+	}
+	return nil
+}
+
+// hasErrorDiagnostic reports whether any diagnostic is an error.
+func (q *QueryResponse) hasErrorDiagnostic() bool {
+	for i := range q.Diagnostics {
+		if q.Diagnostics[i].Severity == DiagError {
+			return true
+		}
+	}
+	return false
+}
+
+func (q *QueryResponse) validate() error {
+	if q.Matches != len(q.Bindings) {
+		return fmt.Errorf("matches %d != %d bindings", q.Matches, len(q.Bindings))
+	}
+	for i := range q.Diagnostics {
+		if err := q.Diagnostics[i].validate(); err != nil {
+			return err
+		}
+	}
+	// A rejected program was never evaluated: error diagnostics and
+	// evaluation results are mutually exclusive.
+	if q.hasErrorDiagnostic() && (q.Matches != 0 || q.Derived != 0) {
+		return fmt.Errorf("error diagnostics with evaluation results (matches %d, derived %d)", q.Matches, q.Derived)
+	}
+	return nil
 }
 
 // EncodeQueryRequest renders the canonical JSON encoding of a query
@@ -108,8 +170,8 @@ func EncodeQueryResponse(q *QueryResponse) ([]byte, error) {
 	if err := stampSchema(&v.Schema); err != nil {
 		return nil, fmt.Errorf("wire: encode query response: %w", err)
 	}
-	if v.Matches != len(v.Bindings) {
-		return nil, fmt.Errorf("wire: encode query response: matches %d != %d bindings", v.Matches, len(v.Bindings))
+	if err := v.validate(); err != nil {
+		return nil, fmt.Errorf("wire: encode query response: %w", err)
 	}
 	return json.Marshal(&v)
 }
@@ -123,8 +185,8 @@ func DecodeQueryResponse(data []byte) (*QueryResponse, error) {
 	if q.Schema != SchemaVersion {
 		return nil, fmt.Errorf("wire: decode query response: unsupported schema version %d (want %d)", q.Schema, SchemaVersion)
 	}
-	if q.Matches != len(q.Bindings) {
-		return nil, fmt.Errorf("wire: decode query response: matches %d != %d bindings", q.Matches, len(q.Bindings))
+	if err := q.validate(); err != nil {
+		return nil, fmt.Errorf("wire: decode query response: %w", err)
 	}
 	if len(q.Bindings) == 0 {
 		q.Bindings = nil

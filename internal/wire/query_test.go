@@ -120,3 +120,56 @@ func TestQueryResponseInvariants(t *testing.T) {
 		t.Errorf("empty bindings not normalized: %+v", got.Bindings)
 	}
 }
+
+func TestQueryResponseDiagnostics(t *testing.T) {
+	q := &QueryResponse{
+		Cell: "c", Goal: "g(X)",
+		Diagnostics: []QueryDiagnostic{
+			{Severity: DiagError, Code: "arity-mismatch", Message: "boom", Pred: "p", Line: 2, Col: 5, EndCol: 9},
+			{Severity: DiagWarning, Code: "cartesian-product", Message: "cross"},
+		},
+	}
+	data, err := EncodeQueryResponse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeQueryResponse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Diagnostics) != 2 || got.Diagnostics[0].Severity != DiagError ||
+		got.Diagnostics[0].Line != 2 || got.Diagnostics[1].Code != "cartesian-product" {
+		t.Errorf("round trip = %+v", got.Diagnostics)
+	}
+	data2, err := EncodeQueryResponse(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Errorf("encoding not canonical: %s vs %s", data, data2)
+	}
+
+	// Unknown severities and empty codes are rejected both ways.
+	bad := &QueryResponse{Cell: "c", Goal: "g",
+		Diagnostics: []QueryDiagnostic{{Severity: "fatal", Code: "x", Message: "m"}}}
+	if _, err := EncodeQueryResponse(bad); err == nil {
+		t.Error("encode accepted unknown severity")
+	}
+	if _, err := DecodeQueryResponse([]byte(`{"schema":1,"cell":"c","goal":"g","matches":0,"derived":0,"diagnostics":[{"severity":"error","code":"","message":"m"}]}`)); err == nil {
+		t.Error("decode accepted empty diagnostic code")
+	}
+	// Error diagnostics are mutually exclusive with evaluation results.
+	rejectedWithResults := &QueryResponse{Cell: "c", Goal: "g", Matches: 1,
+		Bindings:    []map[string]string{{"X": "a"}},
+		Diagnostics: []QueryDiagnostic{{Severity: DiagError, Code: "parse-error", Message: "m"}}}
+	if _, err := EncodeQueryResponse(rejectedWithResults); err == nil {
+		t.Error("encode accepted error diagnostics alongside bindings")
+	}
+	// Warnings ride along with results fine.
+	warned := &QueryResponse{Cell: "c", Goal: "g", Matches: 1, Derived: 3,
+		Bindings:    []map[string]string{{"X": "a"}},
+		Diagnostics: []QueryDiagnostic{{Severity: DiagWarning, Code: "unused-predicate", Message: "m"}}}
+	if _, err := EncodeQueryResponse(warned); err != nil {
+		t.Errorf("warnings alongside results rejected: %v", err)
+	}
+}
