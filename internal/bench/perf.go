@@ -28,8 +28,8 @@ import (
 // PerfSchema versions the snapshot document.
 const PerfSchema = "provmark/bench-snapshot/v1"
 
-// perfID numbers the snapshot artifact (BENCH_8.json).
-const perfID = 8
+// perfID numbers the snapshot artifact (BENCH_9.json).
+const perfID = 9
 
 // PerfResult is one workload's measurement.
 type PerfResult struct {
@@ -55,24 +55,55 @@ type PerfSnapshot struct {
 // workloads are deterministic, so these are exact measurements, not
 // estimates; Gate fails when a counter exceeds baseline*factor.
 var perfBaselines = map[string]map[string]int64{
-	"datalog/ancestry/seminaive-flat": {"join_probes": 15600},
-	"datalog/ancestry/seminaive-deep": {"join_probes": 4002},
-	"datalog/ancestry/naive-flat":     {"join_probes": 44032000},
-	"datalog/goal-ancestry/unoptimized": {"join_probes": 180105},
-	"datalog/goal-ancestry/optimized":   {"join_probes": 807},
-	"classify/similarity/asym-32x4":   {"fingerprints": 32, "solver_invocations": 0},
-	"classify/similarity/sym-32x4":    {"fingerprints": 32, "solver_invocations": 28},
+	// The interned engine's probe discipline (round barriers, no
+	// mid-round bleed between rules) counts slightly fewer probes than
+	// the retired string engine did for the same joins; the parallel
+	// run must match the sequential run exactly at any width.
+	"datalog/ancestry/seminaive-flat":   {"join_probes": 12000},
+	"datalog/ancestry/interned-par":     {"join_probes": 12000},
+	"datalog/ancestry/seminaive-deep":   {"join_probes": 4000},
+	"datalog/ancestry/naive-flat":       {"join_probes": 44032000},
+	"datalog/goal-ancestry/unoptimized": {"join_probes": 176003},
+	"datalog/goal-ancestry/optimized":   {"join_probes": 804},
+	"classify/similarity/asym-32x4":     {"fingerprints": 32, "solver_invocations": 0},
+	"classify/similarity/sym-32x4":      {"fingerprints": 32, "solver_invocations": 28},
+	"graph/wl-refine/legacy":            {"refinements": 100, "color_classes": 256},
+	"graph/wl-refine/interned":          {"fingerprints": 100, "distinct_fingerprints": 100},
+}
+
+// perfAllocCeilings caps allocs_op for the allocation-focused
+// workloads: unlike the counters these are hard budgets, not
+// factor-scaled baselines, because the whole point of the interned
+// paths is that they stay off the allocator.
+var perfAllocCeilings = map[string]uint64{
+	// 100 cache-missing fingerprints measure ~360 allocations total
+	// (the fingerprint string, the cached colour slab, and first-graph
+	// workspace sizing); the legacy refinement spends ~833k on the same
+	// corpus. The budget leaves room for pool churn under GC pressure
+	// while still gating three orders of magnitude below legacy.
+	"graph/wl-refine/interned": 5_000,
+	// The deep chain measures ~26k allocations (dominated by loading
+	// the 2001-node graph, not by evaluation).
+	"datalog/ancestry/seminaive-deep": 60_000,
 }
 
 // RunPerf executes every workload once and assembles the snapshot.
 func RunPerf() (*PerfSnapshot, error) {
 	snap := &PerfSnapshot{Schema: PerfSchema, ID: perfID}
+	// The WL corpus is built up front so the measured allocations of the
+	// wl-refine workloads belong to the refinements, not graph assembly.
+	wlGraphs := wlPerfCorpus(100, 256, 512, 9)
 	workloads := []struct {
 		name string
 		work func() (map[string]int64, error)
 	}{
 		{"datalog/ancestry/seminaive-flat", func() (map[string]int64, error) {
 			return ancestryWorkload(400, 5, 400*15, (*datalog.Database).Run)
+		}},
+		{"datalog/ancestry/interned-par", func() (map[string]int64, error) {
+			return ancestryWorkload(400, 5, 400*15, func(db *datalog.Database, rules []datalog.Rule) error {
+				return db.RunParallel(rules, 3)
+			})
 		}},
 		{"datalog/ancestry/seminaive-deep", deepAncestryWorkload},
 		{"datalog/ancestry/naive-flat", func() (map[string]int64, error) {
@@ -89,6 +120,12 @@ func RunPerf() (*PerfSnapshot, error) {
 		}},
 		{"classify/similarity/sym-32x4", func() (map[string]int64, error) {
 			return classifyWorkload(symPerfCorpus(32, 4, 4))
+		}},
+		{"graph/wl-refine/legacy", func() (map[string]int64, error) {
+			return wlLegacyWorkload(wlGraphs)
+		}},
+		{"graph/wl-refine/interned", func() (map[string]int64, error) {
+			return wlInternedWorkload(wlGraphs)
 		}},
 	}
 	for _, w := range workloads {
@@ -124,6 +161,16 @@ func (s *PerfSnapshot) Gate(factor float64) error {
 				return fmt.Errorf("bench: perf gate: %s %s = %d exceeds %.1fx baseline %d",
 					name, counter, got, factor, base)
 			}
+		}
+	}
+	for name, ceiling := range perfAllocCeilings {
+		r, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("bench: perf gate: workload %s missing from snapshot", name)
+		}
+		if r.AllocsOp > ceiling {
+			return fmt.Errorf("bench: perf gate: %s allocs_op = %d exceeds budget %d",
+				name, r.AllocsOp, ceiling)
 		}
 	}
 	return nil
@@ -277,6 +324,72 @@ func goalAncestryWorkload(optimize bool) (map[string]int64, error) {
 		return nil, fmt.Errorf("reach facts = %d, want 401", got)
 	}
 	return map[string]int64{"join_probes": db.Stats().JoinProbes}, nil
+}
+
+// wlPerfCorpus builds `count` seeded random provenance-shaped graphs
+// for the WL refinement workloads. The graphs are distinct, so the
+// interned workload's fingerprints should all differ.
+func wlPerfCorpus(count, nodes, edges int, seed int64) []*graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	labels := []string{"Process", "File", "Socket", "Pipe", "User", "Registry"}
+	edgeLabels := []string{"Used", "WasGeneratedBy", "WasInformedBy", "WasAssociatedWith"}
+	out := make([]*graph.Graph, 0, count)
+	for c := 0; c < count; c++ {
+		g := graph.New()
+		ids := make([]graph.ElemID, 0, nodes)
+		for n := 0; n < nodes; n++ {
+			ids = append(ids, g.AddNode(labels[rng.Intn(len(labels))], nil))
+		}
+		for e := 0; e < edges; e++ {
+			src := ids[rng.Intn(len(ids))]
+			tgt := ids[rng.Intn(len(ids))]
+			if _, err := g.AddEdge(src, tgt, edgeLabels[rng.Intn(len(edgeLabels))], nil); err != nil {
+				panic(err) // cannot happen: both endpoints exist
+			}
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// wlLegacyWorkload refines every corpus graph once with the frozen
+// string-based WL implementation — the allocation reference the
+// interned workload is compared against.
+func wlLegacyWorkload(graphs []*graph.Graph) (map[string]int64, error) {
+	classes := map[string]struct{}{}
+	for _, g := range graphs {
+		colors := graph.WLColorsLegacy(g, graph.CanonRounds)
+		for k := range classes {
+			delete(classes, k)
+		}
+		for _, c := range colors {
+			classes[c] = struct{}{}
+		}
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("empty refinement")
+	}
+	return map[string]int64{
+		"refinements":   int64(len(graphs)),
+		"color_classes": int64(len(classes)),
+	}, nil
+}
+
+// wlInternedWorkload fingerprints every corpus graph once through the
+// pooled integer refinement. The cache-missing fingerprint path is the
+// allocation-gated hot path: past the first graph (which sizes the
+// pooled workspace) each refinement is allocation-free, so the whole
+// workload's allocs_op stays within a fixed budget.
+func wlInternedWorkload(graphs []*graph.Graph) (map[string]int64, error) {
+	start := graph.FingerprintComputations()
+	distinct := map[string]struct{}{}
+	for _, g := range graphs {
+		distinct[graph.ShapeFingerprint(g)] = struct{}{}
+	}
+	return map[string]int64{
+		"fingerprints":          int64(graph.FingerprintComputations() - start),
+		"distinct_fingerprints": int64(len(distinct)),
+	}, nil
 }
 
 // classifyWorkload runs similarity classification over a corpus and

@@ -55,6 +55,21 @@ func TestPerfSnapshot(t *testing.T) {
 	if opt <= 0 || unopt < opt*5 {
 		t.Errorf("goal-ancestry probes: unoptimized %d vs optimized %d — optimizer reduction below 5x", unopt, opt)
 	}
+	// The parallel engine's exactness claim, on the artifact itself:
+	// the width-3 ancestry run counts precisely the sequential run's
+	// join probes.
+	seqProbes := byName["datalog/ancestry/seminaive-flat"].Counters["join_probes"]
+	parProbes := byName["datalog/ancestry/interned-par"].Counters["join_probes"]
+	if seqProbes <= 0 || seqProbes != parProbes {
+		t.Errorf("ancestry probe parity: sequential %d vs parallel %d", seqProbes, parProbes)
+	}
+	// The WL rewrite's allocation claim: the interned workload must sit
+	// at least two orders of magnitude under the legacy refinement.
+	legacyAllocs := byName["graph/wl-refine/legacy"].AllocsOp
+	internedAllocs := byName["graph/wl-refine/interned"].AllocsOp
+	if internedAllocs*100 > legacyAllocs {
+		t.Errorf("wl-refine allocs: interned %d vs legacy %d — drop below 100x", internedAllocs, legacyAllocs)
+	}
 	if err := snap.Gate(0.5); err == nil {
 		t.Error("gate(0.5) passed — the gate compares nothing")
 	}

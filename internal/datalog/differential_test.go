@@ -143,31 +143,99 @@ func genProgram(rng *rand.Rand) ([]Rule, []Fact) {
 }
 
 // TestDifferentialSemiNaiveVsNaive is the acceptance gate of the
-// engine rewrite: on >= 100 randomized programs, both engines must
-// either fail identically or derive byte-identical sorted fact sets.
+// engine rewrites: on the randomized corpus, the full engine lineup —
+// interned sequential (Run at width 1), interned parallel
+// (RunParallel at width 3), the frozen string engine (RunStrings) and
+// the frozen naive oracle (RunNaive) — must either fail identically or
+// derive byte-identical sorted fact sets. The two interned variants
+// must additionally agree on every evaluation counter, the exactness
+// guarantee of the round-barrier design.
 func TestDifferentialSemiNaiveVsNaive(t *testing.T) {
+	engines := []struct {
+		name string
+		eval func(*Database, []Rule) error
+	}{
+		{"interned-seq", func(db *Database, rules []Rule) error { return db.RunParallel(rules, 1) }},
+		{"interned-par", func(db *Database, rules []Rule) error { return db.RunParallel(rules, 3) }},
+		{"strings", (*Database).RunStrings},
+		{"naive", (*Database).RunNaive},
+	}
 	rng := rand.New(rand.NewSource(20260728))
 	for p := 0; p < diffPrograms; p++ {
 		rules, facts := genProgram(rng)
 		name := fmt.Sprintf("program-%03d", p)
-		semi, naive := NewDatabase(), NewDatabase()
-		for _, f := range facts {
-			semi.Assert(f)
-			naive.Assert(f)
+		dbs := make([]*Database, len(engines))
+		errs := make([]error, len(engines))
+		for i, eng := range engines {
+			dbs[i] = NewDatabase()
+			for _, f := range facts {
+				dbs[i].Assert(f)
+			}
+			errs[i] = eng.eval(dbs[i], rules)
 		}
-		errSemi := semi.Run(rules)
-		errNaive := naive.RunNaive(rules)
-		if (errSemi == nil) != (errNaive == nil) {
-			t.Fatalf("%s: engines disagree on acceptance: semi=%v naive=%v\nprogram:\n%s",
-				name, errSemi, errNaive, renderProgram(rules, facts))
+		for i := 1; i < len(engines); i++ {
+			if (errs[0] == nil) != (errs[i] == nil) {
+				t.Fatalf("%s: engines disagree on acceptance: %s=%v %s=%v\nprogram:\n%s",
+					name, engines[0].name, errs[0], engines[i].name, errs[i], renderProgram(rules, facts))
+			}
 		}
-		if errSemi != nil {
+		if errs[0] != nil {
 			continue
 		}
-		got, want := dumpFacts(semi), dumpFacts(naive)
-		if got != want {
-			t.Fatalf("%s: fact sets differ\nsemi-naive:\n%s\nnaive:\n%s\nprogram:\n%s",
-				name, got, want, renderProgram(rules, facts))
+		want := dumpFacts(dbs[0])
+		for i := 1; i < len(engines); i++ {
+			if got := dumpFacts(dbs[i]); got != want {
+				t.Fatalf("%s: fact sets differ\n%s:\n%s\n%s:\n%s\nprogram:\n%s",
+					name, engines[0].name, want, engines[i].name, got, renderProgram(rules, facts))
+			}
+		}
+		if seq, par := dbs[0].Stats(), dbs[1].Stats(); seq != par {
+			t.Fatalf("%s: interned counters diverge across widths: seq=%+v par=%+v\nprogram:\n%s",
+				name, seq, par, renderProgram(rules, facts))
+		}
+	}
+}
+
+// TestDifferentialMixedArityFallback pins the mixed-arity escape
+// hatch: predicates asserted (or derived) at more than one arity push
+// their strata onto the string engine, and every engine still agrees.
+func TestDifferentialMixedArityFallback(t *testing.T) {
+	programs := []string{
+		// p asserted at arity 1 and 2 before evaluation.
+		"q(X) :- p(X).\nr(X, Y) :- p(X, Y).",
+		// Rules themselves derive p at two arities.
+		"p(X) :- b(X).\np(X, X) :- b(X).\nq(Y) :- p(Y, Y).",
+		// Mixed-arity predicate under negation.
+		"q(X) :- b(X), not p(X).",
+	}
+	baseFacts := []Fact{
+		{Pred: "p", Args: []string{"a"}},
+		{Pred: "p", Args: []string{"a", "b"}},
+		{Pred: "b", Args: []string{"a"}},
+		{Pred: "b", Args: []string{"c"}},
+	}
+	for i, text := range programs {
+		rules, err := ParseRules(text)
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		run := func(eval func(*Database, []Rule) error) (*Database, error) {
+			db := NewDatabase()
+			for _, f := range baseFacts {
+				db.Assert(f)
+			}
+			return db, eval(db, rules)
+		}
+		interned, errI := run((*Database).Run)
+		str, errS := run((*Database).RunStrings)
+		if (errI == nil) != (errS == nil) {
+			t.Fatalf("program %d: acceptance differs: interned=%v strings=%v", i, errI, errS)
+		}
+		if errI != nil {
+			continue
+		}
+		if got, want := dumpFacts(interned), dumpFacts(str); got != want {
+			t.Errorf("program %d: fact sets differ\ninterned:\n%s\nstrings:\n%s", i, got, want)
 		}
 	}
 }

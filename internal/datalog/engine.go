@@ -1,7 +1,8 @@
 package datalog
 
-// The production evaluation engine: a semi-naive, stratified fixpoint
-// over per-predicate bound-position indexes.
+// The string-tuple semi-naive engine: a stratified fixpoint over
+// per-predicate bound-position indexes, operating on Fact values and
+// map[string]string bindings.
 //
 //   - Stratum ordering. Rules are grouped by the stratum of their head
 //     predicate (Ullman's algorithm over the predicate dependency
@@ -19,10 +20,17 @@ package datalog
 //     scanning the predicate's full extent. Indexes are built on first
 //     probe and extended lazily as facts arrive.
 //
+// This engine is no longer the production path: Run (interned.go)
+// evaluates the same language over interned uint32 columns with
+// round-barrier parallel delta joins, and the differential corpus
+// proves the two derive byte-identical fact sets. RunStrings stays as
+// the frozen mid-fidelity reference between Run and the naive oracle
+// (naive.go), and as the fallback for mixed-arity predicates the
+// columnar layout cannot hold.
+//
 // Every candidate fact an evaluation examines — an index bucket entry
 // or a full-scan element — counts one JoinProbe, which is how the
-// asymptotic win over the frozen naive reference (naive.go) is
-// measured.
+// asymptotic win over the frozen naive reference is measured.
 
 import (
 	"fmt"
@@ -60,18 +68,20 @@ type predIndex struct {
 // indexFor returns the (lazily built, incrementally extended) index of
 // pred keyed by the given argument positions.
 func (db *Database) indexFor(pred string, positions []int) *predIndex {
-	sig := positionSig(positions)
-	byPred := db.idx[pred]
-	if byPred == nil {
-		byPred = map[string]*predIndex{}
-		db.idx[pred] = byPred
+	rel := db.rels[pred]
+	if rel == nil {
+		return &predIndex{positions: positions, m: map[string][]int{}}
 	}
-	ix := byPred[sig]
+	sig := positionSig(positions)
+	if rel.strIdx == nil {
+		rel.strIdx = map[string]*predIndex{}
+	}
+	ix := rel.strIdx[sig]
 	if ix == nil {
 		ix = &predIndex{positions: positions, m: map[string][]int{}}
-		byPred[sig] = ix
+		rel.strIdx[sig] = ix
 	}
-	facts := db.facts[pred]
+	facts := rel.strings(db)
 	for ; ix.built < len(facts); ix.built++ {
 		f := facts[ix.built]
 		if len(ix.positions) > 0 && ix.positions[len(ix.positions)-1] >= len(f.Args) {
@@ -123,7 +133,7 @@ func boundPositions(a Atom, b binding) (positions []int, values []string) {
 // the database, probing a bound-position index when any argument is
 // bound and scanning the predicate's extent otherwise.
 func (db *Database) joinPositive(a Atom, b binding, out []binding) []binding {
-	facts := db.facts[a.Pred]
+	facts := db.stringFacts(a.Pred)
 	positions, values := boundPositions(a, b)
 	if len(positions) == 0 {
 		db.stats.JoinProbes += int64(len(facts))
@@ -149,7 +159,7 @@ func (db *Database) joinPositive(a Atom, b binding, out []binding) []binding {
 // wildcards) negated atom under the binding.
 func (db *Database) negHolds(a Atom, b binding) bool {
 	pos := Atom{Pred: a.Pred, Terms: a.Terms}
-	facts := db.facts[a.Pred]
+	facts := db.stringFacts(a.Pred)
 	positions, values := boundPositions(pos, b)
 	if len(positions) == 0 {
 		for i := range facts {
@@ -171,14 +181,13 @@ func (db *Database) negHolds(a Atom, b binding) bool {
 	return false
 }
 
-// Run evaluates the rules over the database to a fixed point using
-// stratified semi-naive evaluation. Negation as failure is supported
-// over base predicates and over derived predicates from strictly lower
-// strata (finalized before the negation is evaluated); programs with
-// recursion through negation are rejected, as are unsafe rules
-// (wildcards or unbound variables in heads, unbound variables under
-// negation).
-func (db *Database) Run(rules []Rule) error {
+// RunStrings evaluates the rules with the original string-tuple
+// semi-naive engine this package used before the interned columnar
+// rewrite. It accepts exactly the same programs as Run and derives
+// byte-identical fact sets (the differential corpus proves it); it is
+// kept as a frozen reference point between Run and RunNaive, and as
+// the evaluation path for strata touching mixed-arity predicates.
+func (db *Database) RunStrings(rules []Rule) error {
 	if err := checkRules(rules); err != nil {
 		return err
 	}

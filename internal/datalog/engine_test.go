@@ -240,8 +240,8 @@ func TestAncestryProbeReduction(t *testing.T) {
 // differential tests diff.
 func dumpFacts(db *Database) string {
 	var lines []string
-	for _, facts := range db.facts {
-		for _, f := range facts {
+	for _, pred := range db.Predicates() {
+		for _, f := range db.stringFacts(pred) {
 			lines = append(lines, f.String())
 		}
 	}

@@ -2,6 +2,23 @@ package datalog
 
 import "testing"
 
+// fuzzBaseFacts ground the fuzzed rules: every predicate the seed
+// corpus mentions gets a few facts, so accepted rules actually derive
+// something and engine divergence has material to surface in.
+var fuzzBaseFacts = []Fact{
+	{Pred: "edge", Args: []string{"e1", "n1", "n2", "wasInformedBy"}},
+	{Pred: "edge", Args: []string{"e2", "n2", "n3", "used"}},
+	{Pred: "edge", Args: []string{"e3", "n3", "n1", "used"}},
+	{Pred: "node", Args: []string{"n1", "Process"}},
+	{Pred: "node", Args: []string{"n2", "Process"}},
+	{Pred: "node", Args: []string{"n3", "Entity"}},
+	{Pred: "prop", Args: []string{"n1", "uid", "0"}},
+	{Pred: "prop", Args: []string{"n2", "uid", "1000"}},
+	{Pred: "q", Args: []string{"n1"}},
+	{Pred: "q", Args: []string{"bare"}},
+	{Pred: "reach", Args: []string{"n1", "n2"}},
+}
+
 // FuzzParseRule fuzzes the rule parser for the canonical-form
 // round-trip invariant: any input ParseRule accepts must render
 // (String) to a form that re-parses to the identical rendering —
@@ -35,6 +52,51 @@ func FuzzParseRule(f *testing.F) {
 		}
 		if again := r2.String(); again != rendered {
 			t.Fatalf("rendering is not a fixed point\ninput: %q\nfirst: %q\nsecond: %q", input, rendered, again)
+		}
+		// Cross-engine invariant: every accepted rule, evaluated over a
+		// small fixed fact base, must behave identically on the interned
+		// sequential, interned parallel and frozen string engines —
+		// acceptance, derived fact set and (across interned widths)
+		// evaluation counters. The naive oracle only speaks the
+		// semipositive fragment, so it is compared when it accepts.
+		if len(r.Body) > 6 {
+			return // keep cross products over the fact base bounded
+		}
+		rules := []Rule{r}
+		run := func(eval func(*Database, []Rule) error) (*Database, error) {
+			db := NewDatabase()
+			for _, f := range fuzzBaseFacts {
+				db.Assert(f)
+			}
+			return db, eval(db, rules)
+		}
+		seqDB, errSeq := run(func(db *Database, rs []Rule) error { return db.RunParallel(rs, 1) })
+		parDB, errPar := run(func(db *Database, rs []Rule) error { return db.RunParallel(rs, 3) })
+		strDB, errStr := run((*Database).RunStrings)
+		naiveDB, errNaive := run((*Database).RunNaive)
+		if (errSeq == nil) != (errPar == nil) || (errSeq == nil) != (errStr == nil) {
+			t.Fatalf("engines disagree on acceptance of %q: seq=%v par=%v strings=%v", rendered, errSeq, errPar, errStr)
+		}
+		if errSeq != nil {
+			if errNaive == nil {
+				t.Fatalf("naive accepts rule the stratified engines reject: %q (stratified err: %v)", rendered, errSeq)
+			}
+			return
+		}
+		want := dumpFacts(seqDB)
+		if got := dumpFacts(parDB); got != want {
+			t.Fatalf("parallel fact set differs for %q\nseq:\n%s\npar:\n%s", rendered, want, got)
+		}
+		if got := dumpFacts(strDB); got != want {
+			t.Fatalf("string-engine fact set differs for %q\nseq:\n%s\nstrings:\n%s", rendered, want, got)
+		}
+		if errNaive == nil {
+			if got := dumpFacts(naiveDB); got != want {
+				t.Fatalf("naive fact set differs for %q\nseq:\n%s\nnaive:\n%s", rendered, want, got)
+			}
+		}
+		if seq, par := seqDB.Stats(), parDB.Stats(); seq != par {
+			t.Fatalf("interned counters diverge across widths for %q: seq=%+v par=%+v", rendered, seq, par)
 		}
 	})
 }

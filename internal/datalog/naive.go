@@ -40,7 +40,7 @@ func (db *Database) RunNaive(rules []Rule) error {
 							}
 						}
 						matched := false
-						for _, f := range db.facts[atom.Pred] {
+						for _, f := range db.stringFacts(atom.Pred) {
 							db.stats.JoinProbes++
 							if _, ok := unify(Atom{Pred: atom.Pred, Terms: atom.Terms}, f, b); ok {
 								matched = true
@@ -57,9 +57,10 @@ func (db *Database) RunNaive(rules []Rule) error {
 					}
 					continue
 				}
-				db.stats.JoinProbes += int64(len(db.facts[atom.Pred])) * int64(len(bindings))
+				facts := db.stringFacts(atom.Pred)
+				db.stats.JoinProbes += int64(len(facts)) * int64(len(bindings))
 				for _, b := range bindings {
-					for _, f := range db.facts[atom.Pred] {
+					for _, f := range facts {
 						if nb, ok := unify(atom, f, b); ok {
 							next = append(next, nb)
 						}

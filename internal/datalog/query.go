@@ -115,47 +115,299 @@ func (f Fact) String() string {
 	return f.Pred + "(" + strings.Join(quoted, ",") + ")."
 }
 
-func (f Fact) key() string {
-	return f.Pred + "\x00" + strings.Join(f.Args, "\x00")
+// relation is the columnar store of one predicate's facts: every
+// constant is interned into the database's symbol table and each
+// argument position lives in its own dense []uint32 column, so the
+// interned engine joins integers, never strings. The string-facing
+// surfaces (Facts, the frozen string engines, Query formatting)
+// materialize Fact values lazily from the columns through the symbol
+// table, extending a per-relation watermark cache — columns are
+// append-only, so the cache never invalidates.
+//
+// Predicates asserted with more than one arity (legal, if exotic)
+// flip the relation into mixed mode: a plain []Fact list that the
+// string engines evaluate as before, while the interned engine falls
+// back to the string path for any stratum touching it.
+type relation struct {
+	pred  string
+	arity int
+	cols  [][]uint32 // one column per argument position; nil when mixed
+	rows  int
+	// htab dedups regular relations without per-fact allocation: an
+	// open-addressing table of row indices whose keys ARE the column
+	// values (compare-on-probe), grown at 3/4 load. Mixed relations
+	// fall back to dedup, a packed-tuple map (tuple byte length encodes
+	// arity, so arities cannot collide).
+	htab  []int32
+	dedup map[string]struct{}
+	// strFacts lazily mirrors the columns as Fact values; in mixed mode
+	// it is the authoritative (and complete) fact list.
+	strFacts []Fact
+	mixed    bool
+	// listed records whether the predicate has entered db.preds — it
+	// does on the first stored row, not on relation creation, so
+	// pre-created head relations that never derive stay invisible.
+	listed bool
+	// strIdx holds the string engines' bound-position indexes, intIdx
+	// the interned engine's integer-keyed ones; both build on first
+	// probe and extend lazily as rows arrive.
+	strIdx map[string]*predIndex
+	intIdx map[string]*intIndex
 }
 
-// Database holds base and derived facts indexed by predicate, plus the
-// bound-position join indexes the semi-naive engine probes.
+// Database holds base and derived facts, interned and stored columnar
+// per predicate, plus the bound-position join indexes the engines
+// probe.
 type Database struct {
-	facts map[string][]Fact // pred -> tuples, assertion order
-	seen  map[string]bool
-	// idx maps pred -> bound-position signature -> index. Indexes are
-	// built on first probe and extended lazily as facts arrive, so
-	// asserting never pays for signatures nobody joins on.
-	idx   map[string]map[string]*predIndex
+	syms  []string          // id -> constant
+	symID map[string]uint32 // constant -> id
+	rels  map[string]*relation
+	preds []string // predicates in first-assert order
 	stats EvalStats
+	// workers is the Run worker-pool width; 0 selects automatically.
+	workers int
+	keyBuf  []byte      // scratch for packed dedup/index keys
+	tupBuf  []uint32    // scratch for interned tuples
+	ws      *iWorkspace // sequential evaluation scratch, reused across runs
 }
 
 // NewDatabase creates an empty fact database.
 func NewDatabase() *Database {
 	return &Database{
-		facts: map[string][]Fact{},
-		seen:  map[string]bool{},
-		idx:   map[string]map[string]*predIndex{},
+		symID: map[string]uint32{},
+		rels:  map[string]*relation{},
 	}
+}
+
+// intern returns the dense id of a constant, assigning the next id on
+// first sight. The id->string direction is a plain slice lookup, so
+// rendering bindings and materializing facts never re-hash.
+func (db *Database) intern(s string) uint32 {
+	if id, ok := db.symID[s]; ok {
+		return id
+	}
+	id := uint32(len(db.syms))
+	db.syms = append(db.syms, s)
+	db.symID[s] = id
+	return id
+}
+
+// packTuple appends the 4-byte little-endian encoding of each value —
+// the canonical map key for dedup and integer indexes.
+func packTuple(buf []byte, vals []uint32) []byte {
+	for _, v := range vals {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return buf
 }
 
 // Assert adds a fact if not already present; it reports whether the
 // fact was new.
 func (db *Database) Assert(f Fact) bool {
-	k := f.key()
-	if db.seen[k] {
+	rel := db.getRel(f.Pred, len(f.Args))
+	db.tupBuf = db.tupBuf[:0]
+	for _, a := range f.Args {
+		db.tupBuf = append(db.tupBuf, db.intern(a))
+	}
+	if !rel.mixed && len(f.Args) != rel.arity {
+		rel.toMixed(db)
+	}
+	if rel.mixed {
+		db.keyBuf = packTuple(db.keyBuf[:0], db.tupBuf)
+		if _, dup := rel.dedup[string(db.keyBuf)]; dup {
+			return false
+		}
+		rel.dedup[string(db.keyBuf)] = struct{}{}
+		rel.strFacts = append(rel.strFacts, Fact{Pred: f.Pred, Args: append([]string(nil), f.Args...)})
+		rel.rows++
+		db.list(rel)
+		return true
+	}
+	return db.assertInterned(rel, db.tupBuf)
+}
+
+// getRel returns the predicate's relation, creating an empty (and
+// unlisted) columnar one of the given arity when absent.
+func (db *Database) getRel(pred string, arity int) *relation {
+	rel := db.rels[pred]
+	if rel == nil {
+		rel = &relation{
+			pred:  pred,
+			arity: arity,
+			cols:  make([][]uint32, arity),
+		}
+		db.rels[pred] = rel
+	}
+	return rel
+}
+
+// list enters the predicate into first-assert order on its first row.
+func (db *Database) list(rel *relation) {
+	if !rel.listed && rel.rows > 0 {
+		rel.listed = true
+		db.preds = append(db.preds, rel.pred)
+	}
+}
+
+// assertInterned is Assert for an already-interned tuple — the
+// interned engine's merge path, which never touches strings. The
+// relation must be regular (non-mixed) with matching arity; the
+// engine's compiler guarantees both.
+func (db *Database) assertInterned(rel *relation, tuple []uint32) bool {
+	if !rel.insertTuple(tuple) {
 		return false
 	}
-	db.seen[k] = true
-	db.facts[f.Pred] = append(db.facts[f.Pred], f)
+	for i, v := range tuple {
+		rel.cols[i] = append(rel.cols[i], v)
+	}
+	rel.rows++
+	db.list(rel)
 	return true
+}
+
+// hashTuple mixes an interned tuple into the open-addressing hash —
+// splitmix64-style finalizers over each value, seeded by the arity.
+func hashTuple(vals []uint32) uint64 {
+	h := uint64(len(vals))*0x9e3779b97f4a7c15 + 0x85ebca6b
+	for _, v := range vals {
+		x := uint64(v) * 0xbf58476d1ce4e5b9
+		x ^= x >> 31
+		h = (h ^ x) * 0x94d049bb133111eb
+	}
+	return h ^ h>>29
+}
+
+// insertTuple claims the tuple's slot in the dedup table, recording
+// the next row index; it reports false when an equal row exists. The
+// caller must append the tuple to the columns immediately after a true
+// return, as the claimed slot already points at that row.
+func (rel *relation) insertTuple(tuple []uint32) bool {
+	if rel.rows*4 >= len(rel.htab)*3 {
+		rel.grow()
+	}
+	mask := uint64(len(rel.htab) - 1)
+	slot := hashTuple(tuple) & mask
+	for {
+		ri := rel.htab[slot]
+		if ri < 0 {
+			rel.htab[slot] = int32(rel.rows)
+			return true
+		}
+		if rel.rowEq(int(ri), tuple) {
+			return false
+		}
+		slot = (slot + 1) & mask
+	}
+}
+
+// rowEq compares a stored row against an interned tuple.
+func (rel *relation) rowEq(row int, tuple []uint32) bool {
+	for i, v := range tuple {
+		if rel.cols[i][row] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// grow doubles (or seeds) the dedup table and rehashes every row.
+func (rel *relation) grow() {
+	n := 2 * len(rel.htab)
+	if n < 16 {
+		n = 16
+	}
+	rel.htab = make([]int32, n)
+	for i := range rel.htab {
+		rel.htab[i] = -1
+	}
+	mask := uint64(n - 1)
+	tuple := make([]uint32, rel.arity)
+	for r := 0; r < rel.rows; r++ {
+		for i := range tuple {
+			tuple[i] = rel.cols[i][r]
+		}
+		slot := hashTuple(tuple) & mask
+		for rel.htab[slot] >= 0 {
+			slot = (slot + 1) & mask
+		}
+		rel.htab[slot] = int32(r)
+	}
+}
+
+// toMixed converts a columnar relation to a plain fact list after a
+// mixed-arity assert; the interned engine refuses mixed relations and
+// evaluates such strata through the string path instead.
+func (rel *relation) toMixed(db *Database) {
+	rel.strings(db) // materialize every row first
+	rel.dedup = make(map[string]struct{}, rel.rows)
+	tuple := make([]uint32, rel.arity)
+	for r := 0; r < rel.rows; r++ {
+		for i := range tuple {
+			tuple[i] = rel.cols[i][r]
+		}
+		rel.dedup[string(packTuple(nil, tuple))] = struct{}{}
+	}
+	rel.mixed = true
+	rel.cols = nil
+	rel.htab = nil
+	rel.intIdx = nil
+}
+
+// strings materializes (and caches) the relation's facts as string
+// tuples; in mixed mode the cache is the store itself.
+func (rel *relation) strings(db *Database) []Fact {
+	if rel.mixed {
+		return rel.strFacts
+	}
+	for r := len(rel.strFacts); r < rel.rows; r++ {
+		args := make([]string, rel.arity)
+		for i := range args {
+			args[i] = db.syms[rel.cols[i][r]]
+		}
+		rel.strFacts = append(rel.strFacts, Fact{Pred: rel.pred, Args: args})
+	}
+	return rel.strFacts
+}
+
+// stringFacts returns a predicate's facts as string tuples in
+// assertion order — the view the frozen string engines and the query
+// formatter share. The returned slice is the cache; callers must not
+// mutate it.
+func (db *Database) stringFacts(pred string) []Fact {
+	rel := db.rels[pred]
+	if rel == nil {
+		return nil
+	}
+	return rel.strings(db)
 }
 
 // Facts returns the tuples of a predicate in assertion order.
 func (db *Database) Facts(pred string) []Fact {
-	return append([]Fact(nil), db.facts[pred]...)
+	return append([]Fact(nil), db.stringFacts(pred)...)
 }
+
+// Predicates returns every predicate with at least one fact, in
+// first-assert order.
+func (db *Database) Predicates() []string {
+	return append([]string(nil), db.preds...)
+}
+
+// NumFacts reports the number of facts stored for a predicate without
+// materializing them.
+func (db *Database) NumFacts(pred string) int {
+	rel := db.rels[pred]
+	if rel == nil {
+		return 0
+	}
+	return rel.rows
+}
+
+// SetParallelism fixes the worker-pool width Run uses for per-stratum
+// delta joins: 1 forces sequential evaluation, 0 (the default) picks
+// min(GOMAXPROCS, 8). Counters and derived-fact order are identical
+// at every width — parallel rounds merge per-worker buffers in a
+// deterministic task order at each round barrier.
+func (db *Database) SetParallelism(n int) { db.workers = n }
 
 // LoadGraph asserts a property graph as base facts under the standard
 // predicates node/2 (id, label), edge/4 (id, src, tgt, label) and

@@ -1,11 +1,7 @@
 package graph
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
-	"sort"
-	"strings"
 	"sync/atomic"
 )
 
@@ -48,70 +44,60 @@ func (g *Graph) Fingerprint() string {
 }
 
 // ensureCanonLocked fills the canonical cache; callers hold canon.mu.
+// The refinement runs on the pooled integer engine (wl.go); only the
+// fingerprint string and a copy of the colour slab outlive the
+// workspace, so a (cache-missing) fingerprint computation costs a
+// handful of allocations, and a cache hit costs none.
 func (g *Graph) ensureCanonLocked() {
 	if g.canon.valid {
 		return
 	}
-	colors := wlColors(g, CanonRounds)
-	items := make([]string, 0, g.NumNodes()+g.NumEdges())
-	for _, n := range g.Nodes() {
-		items = append(items, "N:"+colors[n.ID])
-	}
-	for _, e := range g.Edges() {
-		items = append(items, "E:"+colors[e.Src]+"|"+e.Label+"|"+colors[e.Tgt])
-	}
-	sort.Strings(items)
-	sum := sha256.Sum256([]byte(strings.Join(items, "\n")))
-	g.canon.fp = hex.EncodeToString(sum[:8])
-	g.canon.colors = colors
+	ws := wlGet()
+	colors := wlRefine(g, CanonRounds, ws)
+	g.canon.fp = wlFingerprint(g, colors, ws)
+	g.canon.colors64 = append(g.canon.colors64[:0], colors...)
+	g.canon.colors = nil
 	g.canon.valid = true
+	wlPut(ws)
 	fingerprintComputes.Add(1)
 }
 
-// wlColors runs `rounds` of Weisfeiler–Leman colour refinement over the
-// node set, seeding each node with its label. The returned map assigns a
-// colour string to every node id. Each round visits only the edges
-// incident to a node via the graph's adjacency index.
-func wlColors(g *Graph, rounds int) map[ElemID]string {
-	colors := make(map[ElemID]string, g.NumNodes())
-	for _, n := range g.Nodes() {
-		colors[n.ID] = n.Label
-	}
-	for r := 0; r < rounds; r++ {
-		next := make(map[ElemID]string, len(colors))
-		for _, n := range g.Nodes() {
-			in := make([]string, 0, len(g.inAdj[n.ID]))
-			for _, eid := range g.inAdj[n.ID] {
-				e := g.edges[eid]
-				in = append(in, e.Label+"<"+colors[e.Src])
-			}
-			out := make([]string, 0, len(g.outAdj[n.ID]))
-			for _, eid := range g.outAdj[n.ID] {
-				e := g.edges[eid]
-				out = append(out, e.Label+">"+colors[e.Tgt])
-			}
-			sort.Strings(in)
-			sort.Strings(out)
-			raw := colors[n.ID] + "#" + strings.Join(in, ",") + "#" + strings.Join(out, ",")
-			sum := sha256.Sum256([]byte(raw))
-			next[n.ID] = hex.EncodeToString(sum[:6])
+// renderColors exposes integer colours under the exported string API:
+// 16 hex digits per colour, fixed width so colour strings sort like
+// the integers they render.
+func renderColors(g *Graph, colors []uint64) map[ElemID]string {
+	out := make(map[ElemID]string, len(g.nodeIDs))
+	for i, id := range g.nodeIDs {
+		var b [16]byte
+		c := colors[i]
+		for j := 15; j >= 0; j-- {
+			b[j] = "0123456789abcdef"[c&0xf]
+			c >>= 4
 		}
-		colors = next
+		out[id] = string(b[:])
 	}
-	return colors
+	return out
 }
 
 // WLColors exposes the refinement used by ShapeFingerprint so that
 // matching engines can prune candidate pairs: nodes mapped to each other
 // by any label-preserving isomorphism necessarily share a WL colour. At
-// the canonical depth the colours come from the graph's memoized cache;
-// the returned map is a copy the caller may retain.
+// the canonical depth the colours come from the graph's memoized cache
+// (rendered to strings on first request); the returned map is a copy
+// the caller may retain.
 func WLColors(g *Graph, rounds int) map[ElemID]string {
 	if rounds != CanonRounds {
-		return wlColors(g, rounds)
+		ws := wlGet()
+		colors := wlRefine(g, rounds, ws)
+		out := renderColors(g, colors)
+		wlPut(ws)
+		return out
 	}
 	g.canon.mu.Lock()
 	g.ensureCanonLocked()
+	if g.canon.colors == nil {
+		g.canon.colors = renderColors(g, g.canon.colors64)
+	}
 	cached := g.canon.colors
 	g.canon.mu.Unlock()
 	out := make(map[ElemID]string, len(cached))

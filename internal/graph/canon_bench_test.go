@@ -7,16 +7,26 @@ import (
 )
 
 // BenchmarkWLColors measures one full refinement (the fingerprint's
-// inner loop) at increasing graph sizes. The adjacency-indexed
-// implementation visits only incident edges per node per round; the
-// seed implementation rescanned the entire edge list for every node.
+// inner loop) at increasing graph sizes, under both the frozen
+// string-based implementation and the pooled integer engine that
+// replaced it. The interned variant reports ~zero allocations per
+// refinement once the pool is warm.
 func BenchmarkWLColors(b *testing.B) {
 	for _, size := range []int{16, 64, 256, 1024} {
 		rng := rand.New(rand.NewSource(int64(size)))
 		g := randomGraph(rng, size, 2*size)
-		b.Run(fmt.Sprintf("n%d", size), func(b *testing.B) {
+		b.Run(fmt.Sprintf("legacy/n%d", size), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				wlColors(g, 3)
+				wlColorsLegacy(g, 3)
+			}
+		})
+		b.Run(fmt.Sprintf("interned/n%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ws := wlGet()
+				wlRefine(g, 3, ws)
+				wlPut(ws)
 			}
 		})
 	}

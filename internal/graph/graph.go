@@ -65,10 +65,14 @@ type Graph struct {
 // directly through pointers returned by Node/Nodes bypasses the cache;
 // all in-tree code mutates labels only before first fingerprint use.
 type canonCache struct {
-	mu     sync.Mutex
-	valid  bool
-	fp     string
-	colors map[ElemID]string
+	mu    sync.Mutex
+	valid bool
+	fp    string
+	// colors64 holds the canonical-depth colours indexed by node
+	// insertion order; colors is the string rendering, produced lazily
+	// on the first WLColors request at canonical depth.
+	colors64 []uint64
+	colors   map[ElemID]string
 }
 
 // New returns an empty property graph.
@@ -87,6 +91,7 @@ func (g *Graph) invalidateCanon() {
 	g.canon.mu.Lock()
 	g.canon.valid = false
 	g.canon.fp = ""
+	g.canon.colors64 = g.canon.colors64[:0]
 	g.canon.colors = nil
 	g.canon.mu.Unlock()
 }

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestWLPartitionEquivalence: the integer refinement must induce
+// exactly the colour partition the frozen string refinement induces —
+// two nodes share an interned colour iff they share a legacy colour.
+// This is the property the matching engines rely on (colour classes
+// prune candidate pairs), so it pins the rewrite to the reference
+// implementation without fixing the colour values themselves.
+func TestWLPartitionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	for trial := 0; trial < 30; trial++ {
+		nodes := 2 + rng.Intn(40)
+		g := randomGraph(rng, nodes, rng.Intn(3*nodes))
+		for rounds := 0; rounds <= 4; rounds++ {
+			legacy := wlColorsLegacy(g, rounds)
+			interned := WLColors(g, rounds)
+			if len(legacy) != len(interned) {
+				t.Fatalf("trial %d rounds %d: %d legacy colours vs %d interned", trial, rounds, len(legacy), len(interned))
+			}
+			// Equal partition: the (legacy, interned) pairing must be a
+			// bijection between colour classes.
+			l2i := map[string]string{}
+			i2l := map[string]string{}
+			for id, lc := range legacy {
+				ic := interned[id]
+				if prev, ok := l2i[lc]; ok && prev != ic {
+					t.Fatalf("trial %d rounds %d: legacy colour %s split across interned colours %s and %s", trial, rounds, lc, prev, ic)
+				}
+				if prev, ok := i2l[ic]; ok && prev != lc {
+					t.Fatalf("trial %d rounds %d: interned colour %s merges legacy colours %s and %s", trial, rounds, ic, prev, lc)
+				}
+				l2i[lc] = ic
+				i2l[ic] = lc
+			}
+		}
+	}
+}
+
+// TestWLColorsProcessStable: colours are pure arithmetic over labels
+// and structure, so rebuilding the same graph must reproduce them
+// exactly — the regression store sorts Normalize output by these
+// colours across process boundaries.
+func TestWLColorsProcessStable(t *testing.T) {
+	build := func() *Graph {
+		rng := rand.New(rand.NewSource(7))
+		return randomGraph(rng, 20, 35)
+	}
+	a, b := WLColors(build(), CanonRounds), WLColors(build(), CanonRounds)
+	if len(a) != len(b) {
+		t.Fatalf("colour counts differ: %d vs %d", len(a), len(b))
+	}
+	for id, c := range a {
+		if b[id] != c {
+			t.Errorf("colour of %s differs across identical builds: %s vs %s", id, c, b[id])
+		}
+	}
+}
+
+// TestMemoizedFingerprintAllocFree: after the first computation,
+// serving the fingerprint and the canonical colours from the cache
+// must not allocate — the pipeline fingerprints every trial graph many
+// times and the cache hit is its hottest path.
+func TestMemoizedFingerprintAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, 64, 128)
+	want := ShapeFingerprint(g)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if got := g.Fingerprint(); got != want {
+			t.Fatalf("fingerprint changed: %s vs %s", got, want)
+		}
+	}); allocs != 0 {
+		t.Errorf("memoized Fingerprint allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestWLRefineWarmAllocFree: a full refinement with a warm pooled
+// workspace performs zero heap allocations, so even cache-missing
+// fingerprints stay off the allocator's hot path.
+func TestWLRefineWarmAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := randomGraph(rng, 64, 128)
+	ws := wlGet()
+	wlRefine(g, CanonRounds, ws) // warm the workspace for this size
+	if allocs := testing.AllocsPerRun(100, func() {
+		wlRefine(g, CanonRounds, ws)
+	}); allocs != 0 {
+		t.Errorf("warm wlRefine allocates %.1f objects/op, want 0", allocs)
+	}
+	wlPut(ws)
+}
+
+// TestFingerprintMatchesLegacyPartitionOnClasses: graphs the legacy
+// refinement separates must stay separated, and isomorphic renamings
+// must stay fused — spot-checked over a small corpus of structural
+// variants.
+func TestFingerprintMatchesLegacyPartitionOnClasses(t *testing.T) {
+	mk := func(mutate func(g *Graph)) *Graph {
+		g := New()
+		a := g.AddNode("P", nil)
+		b := g.AddNode("F", nil)
+		c := g.AddNode("S", nil)
+		if _, err := g.AddEdge(a, b, "Used", nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.AddEdge(b, c, "WasGeneratedBy", nil); err != nil {
+			t.Fatal(err)
+		}
+		if mutate != nil {
+			mutate(g)
+		}
+		return g
+	}
+	base := mk(nil)
+	same := mk(nil)
+	if ShapeFingerprint(base) != ShapeFingerprint(same) {
+		t.Error("identical graphs fingerprint differently")
+	}
+	variants := []func(*Graph){
+		func(g *Graph) { g.AddNode("P", nil) },
+		func(g *Graph) { g.Node("n2").Label = "X"; g.invalidateCanon() },
+		func(g *Graph) {
+			if _, err := g.AddEdge("n3", "n1", "Used", nil); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for i, mutate := range variants {
+		v := mk(mutate)
+		if ShapeFingerprint(base) == ShapeFingerprint(v) {
+			t.Errorf("variant %d fingerprints equal to base %s", i, fmt.Sprint(ShapeFingerprint(base)))
+		}
+	}
+}
