@@ -34,7 +34,7 @@ import (
 func BenchmarkTable2Validation(b *testing.B) {
 	s := bench.NewSuite(true)
 	for i := 0; i < b.N; i++ {
-		res, err := s.RunTable2()
+		res, err := s.RunTable2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -49,7 +49,7 @@ func BenchmarkTable2Validation(b *testing.B) {
 func BenchmarkTable3ExampleGraphs(b *testing.B) {
 	s := bench.NewSuite(true)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.RunTable3(); err != nil {
+		if _, err := s.RunTable3(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -60,7 +60,7 @@ func BenchmarkTable3ExampleGraphs(b *testing.B) {
 func BenchmarkFig1Rename(b *testing.B) {
 	s := bench.NewSuite(true)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.RunFig1(); err != nil {
+		if _, err := s.RunFig1(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -70,7 +70,7 @@ func timingBenchmark(b *testing.B, tool string, fast bool) {
 	b.Helper()
 	s := bench.NewSuite(fast)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.RunTiming(tool); err != nil {
+		if _, err := s.RunTiming(context.Background(), tool); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -92,7 +92,7 @@ func scaleBenchmark(b *testing.B, tool string, fast bool) {
 	b.Helper()
 	s := bench.NewSuite(fast)
 	for i := 0; i < b.N; i++ {
-		if _, err := s.RunScalability(tool); err != nil {
+		if _, err := s.RunScalability(context.Background(), tool); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -173,7 +173,7 @@ func BenchmarkAblationMatcherDirect(b *testing.B) {
 // #minimize objective costs.
 func BenchmarkAblationCostMinimization(b *testing.B) {
 	s := bench.NewSuite(true)
-	res, err := s.Run("camflow", "rename")
+	res, err := s.Run(context.Background(), "camflow", "rename")
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -5,21 +5,25 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"provmark/internal/bench"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	only := fs.String("run", "", "run a single experiment (table1..4, fig1, fig5..10, failures, spc)")
 	fast := fs.Bool("fast", false, "use cheap storage costs (distorts OPUS timing shapes)")
@@ -39,7 +43,7 @@ func run(args []string) error {
 			return nil
 		}},
 		{"fig1", func() error {
-			f, err := suite.RunFig1()
+			f, err := suite.RunFig1(ctx)
 			if err != nil {
 				return err
 			}
@@ -47,7 +51,7 @@ func run(args []string) error {
 			return nil
 		}},
 		{"table2", func() error {
-			t, err := suite.RunTable2()
+			t, err := suite.RunTable2(ctx)
 			if err != nil {
 				return err
 			}
@@ -55,21 +59,21 @@ func run(args []string) error {
 			return nil
 		}},
 		{"table3", func() error {
-			t, err := suite.RunTable3()
+			t, err := suite.RunTable3(ctx)
 			if err != nil {
 				return err
 			}
 			fmt.Println(bench.RenderTable3(t))
 			return nil
 		}},
-		{"fig5", timingExp(suite, "spade", "Figure 5. Timing results: SPADE+Graphviz")},
-		{"fig6", timingExp(suite, "opus", "Figure 6. Timing results: OPUS+Neo4j")},
-		{"fig7", timingExp(suite, "camflow", "Figure 7. Timing results: CamFlow+ProvJSON")},
-		{"fig8", scaleExp(suite, "spade", "Figure 8. Scalability results: SPADE+Graphviz")},
-		{"fig9", scaleExp(suite, "opus", "Figure 9. Scalability results: OPUS+Neo4j")},
-		{"fig10", scaleExp(suite, "camflow", "Figure 10. Scalability results: CamFlow+ProvJSON")},
+		{"fig5", timingExp(ctx, suite, "spade", "Figure 5. Timing results: SPADE+Graphviz")},
+		{"fig6", timingExp(ctx, suite, "opus", "Figure 6. Timing results: OPUS+Neo4j")},
+		{"fig7", timingExp(ctx, suite, "camflow", "Figure 7. Timing results: CamFlow+ProvJSON")},
+		{"fig8", scaleExp(ctx, suite, "spade", "Figure 8. Scalability results: SPADE+Graphviz")},
+		{"fig9", scaleExp(ctx, suite, "opus", "Figure 9. Scalability results: OPUS+Neo4j")},
+		{"fig10", scaleExp(ctx, suite, "camflow", "Figure 10. Scalability results: CamFlow+ProvJSON")},
 		{"failures", func() error {
-			res, err := suite.RunFailureMatrix()
+			res, err := suite.RunFailureMatrix(ctx)
 			if err != nil {
 				return err
 			}
@@ -77,7 +81,7 @@ func run(args []string) error {
 			return nil
 		}},
 		{"spc", func() error {
-			res, err := suite.RunSpcColumn()
+			res, err := suite.RunSpcColumn(ctx)
 			if err != nil {
 				return err
 			}
@@ -110,9 +114,9 @@ func run(args []string) error {
 	return nil
 }
 
-func timingExp(suite *bench.Suite, tool, title string) func() error {
+func timingExp(ctx context.Context, suite *bench.Suite, tool, title string) func() error {
 	return func() error {
-		rows, err := suite.RunTiming(tool)
+		rows, err := suite.RunTiming(ctx, tool)
 		if err != nil {
 			return err
 		}
@@ -121,9 +125,9 @@ func timingExp(suite *bench.Suite, tool, title string) func() error {
 	}
 }
 
-func scaleExp(suite *bench.Suite, tool, title string) func() error {
+func scaleExp(ctx context.Context, suite *bench.Suite, tool, title string) func() error {
 	return func() error {
-		rows, err := suite.RunScalability(tool)
+		rows, err := suite.RunScalability(ctx, tool)
 		if err != nil {
 			return err
 		}

@@ -19,12 +19,12 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"provmark/internal/analysis/report"
 	"provmark/internal/datalog"
 	"provmark/internal/datalog/analyze"
 )
@@ -63,9 +63,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		opts.Goal = &goal
 	}
-	enc := json.NewEncoder(stdout)
+	var w *report.Writer
 	if *format == "ndjson" {
-		if err := enc.Encode(header{Schema: ReportSchema, Kind: "header", Files: len(files)}); err != nil {
+		var err error
+		if w, err = report.NewWriter(stdout, ReportSchema, len(files)); err != nil {
 			fmt.Fprintln(stderr, "provmark-dlint:", err)
 			return 2
 		}
@@ -85,7 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprint(stdout, analyze.Render(path, diags))
 		case "ndjson":
 			for _, d := range diags {
-				if err := enc.Encode(record{Kind: "diagnostic", File: path, Diagnostic: d}); err != nil {
+				if err := w.Diagnostic(path, d); err != nil {
 					fmt.Fprintln(stderr, "provmark-dlint:", err)
 					return 2
 				}
@@ -93,7 +94,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *format == "ndjson" {
-		if err := enc.Encode(summary{Kind: "summary", Files: len(files), Errors: totalErrors, Warnings: totalWarnings}); err != nil {
+		if err := w.Close(); err != nil {
 			fmt.Fprintln(stderr, "provmark-dlint:", err)
 			return 2
 		}
@@ -104,26 +105,4 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
-}
-
-// header is the first NDJSON record.
-type header struct {
-	Schema string `json:"schema"`
-	Kind   string `json:"kind"`
-	Files  int    `json:"files"`
-}
-
-// record carries one diagnostic with its file.
-type record struct {
-	Kind string `json:"kind"`
-	File string `json:"file"`
-	analyze.Diagnostic
-}
-
-// summary is the final NDJSON record.
-type summary struct {
-	Kind     string `json:"kind"`
-	Files    int    `json:"files"`
-	Errors   int    `json:"errors"`
-	Warnings int    `json:"warnings"`
 }

@@ -109,7 +109,11 @@ func TestNDJSONStream(t *testing.T) {
 	if kinds[0] != "header" || kinds[len(kinds)-1] != "summary" {
 		t.Errorf("stream shape: %v", kinds)
 	}
-	var sum summary
+	var sum struct {
+		Files    int `json:"files"`
+		Errors   int `json:"errors"`
+		Warnings int `json:"warnings"`
+	}
 	if err := json.Unmarshal([]byte(lastLine), &sum); err != nil {
 		t.Fatal(err)
 	}

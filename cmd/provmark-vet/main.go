@@ -1,17 +1,28 @@
-// Command provmark-vet runs the repo's own static checks (internal/
-// lint) over Go package patterns — currently the credlog analyzer,
-// which flags slog/log calls that reference raw credential-named
-// identifiers (bearer tokens, Authorization headers, secrets).
+// Command provmark-vet is the repo's project-invariant multichecker:
+// it runs the internal/analysis suite — determinism,
+// contextdiscipline, mworder, goroutineleak, poolsafety, credlog —
+// over Go package patterns, proving at vet time the invariants PRs
+// 1–9 could only enforce at runtime (canonical encoding, context-first
+// APIs, middleware class order, joinable goroutines, pool discipline,
+// credential-safe logging).
 //
 // Usage:
 //
+//	provmark-vet [-root dir] [-format human|ndjson] [-Werror] [-<analyzer>=false ...] [patterns...]
 //	provmark-vet ./...
-//	provmark-vet ./internal/httpmw ./internal/jobs
+//	provmark-vet -mworder=false ./internal/httpmw ./internal/jobs
 //
-// Findings print one per line in vet form; the exit status is 1 when
-// anything is flagged, 2 on usage or I/O errors, 0 on a clean tree.
-// CI runs it over ./... so a credential can never quietly reach a log
-// line.
+// Every analyzer is on by default and has a boolean disable flag.
+// Human output is one conventional compiler line per finding
+// ("file:line:col: severity: message [code]"); ndjson emits the
+// shared report framing (schema provmark/vet-report/v1, same
+// header/diagnostic/summary stream as provmark-dlint). Deliberate
+// exceptions are suppressed in source with a checked
+// `//provmark:allow <code>` directive.
+//
+// Exit status: 0 clean, 1 findings (errors, or warnings under
+// -Werror), 2 usage or I/O failure. Packages that fail to parse or
+// type-check are load-error findings, not crashes.
 package main
 
 import (
@@ -20,8 +31,12 @@ import (
 	"io"
 	"os"
 
-	"provmark/internal/lint"
+	"provmark/internal/analysis"
+	"provmark/internal/analysis/report"
 )
+
+// ReportSchema versions the NDJSON report stream.
+const ReportSchema = "provmark/vet-report/v1"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -31,23 +46,67 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("provmark-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	root := fs.String("root", ".", "directory the package patterns resolve against")
+	format := fs.String("format", "human", "output format: human or ndjson")
+	werror := fs.Bool("Werror", false, "treat warnings as errors (exit 1 on any finding)")
+	enabled := map[string]*bool{}
+	for _, a := range analysis.All() {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+a.Doc)
+	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *format != "human" && *format != "ndjson" {
+		fmt.Fprintf(stderr, "provmark-vet: unknown format %q\n", *format)
+		return 2
+	}
+	var analyzers []*analysis.Analyzer
+	for _, a := range analysis.All() {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	findings, err := lint.CheckPatterns(*root, patterns)
+	pkgs, err := analysis.Load(*root, patterns)
 	if err != nil {
 		fmt.Fprintln(stderr, "provmark-vet:", err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	files := 0
+	for _, pkg := range pkgs {
+		files += len(pkg.Files)
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(stderr, "provmark-vet: %d finding(s)\n", len(findings))
+	diags := analysis.Run(pkgs, analyzers)
+	errors, warnings := analysis.Count(diags)
+	switch *format {
+	case "human":
+		if _, err := io.WriteString(stdout, analysis.Render(diags)); err != nil {
+			fmt.Fprintln(stderr, "provmark-vet:", err)
+			return 2
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(stderr, "provmark-vet: %d error(s), %d warning(s) in %d file(s)\n", errors, warnings, files)
+		}
+	case "ndjson":
+		w, err := report.NewWriter(stdout, ReportSchema, files)
+		if err == nil {
+			for _, d := range diags {
+				if err = w.Diagnostic(d.File, d); err != nil {
+					break
+				}
+			}
+		}
+		if err == nil {
+			err = w.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "provmark-vet:", err)
+			return 2
+		}
+	}
+	if errors > 0 || (*werror && warnings > 0) {
 		return 1
 	}
 	return 0

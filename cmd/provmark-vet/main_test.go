@@ -5,7 +5,20 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"provmark/internal/analysis/report"
 )
+
+// fixtures points at the analyzer fixture tree; the CLI tests drive
+// the same packages the golden tests verify analyzer-by-analyzer.
+const fixtures = "../../internal/analysis/testdata/src"
+
+func runVet(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
 
 func TestRunFindsLeak(t *testing.T) {
 	root := t.TempDir()
@@ -15,32 +28,104 @@ func f(authToken string) { slog.Info("x", "t", authToken) }`
 	if err := os.WriteFile(filepath.Join(root, "leak.go"), []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	var out, errOut strings.Builder
-	if code := run([]string{"-root", root, "./..."}, &out, &errOut); code != 1 {
-		t.Fatalf("exit = %d, stderr = %s", code, errOut.String())
+	code, stdout, stderr := runVet(t, "-root", root, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, stderr = %s", code, stderr)
 	}
-	if !strings.Contains(out.String(), "authToken") || !strings.Contains(out.String(), "[credlog]") {
-		t.Errorf("output = %q", out.String())
+	if !strings.Contains(stdout, "authToken") || !strings.Contains(stdout, "[credlog]") {
+		t.Errorf("output = %q", stdout)
 	}
-	if !strings.Contains(errOut.String(), "1 finding(s)") {
-		t.Errorf("stderr = %q", errOut.String())
+	if !strings.Contains(stderr, "1 error(s), 0 warning(s)") {
+		t.Errorf("stderr = %q", stderr)
+	}
+}
+
+func TestRunFixtureFindings(t *testing.T) {
+	code, stdout, _ := runVet(t, "-root", fixtures, "./contextdiscipline")
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, want := range []string{"[ctx-not-first]", "[ctx-in-struct]", "[ctx-background]"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output lacks %s:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestAnalyzerDisableFlag(t *testing.T) {
+	// With the owning analyzer off, the fixture's findings — and the
+	// staleness check on its allow directive — disappear.
+	code, stdout, stderr := runVet(t, "-root", fixtures, "-contextdiscipline=false", "./contextdiscipline")
+	if code != 0 || stdout != "" {
+		t.Errorf("exit = %d, output = %q, stderr = %q", code, stdout, stderr)
+	}
+}
+
+func TestWerrorPromotesWarnings(t *testing.T) {
+	// The determinism wire fixture yields warnings only.
+	if code, _, _ := runVet(t, "-root", fixtures, "./determinism/wire"); code != 0 {
+		t.Fatal("warnings alone must exit 0 without -Werror")
+	}
+	if code, _, _ := runVet(t, "-root", fixtures, "-Werror", "./determinism/wire"); code != 1 {
+		t.Error("-Werror must exit 1 on warnings")
+	}
+}
+
+func TestNDJSONStream(t *testing.T) {
+	code, stdout, stderr := runVet(t, "-root", fixtures, "-format", "ndjson", "./poolsafety")
+	if code != 1 {
+		t.Fatalf("exit = %d, stderr = %s", code, stderr)
+	}
+	rep, err := report.Read(strings.NewReader(stdout))
+	if err != nil {
+		t.Fatalf("stream does not validate: %v\n%s", err, stdout)
+	}
+	if rep.Schema != ReportSchema {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.Errors != 2 || rep.Warnings != 1 || len(rep.Records) != 3 {
+		t.Errorf("decoded %d errors, %d warnings, %d records", rep.Errors, rep.Warnings, len(rep.Records))
+	}
+	for _, rec := range rep.Records {
+		if !strings.Contains(rec.File, "poolsafety") {
+			t.Errorf("record file = %q", rec.File)
+		}
+	}
+}
+
+func TestLoadErrorIsDiagnosticNotCrash(t *testing.T) {
+	code, stdout, _ := runVet(t, "-root", fixtures, "./broken")
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(stdout, "[load-error]") || !strings.Contains(stdout, "undefinedIdentifier") {
+		t.Errorf("output = %q", stdout)
 	}
 }
 
 func TestRunCleanTree(t *testing.T) {
-	// The repository itself must vet clean — the same gate CI enforces.
-	var out, errOut strings.Builder
-	if code := run([]string{"-root", "../..", "./..."}, &out, &errOut); code != 0 {
-		t.Fatalf("exit = %d\n%s%s", code, out.String(), errOut.String())
+	if testing.Short() {
+		t.Skip("whole-repo scan in -short mode")
 	}
-	if out.String() != "" {
-		t.Errorf("clean tree printed %q", out.String())
+	// The repository itself must vet clean with every analyzer enabled
+	// and warnings promoted — the same gate CI enforces.
+	code, stdout, stderr := runVet(t, "-root", "../..", "-Werror", "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean tree printed %q", stdout)
 	}
 }
 
-func TestRunBadPath(t *testing.T) {
-	var out, errOut strings.Builder
-	if code := run([]string{"-root", "does-not-exist", "./..."}, &out, &errOut); code != 2 {
-		t.Fatalf("exit = %d", code)
+func TestUsageFailures(t *testing.T) {
+	if code, _, _ := runVet(t, "-root", "does-not-exist", "./..."); code != 2 {
+		t.Error("missing root must exit 2")
+	}
+	if code, _, _ := runVet(t, "-format", "xml", "./..."); code != 2 {
+		t.Error("bad format must exit 2")
+	}
+	if code, _, _ := runVet(t, "-no-such-flag"); code != 2 {
+		t.Error("unknown flag must exit 2")
 	}
 }

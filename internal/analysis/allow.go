@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression directive. The full syntax is
+//
+//	//provmark:allow <code>... [-- reason]
+//
+// A directive suppresses findings of the listed codes on its own line
+// (trailing-comment form) and on the line directly below (own-line
+// form). Codes are validated against the registered catalogue —
+// unknown codes are bad-allow errors — and a directive that matched
+// nothing is an unused-allow warning, so annotations cannot outlive
+// the exceptions they document.
+const allowPrefix = "//provmark:allow"
+
+// allowDirective is one parsed directive.
+type allowDirective struct {
+	file  string
+	line  int
+	col   int
+	codes []Code
+	// used flips when the directive suppresses at least one finding.
+	used bool
+}
+
+// collectAllows parses every allow directive in the package.
+func collectAllows(fset *token.FileSet, files []*ast.File) []*allowDirective {
+	var out []*allowDirective
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				// Everything after "--" is prose for the reader.
+				if i := strings.Index(text, "--"); i >= 0 {
+					text = text[:i]
+				}
+				pos := fset.Position(c.Slash)
+				d := &allowDirective{file: pos.Filename, line: pos.Line, col: pos.Column}
+				for _, word := range strings.Fields(text) {
+					d.codes = append(d.codes, Code(word))
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// covers reports whether the directive suppresses a finding of code
+// at (file, line): same line or the line directly below the comment.
+func (d *allowDirective) covers(file string, line int, code Code) bool {
+	if d.file != file || (line != d.line && line != d.line+1) {
+		return false
+	}
+	for _, c := range d.codes {
+		if c == code {
+			return true
+		}
+	}
+	return false
+}
+
+// filterAllowed drops findings covered by a directive, marking the
+// directives that earned their keep.
+func filterAllowed(diags []Diagnostic, allows []*allowDirective) []Diagnostic {
+	if len(allows) == 0 {
+		return diags
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, a := range allows {
+			if a.covers(d.File, d.Line, d.Code) {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// checkAllows validates directive hygiene: unknown codes are errors,
+// and a directive whose codes all belong to enabled analyzers yet
+// suppressed nothing is a stale exception. Directives naming codes of
+// disabled analyzers are exempt from the staleness check — with the
+// owning analyzer off, nothing could have matched.
+func checkAllows(allows []*allowDirective, enabled map[string]bool) []Diagnostic {
+	known := knownCodes()
+	owner := codeOwners()
+	var out []Diagnostic
+	for _, a := range allows {
+		diag := func(code Code, sev Severity, msg string) {
+			out = append(out, Diagnostic{
+				Severity: sev, Code: code, Message: msg,
+				File: a.file, Line: a.line, Col: a.col,
+			})
+		}
+		if len(a.codes) == 0 {
+			diag(CodeBadAllow, Error, "provmark:allow directive lists no codes")
+			continue
+		}
+		bad := false
+		allOwnersEnabled := true
+		for _, c := range a.codes {
+			if !known[c] {
+				diag(CodeBadAllow, Error, "provmark:allow names unknown code "+string(c))
+				bad = true
+				continue
+			}
+			if name, ok := owner[c]; ok && !enabled[name] {
+				allOwnersEnabled = false
+			}
+		}
+		if !bad && !a.used && allOwnersEnabled {
+			diag(CodeUnusedAllow, Warning, "provmark:allow suppresses nothing (codes "+joinCodes(a.codes)+")")
+		}
+	}
+	return out
+}
+
+// codeOwners maps each analyzer code to its analyzer name. Framework
+// codes have no owner and are always considered enabled.
+func codeOwners() map[Code]string {
+	m := map[Code]string{}
+	for _, a := range All() {
+		for _, c := range a.Codes {
+			m[c.Code] = a.Name
+		}
+	}
+	return m
+}
+
+func joinCodes(codes []Code) string {
+	parts := make([]string, len(codes))
+	for i, c := range codes {
+		parts[i] = string(c)
+	}
+	return strings.Join(parts, ", ")
+}

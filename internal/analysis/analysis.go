@@ -1,0 +1,348 @@
+// Package analysis is the repo's static-analysis framework for Go
+// source: a dependency-free multichecker (go/ast + go/types + the
+// source importer only, same hermetic-build constraint internal/lint
+// honored) that proves project invariants at vet time which PRs 1–9
+// could only enforce at runtime or by differential tests.
+//
+// The framework mirrors the shape of internal/datalog/analyze: every
+// finding is a positioned, structured Diagnostic with a Code from a
+// closed catalogue, severities are fixed per code, and the NDJSON
+// report (schema provmark/vet-report/v1, shared framing in
+// analysis/report) carries the same header/diagnostic/summary framing
+// as provmark-dlint.
+//
+// Analyzers are package-local passes over type-checked syntax. The
+// project suite (All) checks:
+//
+//   - determinism: map iteration feeding order-sensitive output in
+//     determinism-critical packages (wire, datalog, graph, jobs)
+//   - contextdiscipline: context.Context first-parameter placement,
+//     no context.Background()/TODO() outside main, no ctx in structs
+//   - mworder: httpmw.NewChain call sites validated against the
+//     middleware class order at vet time, not startup
+//   - goroutineleak: go closures with no visible lifecycle handle
+//   - poolsafety: sync.Pool Get/Put type mismatches and aliased-slice
+//     Puts
+//   - credlog: credential-named identifiers reaching log calls
+//     (migrated from the retired internal/lint package)
+//
+// Deliberate exceptions are annotated in source with a checked
+// directive:
+//
+//	//provmark:allow <code>... [-- reason]
+//
+// which suppresses findings of those codes on the directive's line
+// and the line below it. Directives are themselves verified: unknown
+// codes are bad-allow errors and directives that suppress nothing are
+// unused-allow warnings, so stale annotations cannot accumulate.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Severity ranks a diagnostic.
+type Severity int
+
+const (
+	// Warning marks a suspicious construct that may be legitimate;
+	// CI promotes warnings to failures with -Werror.
+	Warning Severity = iota
+	// Error marks a definite invariant violation.
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// MarshalJSON renders the severity as its name, the stable wire form.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON accepts the names MarshalJSON emits.
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "warning":
+		*s = Warning
+	case "error":
+		*s = Error
+	default:
+		return fmt.Errorf("analysis: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Code identifies a diagnostic class. Every analyzer declares its
+// codes up front; the union (plus the framework's own codes) is the
+// closed set the //provmark:allow directive validates against.
+type Code string
+
+// Framework-owned codes, reported by the loader and the directive
+// checker rather than by any one analyzer.
+const (
+	// CodeLoadError: a package failed to parse or type-check; the
+	// diagnostic carries the compiler error. Analyzers still run over
+	// whatever syntax survived, with partial type information.
+	CodeLoadError Code = "load-error"
+	// CodeBadAllow: a //provmark:allow directive names a code no
+	// registered analyzer (or the framework) owns.
+	CodeBadAllow Code = "bad-allow"
+	// CodeUnusedAllow: a //provmark:allow directive suppressed
+	// nothing — the exception it documents no longer exists.
+	CodeUnusedAllow Code = "unused-allow"
+)
+
+// CodeInfo documents one diagnostic class: its fixed severity and a
+// one-line summary (the source of the README catalogue table).
+type CodeInfo struct {
+	Code     Code
+	Severity Severity
+	Summary  string
+}
+
+// FrameworkCodes lists the codes the framework itself can emit.
+func FrameworkCodes() []CodeInfo {
+	return []CodeInfo{
+		{CodeLoadError, Error, "package failed to parse or type-check (analysis continues on partial syntax)"},
+		{CodeBadAllow, Error, "//provmark:allow directive names an unknown diagnostic code"},
+		{CodeUnusedAllow, Warning, "//provmark:allow directive suppresses nothing (stale exception)"},
+	}
+}
+
+// Diagnostic is one positioned finding over Go source.
+type Diagnostic struct {
+	Severity Severity `json:"severity"`
+	Code     Code     `json:"code"`
+	Message  string   `json:"message"`
+	// File is the path as loaded (relative to the vet root). In the
+	// NDJSON report it travels as the shared framing's "file" field,
+	// not inside the diagnostic payload.
+	File string `json:"-"`
+	// Line and Col are 1-based; zero means file-level.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+// Human renders the diagnostic in the conventional compiler shape:
+// "file:line:col: severity: message [code]".
+func (d Diagnostic) Human() string {
+	pos := d.File
+	if d.Line > 0 {
+		pos = fmt.Sprintf("%s:%d:%d", d.File, d.Line, d.Col)
+	}
+	return fmt.Sprintf("%s: %s: %s [%s]", pos, d.Severity, d.Message, d.Code)
+}
+
+// Render joins the human form of every diagnostic, one per line.
+func Render(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.Human())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Count tallies diagnostics by severity.
+func Count(diags []Diagnostic) (errors, warnings int) {
+	for _, d := range diags {
+		if d.Severity == Error {
+			errors++
+		} else {
+			warnings++
+		}
+	}
+	return errors, warnings
+}
+
+// HasErrors reports whether any diagnostic has Error severity.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzer is one named pass over a type-checked package.
+type Analyzer struct {
+	// Name is the analyzer's identifier — the CLI's per-analyzer
+	// enable flag and the catalogue key.
+	Name string
+	// Doc is the one-line description shown in flag help.
+	Doc string
+	// Codes is the closed set of diagnostic classes the analyzer can
+	// emit, with fixed severities.
+	Codes []CodeInfo
+	// Run inspects one package and reports through the pass.
+	Run func(*Pass)
+}
+
+// severityOf resolves a code's fixed severity from the declaration.
+func (a *Analyzer) severityOf(code Code) Severity {
+	for _, c := range a.Codes {
+		if c.Code == code {
+			return c.Severity
+		}
+	}
+	panic(fmt.Sprintf("analysis: analyzer %s reported undeclared code %q", a.Name, code))
+}
+
+// Pass carries one analyzer's view of one loaded package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package's parsed syntax, comments included.
+	Files []*ast.File
+	// Path is the package's import path ("provmark/internal/wire").
+	Path string
+	// PkgName is the declared package name ("main" gates several
+	// checks).
+	PkgName string
+	// Pkg is the type-checked package; may be partially complete when
+	// the package had load errors.
+	Pkg *types.Package
+	// Info holds the type-checker's expression and object facts.
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, code Code, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Severity: p.Analyzer.severityOf(code),
+		Code:     code,
+		Message:  fmt.Sprintf(format, args...),
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+	})
+}
+
+// TypeOf returns the type of an expression, or nil when the checker
+// recorded none (load errors leave holes analyzers must tolerate).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to its object (definition or use),
+// or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	if obj := p.Info.ObjectOf(id); obj != nil {
+		return obj
+	}
+	return nil
+}
+
+// All returns the project analyzer suite in catalogue order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		ContextDiscipline,
+		MWOrder,
+		GoroutineLeak,
+		PoolSafety,
+		CredLog,
+	}
+}
+
+// ByName resolves analyzers from All by name.
+func ByName(name string) (*Analyzer, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// knownCodes is the directive-validation set: every analyzer code
+// plus the framework's own.
+func knownCodes() map[Code]bool {
+	m := map[Code]bool{}
+	for _, a := range All() {
+		for _, c := range a.Codes {
+			m[c.Code] = true
+		}
+	}
+	for _, c := range FrameworkCodes() {
+		m[c.Code] = true
+	}
+	return m
+}
+
+// Run executes the analyzers over every loaded package: load errors
+// first, then analyzer findings filtered through //provmark:allow
+// directives, then directive hygiene (bad-allow, unused-allow).
+// Diagnostics come back position-sorted.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	enabled := map[string]bool{}
+	for _, a := range analyzers {
+		enabled[a.Name] = true
+	}
+	for _, pkg := range pkgs {
+		out = append(out, pkg.Errs...)
+		allows := collectAllows(pkg.Fset, pkg.Files)
+		var found []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Path:     pkg.Path,
+				PkgName:  pkg.Name,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &found,
+			}
+			a.Run(pass)
+		}
+		out = append(out, filterAllowed(found, allows)...)
+		out = append(out, checkAllows(allows, enabled)...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// sortDiagnostics orders by file, line, column, then code for stable
+// output.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Code < b.Code
+	})
+}

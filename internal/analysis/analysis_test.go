@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, sev := range []Severity{Warning, Error} {
+		data, err := json.Marshal(sev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Severity
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != sev {
+			t.Errorf("%s round-tripped to %s", sev, back)
+		}
+	}
+	var s Severity
+	if err := json.Unmarshal([]byte(`"fatal"`), &s); err == nil {
+		t.Error("unknown severity accepted")
+	}
+}
+
+func TestDiagnosticHuman(t *testing.T) {
+	d := Diagnostic{Severity: Error, Code: CodeLoadError, Message: "boom", File: "a/b.go", Line: 3, Col: 7}
+	if got := d.Human(); got != "a/b.go:3:7: error: boom [load-error]" {
+		t.Errorf("Human() = %q", got)
+	}
+	// Zero line means file-level: no position suffix.
+	d.Line, d.Col = 0, 0
+	if got := d.Human(); got != "a/b.go: error: boom [load-error]" {
+		t.Errorf("file-level Human() = %q", got)
+	}
+}
+
+func TestCountAndHasErrors(t *testing.T) {
+	diags := []Diagnostic{{Severity: Error}, {Severity: Warning}, {Severity: Warning}}
+	errs, warns := Count(diags)
+	if errs != 1 || warns != 2 {
+		t.Errorf("Count = %d/%d", errs, warns)
+	}
+	if !HasErrors(diags) {
+		t.Error("HasErrors missed the error")
+	}
+	if HasErrors(diags[1:]) {
+		t.Error("HasErrors on warnings only")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range All() {
+		got, ok := ByName(a.Name)
+		if !ok || got != a {
+			t.Errorf("ByName(%q) = %v, %v", a.Name, got, ok)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown analyzer resolved")
+	}
+}
+
+// Every code across the suite and the framework must be unique: the
+// allow directive and the catalogue both key on codes.
+func TestCodesAreUnique(t *testing.T) {
+	seen := map[Code]string{}
+	claim := func(owner string, infos []CodeInfo) {
+		for _, c := range infos {
+			if prev, dup := seen[c.Code]; dup {
+				t.Errorf("code %s declared by both %s and %s", c.Code, prev, owner)
+			}
+			seen[c.Code] = owner
+			if c.Summary == "" {
+				t.Errorf("code %s (%s) lacks a summary", c.Code, owner)
+			}
+		}
+	}
+	claim("framework", FrameworkCodes())
+	for _, a := range All() {
+		claim(a.Name, a.Codes)
+	}
+}
+
+func TestUndeclaredCodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("severityOf accepted an undeclared code")
+		}
+	}()
+	Determinism.severityOf(CodeCredLog)
+}
+
+// The directive must cover both the trailing-comment form (same line)
+// and the own-line form (line below) but nothing further away.
+func TestAllowCoverage(t *testing.T) {
+	d := &allowDirective{file: "f.go", line: 10, codes: []Code{CodeMapOrder}}
+	if !d.covers("f.go", 10, CodeMapOrder) || !d.covers("f.go", 11, CodeMapOrder) {
+		t.Error("directive must cover its own line and the next")
+	}
+	if d.covers("f.go", 12, CodeMapOrder) || d.covers("g.go", 10, CodeMapOrder) {
+		t.Error("directive covers too much")
+	}
+	if d.covers("f.go", 10, CodeCredLog) {
+		t.Error("directive covers a code it does not list")
+	}
+}
+
+func TestRenderOnePerLine(t *testing.T) {
+	out := Render([]Diagnostic{
+		{Severity: Warning, Code: CodeMapOrder, Message: "a", File: "x.go", Line: 1, Col: 1},
+		{Severity: Error, Code: CodeCredLog, Message: "b", File: "y.go", Line: 2, Col: 2},
+	})
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("Render = %q", out)
+	}
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runFixture loads one testdata/src subtree and runs the given
+// analyzers over it.
+func runFixture(t *testing.T, dir string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	pkgs, err := Load(".", []string{"./testdata/src/" + dir + "/..."})
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("load %s: no packages", dir)
+	}
+	return Run(pkgs, analyzers)
+}
+
+// checkGolden compares rendered diagnostics against the named golden
+// file; -update rewrites it.
+func checkGolden(t *testing.T, name string, diags []Diagnostic) {
+	t.Helper()
+	got := Render(diags)
+	path := filepath.Join("testdata", "golden", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics drifted from %s:\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	diags := runFixture(t, "determinism", Determinism)
+	checkGolden(t, "determinism", diags)
+	for _, d := range diags {
+		if strings.Contains(d.File, "plain") {
+			t.Errorf("non-critical package flagged: %s", d.Human())
+		}
+		if d.Code != CodeMapOrder {
+			t.Errorf("unexpected code: %s", d.Human())
+		}
+	}
+	if len(diags) != 2 {
+		t.Errorf("want exactly the 2 wire findings (allow suppresses the third), got %d", len(diags))
+	}
+}
+
+func TestContextDisciplineGolden(t *testing.T) {
+	diags := runFixture(t, "contextdiscipline", ContextDiscipline)
+	checkGolden(t, "contextdiscipline", diags)
+	codes := map[Code]int{}
+	for _, d := range diags {
+		codes[d.Code]++
+	}
+	if codes[CodeCtxNotFirst] != 1 || codes[CodeCtxInStruct] != 1 || codes[CodeCtxBackground] != 1 {
+		t.Errorf("code tally = %v, want one of each (allow suppresses the second Background)", codes)
+	}
+}
+
+func TestMWOrderGolden(t *testing.T) {
+	diags := runFixture(t, "mworder", MWOrder)
+	checkGolden(t, "mworder", diags)
+	if len(diags) != 3 {
+		t.Errorf("want 3 mw-order findings (direct, duplicate class, spread trace), got %d:\n%s", len(diags), Render(diags))
+	}
+	for _, d := range diags {
+		if d.Code != CodeMWOrder || d.Severity != Error {
+			t.Errorf("unexpected finding: %s", d.Human())
+		}
+	}
+}
+
+func TestGoroutineLeakGolden(t *testing.T) {
+	diags := runFixture(t, "goroutineleak", GoroutineLeak)
+	checkGolden(t, "goroutineleak", diags)
+	if len(diags) != 1 {
+		t.Errorf("want exactly the Fire finding, got %d:\n%s", len(diags), Render(diags))
+	}
+}
+
+func TestPoolSafetyGolden(t *testing.T) {
+	diags := runFixture(t, "poolsafety", PoolSafety)
+	checkGolden(t, "poolsafety", diags)
+	codes := map[Code]int{}
+	for _, d := range diags {
+		codes[d.Code]++
+	}
+	if codes[CodePoolType] != 2 || codes[CodePoolAlias] != 1 {
+		t.Errorf("code tally = %v, want pool-type:2 pool-alias:1", codes)
+	}
+}
+
+func TestCredLogGolden(t *testing.T) {
+	diags := runFixture(t, "credlog", CredLog)
+	checkGolden(t, "credlog", diags)
+	if len(diags) != 1 || diags[0].Code != CodeCredLog {
+		t.Errorf("want exactly the Leak finding, got:\n%s", Render(diags))
+	}
+}
+
+func TestAllowHygieneGolden(t *testing.T) {
+	diags := runFixture(t, "hygiene", All()...)
+	checkGolden(t, "hygiene", diags)
+	codes := map[Code]int{}
+	for _, d := range diags {
+		codes[d.Code]++
+	}
+	if codes[CodeBadAllow] != 2 || codes[CodeUnusedAllow] != 1 {
+		t.Errorf("code tally = %v, want bad-allow:2 unused-allow:1", codes)
+	}
+}
+
+// A stale directive whose owning analyzer is disabled must not be
+// reported unused: with the analyzer off, nothing could have matched.
+func TestUnusedAllowSkippedWhenOwnerDisabled(t *testing.T) {
+	diags := runFixture(t, "hygiene", CredLog)
+	for _, d := range diags {
+		if d.Code == CodeUnusedAllow {
+			t.Errorf("unused-allow with owner disabled: %s", d.Human())
+		}
+	}
+	badAllows := 0
+	for _, d := range diags {
+		if d.Code == CodeBadAllow {
+			badAllows++
+		}
+	}
+	if badAllows != 2 {
+		t.Errorf("bad-allow must fire regardless of analyzer set, got %d", badAllows)
+	}
+}

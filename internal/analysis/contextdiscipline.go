@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Codes of the contextdiscipline analyzer.
+const (
+	// CodeCtxNotFirst: a function takes context.Context anywhere but
+	// first.
+	CodeCtxNotFirst Code = "ctx-not-first"
+	// CodeCtxBackground: context.Background()/TODO() outside package
+	// main (tests are never loaded). Library code must thread the
+	// caller's context so cancellation reaches every request path.
+	CodeCtxBackground Code = "ctx-background"
+	// CodeCtxInStruct: a struct field stores a context.Context,
+	// detaching it from call-scoped cancellation.
+	CodeCtxInStruct Code = "ctx-in-struct"
+)
+
+// ContextDiscipline enforces the PR 1 context-first API contract
+// statically: contexts are the first parameter, never stored in
+// structs, and never minted from context.Background()/TODO() outside
+// package main — a request path that invents its own root context is
+// a request that cannot be canceled.
+var ContextDiscipline = &Analyzer{
+	Name: "contextdiscipline",
+	Doc:  "context-first parameters, no Background()/TODO() outside main, no ctx struct fields",
+	Codes: []CodeInfo{
+		{CodeCtxNotFirst, Error, "context.Context parameter is not the first parameter"},
+		{CodeCtxBackground, Warning, "context.Background()/TODO() called outside package main"},
+		{CodeCtxInStruct, Warning, "context.Context stored in a struct field"},
+	},
+	Run: runContextDiscipline,
+}
+
+func runContextDiscipline(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxFirst(p, node.Type)
+			case *ast.FuncLit:
+				checkCtxFirst(p, node.Type)
+			case *ast.StructType:
+				for _, field := range node.Fields.List {
+					if isContextType(p.TypeOf(field.Type)) {
+						p.Reportf(field.Pos(), CodeCtxInStruct,
+							"struct field stores a context.Context; pass it per call instead")
+					}
+				}
+			case *ast.CallExpr:
+				if p.PkgName == "main" {
+					return true
+				}
+				sel, ok := node.Fun.(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); ok && isContextPkg(p, id) {
+					p.Reportf(node.Pos(), CodeCtxBackground,
+						"context.%s() in library code; accept a context.Context from the caller", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxFirst reports context.Context parameters that are not the
+// function's first parameter. Variadic and multi-name fields count by
+// their leftmost name.
+func checkCtxFirst(p *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		width := len(field.Names)
+		if width == 0 {
+			width = 1
+		}
+		if isContextType(p.TypeOf(field.Type)) && pos > 0 {
+			p.Reportf(field.Pos(), CodeCtxNotFirst,
+				"context.Context must be the first parameter (found at position %d)", pos+1)
+		}
+		pos += width
+	}
+}
+
+// isContextType matches context.Context (the interface itself, not
+// implementations).
+func isContextType(t types.Type) bool {
+	return t != nil && t.String() == "context.Context"
+}
+
+// isContextPkg reports whether id names the imported context package.
+func isContextPkg(p *Pass, id *ast.Ident) bool {
+	obj := p.ObjectOf(id)
+	pkgName, ok := obj.(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "context"
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// CodeCredLog flags a credential-named identifier reaching a logging
+// call.
+const CodeCredLog Code = "credlog"
+
+// CredLog flags slog/log calls whose arguments reference
+// credential-named identifiers (authToken, bearer, Authorization
+// headers, secrets, passwords), because a log line is the easiest way
+// for a bearer token to leak into storage nobody audits. Comparisons
+// (`*authToken != ""`) and sanitizer-wrapped values (`hash(token)`,
+// `len(secret)`) are deliberately exempt: logging that auth is
+// *enabled*, or a digest of the credential, is fine. (Migrated from
+// the retired internal/lint package into the analyzer framework.)
+var CredLog = &Analyzer{
+	Name: "credlog",
+	Doc:  "credential-named identifiers reaching slog/log calls",
+	Codes: []CodeInfo{
+		{CodeCredLog, Error, "credential-named identifier reaches a logging call un-sanitized"},
+	},
+	Run: runCredLog,
+}
+
+// slogFuncs are the log/slog package-level functions (and attr
+// constructors — a credential inside slog.String leaks just the same)
+// treated as logging sinks.
+var slogFuncs = map[string]bool{
+	"Debug": true, "DebugContext": true,
+	"Info": true, "InfoContext": true,
+	"Warn": true, "WarnContext": true,
+	"Error": true, "ErrorContext": true,
+	"Log": true, "LogAttrs": true, "With": true,
+	"String": true, "Any": true, "Bool": true, "Int": true,
+	"Int64": true, "Uint64": true, "Float64": true,
+	"Time": true, "Duration": true, "Group": true,
+}
+
+// logFuncs are the standard log package's printing functions.
+var logFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+	"Output": true,
+}
+
+// methodFuncs are method names that mark a call on a non-package
+// receiver as a logger call (*slog.Logger and *log.Logger methods).
+var methodFuncs = map[string]bool{
+	"Debug": true, "DebugContext": true,
+	"Info": true, "InfoContext": true,
+	"Warn": true, "WarnContext": true,
+	"Error": true, "ErrorContext": true,
+	"Log": true, "LogAttrs": true, "With": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+// credWords mark an identifier as credential-carrying when they
+// appear anywhere in its lowercased name.
+var credWords = []string{"token", "bearer", "authorization", "credential", "secret", "passwd", "password", "apikey"}
+
+// safePrefixes exempt identifiers that advertise a derived, loggable
+// form of the credential.
+var safePrefixes = []string{"hashed", "masked", "redacted", "scrubbed", "sanitized"}
+
+// sanitizers exempt call wrappers whose name promises the raw value
+// does not survive the call.
+var sanitizers = []string{"hash", "redact", "mask", "sanitize", "scrub", "len"}
+
+// credNamed reports whether an identifier names a raw credential.
+func credNamed(name string) bool {
+	lower := strings.ToLower(name)
+	for _, p := range safePrefixes {
+		if strings.HasPrefix(lower, p) {
+			return false
+		}
+	}
+	for _, w := range credWords {
+		if strings.Contains(lower, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// sanitizing reports whether a callee name neutralizes its argument.
+func sanitizing(name string) bool {
+	lower := strings.ToLower(name)
+	for _, s := range sanitizers {
+		if strings.HasPrefix(lower, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func runCredLog(p *Pass) {
+	for _, file := range p.Files {
+		// Map package-qualified selectors: only calls through the slog
+		// and log imports count as package-level sinks; any other
+		// package ident (fmt, errors, ...) is not a logging call no
+		// matter the name.
+		pkgNames := map[string]string{}
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			name := path[strings.LastIndexByte(path, '/')+1:]
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			pkgNames[name] = path
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, isSink := loggingCallee(call, pkgNames)
+			if !isSink {
+				return true
+			}
+			for _, arg := range call.Args {
+				scanCredArg(p, callee, arg)
+			}
+			return true
+		})
+	}
+}
+
+// loggingCallee classifies a call expression: ("slog.Info", true) for
+// a sink, ("", false) otherwise.
+func loggingCallee(call *ast.CallExpr, pkgNames map[string]string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if recv, ok := sel.X.(*ast.Ident); ok {
+		if path, imported := pkgNames[recv.Name]; imported {
+			switch {
+			case path == "log/slog" && slogFuncs[name]:
+				return recv.Name + "." + name, true
+			case path == "log" && logFuncs[name]:
+				return recv.Name + "." + name, true
+			}
+			// A call through any other package is not a logging sink.
+			return "", false
+		}
+		if methodFuncs[name] {
+			return recv.Name + "." + name, true
+		}
+		return "", false
+	}
+	if methodFuncs[name] {
+		return "(...)." + name, true
+	}
+	return "", false
+}
+
+// scanCredArg walks one call argument for credential-named
+// identifiers, pruning comparison expressions (logging *whether* a
+// token is set is fine) and sanitizer wrappers (logging a digest is
+// fine).
+func scanCredArg(p *Pass, callee string, arg ast.Expr) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.BinaryExpr:
+			switch node.Op {
+			case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+				return false
+			}
+		case *ast.CallExpr:
+			if sanitizing(calleeName(node)) {
+				return false
+			}
+		case *ast.Ident:
+			if credNamed(node.Name) {
+				p.Reportf(node.Pos(), CodeCredLog,
+					"credential-named identifier %q reaches logging call %s", node.Name, callee)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CodeMapOrder flags map iteration feeding order-sensitive output in
+// a determinism-critical package.
+const CodeMapOrder Code = "map-order"
+
+// criticalSegments marks the packages whose outputs must be
+// byte-deterministic: the canonical wire encoders, the Datalog
+// engines (seq/par Stats() parity), graph fingerprints, and the job
+// service's rendered cells. A package is in scope when any segment of
+// its import path matches.
+var criticalSegments = map[string]bool{
+	"wire": true, "datalog": true, "graph": true, "jobs": true,
+}
+
+// Determinism flags `range` statements over maps whose bodies feed
+// order-sensitive sinks — appending to a slice declared outside the
+// loop, or writing through an encoder/writer — inside
+// determinism-critical packages. Go randomizes map iteration order,
+// so such a loop leaks nondeterminism straight into output that PRs
+// 3–9 promise is canonical. Two shapes are exempt: a loop whose
+// enclosing block later sorts (collect-then-sort is the sanctioned
+// fix), and loops that only aggregate commutatively (counters, sums,
+// map writes), which never touch a sink.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "map iteration feeding order-sensitive output in determinism-critical packages",
+	Codes: []CodeInfo{
+		{CodeMapOrder, Warning, "map-range body feeds order-sensitive output (append/write) with no later sort"},
+	},
+	Run: runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	if !determinismCritical(p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok || !isMapType(p.TypeOf(rs.X)) {
+					continue
+				}
+				sink := findOrderSink(p, rs)
+				if sink == "" {
+					continue
+				}
+				if sortedAfter(block.List[i+1:]) {
+					continue
+				}
+				p.Reportf(rs.Pos(), CodeMapOrder,
+					"map iteration %s; map order is nondeterministic — collect keys and sort, or aggregate commutatively", sink)
+			}
+			return true
+		})
+	}
+}
+
+// determinismCritical reports whether the import path names a
+// determinism-critical package (any path segment matches).
+func determinismCritical(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if criticalSegments[seg] {
+			return true
+		}
+	}
+	return false
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// orderSinkCalls are callee base names that emit output in call
+// order: stream writers, printers, and encoders.
+var orderSinkCalls = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Encode": true, "WriteTo": true,
+}
+
+// findOrderSink scans a map-range body for the first order-sensitive
+// sink and describes it; "" means the body is order-insensitive
+// (commutative aggregation, lookups, counters).
+func findOrderSink(p *Pass, rs *ast.RangeStmt) string {
+	sink := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			// s = append(s, ...) onto a slice declared outside the loop.
+			for i, rhs := range node.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(p, call) || i >= len(node.Lhs) {
+					continue
+				}
+				if id, ok := node.Lhs[i].(*ast.Ident); ok && declaredOutside(p, id, rs) {
+					sink = "appends to " + id.Name + " (declared outside the loop)"
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if name := calleeName(node); orderSinkCalls[name] {
+				sink = "calls " + name
+				return false
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// isBuiltinAppend matches the append builtin (not a shadowing decl).
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	obj := p.ObjectOf(id)
+	if obj == nil {
+		return true // partial type info: assume the builtin
+	}
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// declaredOutside reports whether id's declaration lies outside the
+// range statement.
+func declaredOutside(p *Pass, id *ast.Ident, rs *ast.RangeStmt) bool {
+	obj := p.ObjectOf(id)
+	if obj == nil {
+		return true // partial type info: err toward reporting
+	}
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+// calleeName extracts the base name of a call's callee.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// sortedAfter reports whether any later statement in the enclosing
+// block calls something sort-shaped — sort.Strings, sort.Slice,
+// slices.Sort, a local sortFoo helper — which re-establishes a
+// deterministic order over whatever the loop collected.
+func sortedAfter(rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if strings.Contains(strings.ToLower(qualifiedCalleeName(call)), "sort") {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// qualifiedCalleeName renders a callee with its qualifier, so
+// sort.Strings and slices.SortFunc both read as sort-shaped.
+func qualifiedCalleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CodeGoroutineLeak flags a go closure with no visible lifecycle
+// handle.
+const CodeGoroutineLeak Code = "goroutine-leak"
+
+// GoroutineLeak flags `go func() { ... }()` statements in non-main
+// code whose closure touches no lifecycle handle: no context, no
+// channel, no WaitGroup, no pool/group object. Such a goroutine has
+// no way to learn its owner is gone — the shape behind every leaked
+// watcher the stream-disconnect barriers in PRs 3 and 6 exist to
+// catch. Library goroutines must be joinable or cancelable; package
+// main may spawn fire-and-forget workers because process exit reaps
+// them, and named-function goroutines are judged by their arguments'
+// receivers at the callee, not here.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc:  "go closures in library code with no ctx/channel/WaitGroup/pool handle",
+	Codes: []CodeInfo{
+		{CodeGoroutineLeak, Warning, "go closure captures no lifecycle handle (ctx, channel, WaitGroup, pool)"},
+	},
+	Run: runGoroutineLeak,
+}
+
+func runGoroutineLeak(p *Pass) {
+	if p.PkgName == "main" {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if closureHasLifecycle(p, lit, gs.Call.Args) {
+				return true
+			}
+			p.Reportf(gs.Pos(), CodeGoroutineLeak,
+				"go closure has no lifecycle handle (no ctx, channel, WaitGroup, or pool) — its owner cannot stop or join it")
+			return true
+		})
+	}
+}
+
+// closureHasLifecycle scans the closure body and its call arguments
+// for any expression whose type is a lifecycle handle.
+func closureHasLifecycle(p *Pass, lit *ast.FuncLit, args []ast.Expr) bool {
+	found := false
+	scan := func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && isLifecycleType(p.TypeOf(e)) {
+			found = true
+			return false
+		}
+		return true
+	}
+	ast.Inspect(lit.Body, scan)
+	for _, a := range args {
+		if found {
+			break
+		}
+		ast.Inspect(a, scan)
+	}
+	return found
+}
+
+// isLifecycleType recognizes the handles that bound a goroutine's
+// life: contexts, channels (select/receive/close), sync.WaitGroup,
+// and named pool/group types (sync.Pool, errgroup-style groups,
+// worker pools).
+func isLifecycleType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if t.String() == "context.Context" {
+		return true
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := strings.ToLower(named.Obj().Name())
+	return strings.Contains(name, "pool") || strings.Contains(name, "group")
+}

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit analyzers
+// run over.
+type Package struct {
+	// Path is the import path, derived from the enclosing module.
+	Path string
+	// Name is the declared package name.
+	Name string
+	// Dir is the directory as resolved against the load root.
+	Dir  string
+	Fset *token.FileSet
+	// Files is the parsed non-test syntax, comments included.
+	Files []*ast.File
+	// Types and Info are the type-checker's results; both survive (in
+	// partial form) when the package has load errors.
+	Types *types.Package
+	Info  *types.Info
+	// Errs carries parse and type-check failures as load-error
+	// diagnostics — a broken fixture must diagnose, never panic.
+	Errs []Diagnostic
+}
+
+// maxLoadErrs bounds the load-error diagnostics kept per package so
+// one broken import does not flood the report.
+const maxLoadErrs = 10
+
+// Load expands go-style package patterns relative to root — "./..."
+// recurses, a plain path names one directory — parses every non-test
+// .go file, and type-checks each directory as one package through the
+// stdlib source importer (no go/packages, no external deps; imports
+// resolve from source, module-aware via go/build). testdata, vendor,
+// and hidden trees are skipped on recursion. Parse and type errors
+// become load-error diagnostics on the package, not hard failures;
+// the returned error is reserved for unusable inputs (missing root,
+// unmatched directory).
+func Load(root string, patterns []string) ([]*Package, error) {
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	// One importer for the whole load: its package cache makes the
+	// n-th package's stdlib imports free.
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loadDir(fset, imp, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// expandPatterns resolves patterns to a sorted directory list.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	if _, err := os.Stat(root); err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	for _, pat := range patterns {
+		base, recurse := strings.CutSuffix(pat, "...")
+		base = filepath.Join(root, strings.TrimSuffix(base, "/"))
+		if !recurse {
+			if _, err := os.Stat(base); err != nil {
+				return nil, err
+			}
+			set[base] = true
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return fs.SkipDir
+			}
+			set[path] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	dirs := make([]string, 0, len(set))
+	for d := range set {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// loadDir parses and type-checks one directory; nil when it holds no
+// non-test Go files.
+func loadDir(fset *token.FileSet, imp types.Importer, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Dir: dir, Fset: fset}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			pkg.Errs = appendLoadErrs(fset, pkg.Errs, path, err)
+		}
+		if file != nil {
+			pkg.Files = append(pkg.Files, file)
+		}
+	}
+	if len(pkg.Files) == 0 && len(pkg.Errs) == 0 {
+		return nil, nil
+	}
+	if len(pkg.Files) > 0 {
+		pkg.Name = pkg.Files[0].Name.Name
+	}
+	pkg.Path = importPath(dir)
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			pkg.Errs = appendLoadErrs(fset, pkg.Errs, dir, err)
+		},
+	}
+	// Check returns the partial package even on error; the Error hook
+	// above already recorded the diagnostics.
+	pkg.Types, _ = conf.Check(pkg.Path, fset, pkg.Files, pkg.Info)
+	if len(pkg.Errs) > maxLoadErrs {
+		pkg.Errs = pkg.Errs[:maxLoadErrs]
+	}
+	return pkg, nil
+}
+
+// appendLoadErrs converts parser and type-checker failures — both of
+// which may bundle several positioned errors — into load-error
+// diagnostics.
+func appendLoadErrs(fset *token.FileSet, diags []Diagnostic, fallbackFile string, err error) []Diagnostic {
+	add := func(file string, line, col int, msg string) {
+		diags = append(diags, Diagnostic{
+			Severity: Error,
+			Code:     CodeLoadError,
+			Message:  msg,
+			File:     file,
+			Line:     line,
+			Col:      col,
+		})
+	}
+	switch e := err.(type) {
+	case types.Error:
+		pos := e.Fset.Position(e.Pos)
+		add(pos.Filename, pos.Line, pos.Column, e.Msg)
+	default:
+		// scanner.ErrorList and friends stringify with position
+		// prefixes already; keep the message whole.
+		add(fallbackFile, 0, 0, err.Error())
+	}
+	return diags
+}
+
+// importPath derives a package's import path by locating the
+// enclosing module's go.mod. Directories outside any module fall back
+// to their cleaned path, which keeps fixtures loadable.
+func importPath(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return filepath.ToSlash(dir)
+	}
+	for probe := abs; ; {
+		data, err := os.ReadFile(filepath.Join(probe, "go.mod"))
+		if err == nil {
+			if mod := modulePath(data); mod != "" {
+				rel, err := filepath.Rel(probe, abs)
+				if err == nil {
+					if rel == "." {
+						return mod
+					}
+					return mod + "/" + filepath.ToSlash(rel)
+				}
+			}
+		}
+		parent := filepath.Dir(probe)
+		if parent == probe {
+			return filepath.ToSlash(dir)
+		}
+		probe = parent
+	}
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(data []byte) string {
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}

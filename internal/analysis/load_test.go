@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// A fixture that fails to type-check must come back as a positioned
+// load-error diagnostic — and running the full suite over the partial
+// package must not panic.
+func TestBrokenPackageDiagnosesNotPanics(t *testing.T) {
+	pkgs, err := Load(".", []string{"./testdata/src/broken"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("packages = %d", len(pkgs))
+	}
+	diags := Run(pkgs, All())
+	found := false
+	for _, d := range diags {
+		if d.Code != CodeLoadError {
+			continue
+		}
+		found = true
+		if d.Severity != Error {
+			t.Errorf("load-error severity = %s", d.Severity)
+		}
+		if !strings.Contains(d.File, "broken.go") || d.Line == 0 {
+			t.Errorf("load-error lacks a position: %s", d.Human())
+		}
+		if !strings.Contains(d.Message, "undefinedIdentifier") {
+			t.Errorf("load-error message = %q", d.Message)
+		}
+	}
+	if !found {
+		t.Errorf("no load-error diagnostic:\n%s", Render(diags))
+	}
+}
+
+func TestLoadMissingRootFails(t *testing.T) {
+	if _, err := Load("no-such-root", []string{"./..."}); err == nil {
+		t.Error("missing root accepted")
+	}
+	if _, err := Load(".", []string{"./no-such-dir"}); err == nil {
+		t.Error("missing pattern dir accepted")
+	}
+}
+
+// Recursive loads must skip testdata (fixtures would otherwise
+// pollute repo scans) and never include _test.go files.
+func TestLoadSkipsTestdataAndTests(t *testing.T) {
+	pkgs, err := Load(".", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 2 { // this package and analysis/report at minimum
+		t.Fatalf("packages = %d", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if strings.Contains(pkg.Dir, "testdata") {
+			t.Errorf("testdata loaded: %s", pkg.Dir)
+		}
+		if !strings.HasPrefix(pkg.Path, "provmark/") {
+			t.Errorf("module-derived import path missing: %q", pkg.Path)
+		}
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if strings.HasSuffix(name, "_test.go") {
+				t.Errorf("test file loaded: %s", name)
+			}
+		}
+	}
+}

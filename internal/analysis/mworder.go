@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"provmark/internal/httpmw"
+)
+
+// CodeMWOrder flags a NewChain/MustNewChain call site whose layers
+// violate the middleware class order.
+const CodeMWOrder Code = "mw-order"
+
+// httpmwPath is the middleware package whose chain constructors the
+// analyzer validates.
+const httpmwPath = "provmark/internal/httpmw"
+
+// layerClasses maps httpmw's layer-constructor names to their classes
+// — the same order NewChain enforces at startup
+// (Recover < RequestID < AccessLog < Metrics < Auth < RateLimit <
+// Quota < BodyLimit). Sourcing the values from httpmw itself keeps
+// the analyzer honest when classes move.
+var layerClasses = map[string]httpmw.Class{
+	"RecoverLayer":   httpmw.ClassRecover,
+	"RequestIDLayer": httpmw.ClassRequestID,
+	"AccessLogLayer": httpmw.ClassAccessLog,
+	"MetricsLayer":   httpmw.ClassMetrics,
+	"AuthLayer":      httpmw.ClassAuth,
+	"RateLimitLayer": httpmw.ClassRateLimit,
+	"QuotaLayer":     httpmw.ClassQuota,
+	"BodyLimitLayer": httpmw.ClassBodyLimit,
+}
+
+// MWOrder validates every httpmw.NewChain / MustNewChain call site
+// against the middleware class order at vet time, turning PR 6's
+// startup error into a compile-time diagnostic. Layers passed
+// directly are classified by constructor name or by a Layer composite
+// literal's Class field; a `layers...` spread is traced through the
+// slice variable's literal elements and in-function appends — the
+// conditional-append wiring jobs.NewServer uses — in source order.
+// Elements the analyzer cannot classify are transparent, so helper
+// constructors never cause false positives.
+var MWOrder = &Analyzer{
+	Name: "mworder",
+	Doc:  "httpmw.NewChain call sites validated against the middleware class order",
+	Codes: []CodeInfo{
+		{CodeMWOrder, Error, "middleware layers registered out of class order (or a class registered twice)"},
+	},
+	Run: runMWOrder,
+}
+
+// layerRef is one classified chain element.
+type layerRef struct {
+	name  string // constructor or class name as written
+	class httpmw.Class
+	pos   ast.Node
+}
+
+func runMWOrder(p *Pass) {
+	for _, f := range p.Files {
+		// enclosing tracks the function whose body a call appears in,
+		// for tracing `layers...` spread variables.
+		var enclosing []ast.Node
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			if n == nil {
+				enclosing = enclosing[:len(enclosing)-1]
+				return true
+			}
+			enclosing = append(enclosing, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isChainCall(p, call) {
+				return true
+			}
+			refs := chainElements(p, call, enclosing)
+			checkLayerOrder(p, refs)
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+}
+
+// isChainCall matches httpmw.NewChain and httpmw.MustNewChain.
+func isChainCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "NewChain" && sel.Sel.Name != "MustNewChain") {
+		return false
+	}
+	obj := p.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == httpmwPath
+}
+
+// chainElements resolves a chain call's arguments to classified
+// layers, expanding a trailing `slice...` through local assignments.
+func chainElements(p *Pass, call *ast.CallExpr, enclosing []ast.Node) []layerRef {
+	if call.Ellipsis.IsValid() && len(call.Args) == 1 {
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			return traceLayerSlice(p, id, enclosingFunc(enclosing))
+		}
+		return nil
+	}
+	var refs []layerRef
+	for _, arg := range call.Args {
+		if ref, ok := classifyLayer(p, arg); ok {
+			refs = append(refs, ref)
+		}
+	}
+	return refs
+}
+
+// enclosingFunc finds the innermost function body on the walk stack.
+func enclosingFunc(enclosing []ast.Node) *ast.BlockStmt {
+	for i := len(enclosing) - 1; i >= 0; i-- {
+		switch fn := enclosing[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// traceLayerSlice reconstructs the registration order of a
+// []httpmw.Layer variable: its declaration literal's elements, then
+// every `x = append(x, ...)` in the same function, in source order.
+// Any other write to the variable makes the trace unreliable, so the
+// call site is skipped rather than guessed at.
+func traceLayerSlice(p *Pass, id *ast.Ident, body *ast.BlockStmt) []layerRef {
+	obj := p.ObjectOf(id)
+	if obj == nil || body == nil {
+		return nil
+	}
+	var refs []layerRef
+	reliable := true
+	addElems := func(elems []ast.Expr) {
+		for _, e := range elems {
+			if ref, ok := classifyLayer(p, e); ok {
+				refs = append(refs, ref)
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || p.ObjectOf(lid) != obj || i >= len(assign.Rhs) {
+				continue
+			}
+			switch rhs := assign.Rhs[i].(type) {
+			case *ast.CompositeLit:
+				addElems(rhs.Elts)
+			case *ast.CallExpr:
+				if isBuiltinAppend(p, rhs) && len(rhs.Args) > 0 {
+					if base, ok := rhs.Args[0].(*ast.Ident); ok && p.ObjectOf(base) == obj {
+						addElems(rhs.Args[1:])
+						continue
+					}
+				}
+				reliable = false
+			default:
+				reliable = false
+			}
+		}
+		return true
+	})
+	if !reliable {
+		return nil
+	}
+	return refs
+}
+
+// classifyLayer resolves one chain element to its class: a
+// constructor call (httpmw.RecoverLayer(...)) or a Layer composite
+// literal with a constant Class field. Unclassifiable elements are
+// transparent.
+func classifyLayer(p *Pass, e ast.Expr) (layerRef, bool) {
+	switch node := e.(type) {
+	case *ast.CallExpr:
+		sel, ok := node.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return layerRef{}, false
+		}
+		obj := p.ObjectOf(sel.Sel)
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != httpmwPath {
+			return layerRef{}, false
+		}
+		class, ok := layerClasses[sel.Sel.Name]
+		if !ok {
+			return layerRef{}, false
+		}
+		return layerRef{name: sel.Sel.Name, class: class, pos: node}, true
+	case *ast.CompositeLit:
+		t := p.TypeOf(node)
+		if t == nil || t.String() != httpmwPath+".Layer" {
+			return layerRef{}, false
+		}
+		for _, elt := range node.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || key.Name != "Class" {
+				continue
+			}
+			if tv, ok := p.Info.Types[kv.Value]; ok && tv.Value != nil {
+				if v, ok := constant.Int64Val(tv.Value); ok {
+					class := httpmw.Class(v)
+					return layerRef{name: "Layer{Class: " + class.String() + "}", class: class, pos: node}, true
+				}
+			}
+		}
+	}
+	return layerRef{}, false
+}
+
+// checkLayerOrder enforces strictly ascending classes over the
+// classified elements.
+func checkLayerOrder(p *Pass, refs []layerRef) {
+	for i := 1; i < len(refs); i++ {
+		prev, cur := refs[i-1], refs[i]
+		switch {
+		case cur.class == prev.class:
+			p.Reportf(cur.pos.Pos(), CodeMWOrder,
+				"%s and %s both register middleware class %s", prev.name, cur.name, cur.class)
+		case cur.class < prev.class:
+			p.Reportf(cur.pos.Pos(), CodeMWOrder,
+				"%s (%s) registered after %s (%s); required order is %s",
+				cur.name, cur.class, prev.name, prev.class, classOrder())
+		}
+	}
+}
+
+// classOrder renders the full contract for diagnostics.
+func classOrder() string {
+	s := ""
+	for c := httpmw.ClassRecover; c <= httpmw.ClassBodyLimit; c++ {
+		if c > 0 {
+			s += " < "
+		}
+		s += c.String()
+	}
+	return s
+}

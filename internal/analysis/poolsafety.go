@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Codes of the poolsafety analyzer.
+const (
+	// CodePoolType: a sync.Pool's Get assertion or Put argument
+	// disagrees with the type its New func constructs.
+	CodePoolType Code = "pool-type"
+	// CodePoolAlias: Put of a subslice expression — the pooled value
+	// aliases a backing array the caller still holds.
+	CodePoolAlias Code = "pool-alias"
+)
+
+// PoolSafety checks sync.Pool discipline around workspace pools like
+// PR 9's WL-refinement wlPool: every pool's New func fixes the pooled
+// type, so a Get asserted to a different type is a guaranteed runtime
+// panic and a Put of a different type poisons the pool for every
+// other Get site. Put of a subslice (p.Put(buf[:n])) is flagged
+// separately: the pooled value shares its backing array with a slice
+// the caller may retain, so a future Get hands out memory someone
+// else is still writing.
+var PoolSafety = &Analyzer{
+	Name: "poolsafety",
+	Doc:  "sync.Pool Get/Put type mismatches and aliased-slice Puts",
+	Codes: []CodeInfo{
+		{CodePoolType, Error, "sync.Pool Get assertion or Put argument disagrees with the pool's New type"},
+		{CodePoolAlias, Warning, "sync.Pool Put of a subslice aliases a retained backing array"},
+	},
+	Run: runPoolSafety,
+}
+
+func runPoolSafety(p *Pass) {
+	pools := collectPools(p)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.TypeAssertExpr:
+				checkGetAssert(p, pools, node)
+			case *ast.CallExpr:
+				checkPut(p, pools, node)
+			}
+			return true
+		})
+	}
+}
+
+// collectPools maps every sync.Pool variable or field initialized in
+// this package to the type its New func returns. Pools whose New is
+// absent or opaque map to nil (alias checks still apply; type checks
+// do not).
+func collectPools(p *Pass) map[types.Object]types.Type {
+	pools := map[types.Object]types.Type{}
+	record := func(obj types.Object, lit *ast.CompositeLit) {
+		if obj == nil {
+			return
+		}
+		if _, seen := pools[obj]; !seen {
+			pools[obj] = poolNewType(p, lit)
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.ValueSpec:
+				for i, v := range node.Values {
+					if lit := asPoolLit(p, v); lit != nil && i < len(node.Names) {
+						record(p.ObjectOf(node.Names[i]), lit)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, v := range node.Rhs {
+					lit := asPoolLit(p, v)
+					if lit == nil || i >= len(node.Lhs) {
+						continue
+					}
+					if id, ok := node.Lhs[i].(*ast.Ident); ok {
+						record(p.ObjectOf(id), lit)
+					}
+				}
+			case *ast.CompositeLit:
+				// Struct literals with a sync.Pool field: c{pool: sync.Pool{...}}.
+				for _, elt := range node.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if lit := asPoolLit(p, kv.Value); lit != nil {
+						if key, ok := kv.Key.(*ast.Ident); ok {
+							record(p.ObjectOf(key), lit)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return pools
+}
+
+// asPoolLit unwraps v to a sync.Pool composite literal, or nil.
+func asPoolLit(p *Pass, v ast.Expr) *ast.CompositeLit {
+	if un, ok := v.(*ast.UnaryExpr); ok {
+		v = un.X
+	}
+	lit, ok := v.(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	t := p.TypeOf(lit)
+	if t == nil || t.String() != "sync.Pool" {
+		return nil
+	}
+	return lit
+}
+
+// poolNewType extracts the concrete type the pool's New func returns.
+func poolNewType(p *Pass, lit *ast.CompositeLit) types.Type {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "New" {
+			continue
+		}
+		fn, ok := kv.Value.(*ast.FuncLit)
+		if !ok {
+			return nil
+		}
+		var newType types.Type
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				return true
+			}
+			if t := p.TypeOf(ret.Results[0]); t != nil && !types.IsInterface(t) {
+				newType = t
+			}
+			return true
+		})
+		return newType
+	}
+	return nil
+}
+
+// poolReceiver resolves the receiver of a .Get/.Put selector to a
+// tracked pool object: a plain ident (package var) or the rightmost
+// field of a selector chain (struct-held pool).
+func poolReceiver(p *Pass, pools map[types.Object]types.Type, recv ast.Expr) (types.Object, bool) {
+	var obj types.Object
+	switch node := recv.(type) {
+	case *ast.Ident:
+		obj = p.ObjectOf(node)
+	case *ast.SelectorExpr:
+		obj = p.ObjectOf(node.Sel)
+	default:
+		return nil, false
+	}
+	if obj == nil {
+		return nil, false
+	}
+	_, tracked := pools[obj]
+	return obj, tracked
+}
+
+// checkGetAssert validates pool.Get().(T) against the pool's New
+// type.
+func checkGetAssert(p *Pass, pools map[types.Object]types.Type, ta *ast.TypeAssertExpr) {
+	call, ok := ta.X.(*ast.CallExpr)
+	if !ok || ta.Type == nil {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return
+	}
+	obj, tracked := poolReceiver(p, pools, sel.X)
+	if !tracked || pools[obj] == nil {
+		return
+	}
+	want := pools[obj]
+	got := p.TypeOf(ta.Type)
+	if got == nil || types.Identical(got, want) {
+		return
+	}
+	p.Reportf(ta.Pos(), CodePoolType,
+		"pool Get asserted to %s but New constructs %s — this assertion panics at runtime", got, want)
+}
+
+// checkPut validates pool.Put(x): x's type must match New's, and x
+// must not be a subslice expression.
+func checkPut(p *Pass, pools map[types.Object]types.Type, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" || len(call.Args) != 1 {
+		return
+	}
+	obj, tracked := poolReceiver(p, pools, sel.X)
+	if !tracked {
+		return
+	}
+	arg := call.Args[0]
+	if slice, ok := arg.(*ast.SliceExpr); ok {
+		p.Reportf(slice.Pos(), CodePoolAlias,
+			"pool Put of a subslice: the pooled value aliases a backing array the caller may still hold")
+	}
+	want := pools[obj]
+	if want == nil {
+		return
+	}
+	got := p.TypeOf(arg)
+	if got == nil || types.Identical(got, want) {
+		return
+	}
+	// Untyped nil and interface conversions are not mismatches.
+	if basic, ok := got.(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+		return
+	}
+	p.Reportf(arg.Pos(), CodePoolType,
+		"pool Put of %s but New constructs %s — mixed types poison every Get site", got, want)
+}

@@ -1,0 +1,49 @@
+package analysis_test
+
+// The README's "Static analysis" section carries the analyzer
+// catalogue between <!-- vet-catalogue:begin/end --> markers. This
+// drift guard regenerates the table from the live analyzer
+// declarations and fails when the document and the suite disagree —
+// the same pattern the dlint catalogue uses.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"provmark/internal/analysis"
+)
+
+func catalogueMarkdown() string {
+	var b strings.Builder
+	b.WriteString("| analyzer | code | severity | meaning |\n|---|---|---|---|\n")
+	for _, a := range analysis.All() {
+		for _, c := range a.Codes {
+			fmt.Fprintf(&b, "| %s | `%s` | %s | %s |\n", a.Name, c.Code, c.Severity, c.Summary)
+		}
+	}
+	for _, c := range analysis.FrameworkCodes() {
+		fmt.Fprintf(&b, "| (framework) | `%s` | %s | %s |\n", c.Code, c.Severity, c.Summary)
+	}
+	return b.String()
+}
+
+func TestReadmeVetCatalogue(t *testing.T) {
+	data, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const begin, end = "<!-- vet-catalogue:begin -->", "<!-- vet-catalogue:end -->"
+	doc := string(data)
+	i := strings.Index(doc, begin)
+	j := strings.Index(doc, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md lacks the %s/%s markers", begin, end)
+	}
+	got := strings.TrimSpace(doc[i+len(begin) : j])
+	want := strings.TrimSpace(catalogueMarkdown())
+	if got != want {
+		t.Errorf("README vet catalogue drifted from the analyzer declarations.\n--- README ---\n%s\n--- suite ---\n%s", got, want)
+	}
+}

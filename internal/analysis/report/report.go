@@ -1,0 +1,225 @@
+// Package report is the one NDJSON framing shared by the repo's
+// diagnostic tools (provmark-dlint, provmark-vet). A report stream is
+//
+//	{"schema":"provmark/<tool>-report/v1","kind":"header","files":N}
+//	{"kind":"diagnostic","file":"...", ...tool-specific fields...}
+//	...
+//	{"kind":"summary","files":N,"errors":E,"warnings":W}
+//
+// The schemas stay versioned per tool — only the framing and the
+// file/severity conventions are shared. Every diagnostic record must
+// carry a "severity" of "error" or "warning"; the Writer tallies them
+// so the summary can never disagree with the records, and Read
+// re-verifies the same invariant on decode.
+package report
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Writer emits one report stream. Diagnostic payloads keep their
+// tool-specific shape; the writer contributes the framing fields.
+type Writer struct {
+	out      io.Writer
+	enc      *json.Encoder
+	files    int
+	errors   int
+	warnings int
+}
+
+// header is the first record of a stream.
+type header struct {
+	Schema string `json:"schema"`
+	Kind   string `json:"kind"`
+	Files  int    `json:"files"`
+}
+
+// summary is the final record of a stream.
+type summary struct {
+	Kind     string `json:"kind"`
+	Files    int    `json:"files"`
+	Errors   int    `json:"errors"`
+	Warnings int    `json:"warnings"`
+}
+
+// NewWriter starts a stream: the header record is written
+// immediately. files is the input count the header advertises.
+func NewWriter(out io.Writer, schema string, files int) (*Writer, error) {
+	w := &Writer{out: out, enc: json.NewEncoder(out), files: files}
+	if err := w.enc.Encode(header{Schema: schema, Kind: "header", Files: files}); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Diagnostic writes one diagnostic record: the framing fields
+// (kind, file) spliced ahead of diag's own JSON object. diag must
+// marshal to an object carrying "severity":"error"|"warning".
+func (w *Writer) Diagnostic(file string, diag any) error {
+	body, err := json.Marshal(diag)
+	if err != nil {
+		return err
+	}
+	if len(body) < 2 || body[0] != '{' || body[len(body)-1] != '}' {
+		return fmt.Errorf("report: diagnostic must marshal to a JSON object, got %s", body)
+	}
+	var sev struct {
+		Severity string `json:"severity"`
+	}
+	if err := json.Unmarshal(body, &sev); err != nil {
+		return err
+	}
+	switch sev.Severity {
+	case "error":
+		w.errors++
+	case "warning":
+		w.warnings++
+	default:
+		return fmt.Errorf("report: diagnostic severity must be error or warning, got %q", sev.Severity)
+	}
+	fileJSON, err := json.Marshal(file)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.WriteString(`{"kind":"diagnostic","file":`)
+	buf.Write(fileJSON)
+	if len(body) > 2 {
+		buf.WriteByte(',')
+		buf.Write(body[1 : len(body)-1])
+	}
+	buf.WriteString("}\n")
+	_, err = w.out.Write(buf.Bytes())
+	return err
+}
+
+// Totals returns the severity tallies so far.
+func (w *Writer) Totals() (errors, warnings int) {
+	return w.errors, w.warnings
+}
+
+// Close ends the stream with the summary record.
+func (w *Writer) Close() error {
+	return w.enc.Encode(summary{Kind: "summary", Files: w.files, Errors: w.errors, Warnings: w.warnings})
+}
+
+// Record is one decoded diagnostic line: the framing file field plus
+// the verbatim record for tool-specific re-decoding.
+type Record struct {
+	File string
+	Raw  json.RawMessage
+}
+
+// Report is a fully decoded stream.
+type Report struct {
+	Schema   string
+	Files    int
+	Records  []Record
+	Errors   int
+	Warnings int
+}
+
+// Read decodes and validates one stream: header first, diagnostics
+// (each with a file and a legal severity), and a summary whose
+// tallies must match the records — a report that lies about its own
+// counts is rejected.
+func Read(r io.Reader) (*Report, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	rep := &Report{}
+	sawHeader, sawSummary := false, false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if sawSummary {
+			return nil, fmt.Errorf("report: record after summary: %s", line)
+		}
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(line, &kind); err != nil {
+			return nil, fmt.Errorf("report: bad record %s: %w", line, err)
+		}
+		switch kind.Kind {
+		case "header":
+			if sawHeader {
+				return nil, fmt.Errorf("report: duplicate header")
+			}
+			var h header
+			if err := json.Unmarshal(line, &h); err != nil {
+				return nil, err
+			}
+			if h.Schema == "" {
+				return nil, fmt.Errorf("report: header lacks a schema")
+			}
+			rep.Schema, rep.Files = h.Schema, h.Files
+			sawHeader = true
+		case "diagnostic":
+			if !sawHeader {
+				return nil, fmt.Errorf("report: diagnostic before header")
+			}
+			var d struct {
+				File     string `json:"file"`
+				Severity string `json:"severity"`
+			}
+			if err := json.Unmarshal(line, &d); err != nil {
+				return nil, err
+			}
+			switch d.Severity {
+			case "error":
+				rep.Errors++
+			case "warning":
+				rep.Warnings++
+			default:
+				return nil, fmt.Errorf("report: diagnostic severity must be error or warning, got %q", d.Severity)
+			}
+			rep.Records = append(rep.Records, Record{File: d.File, Raw: append(json.RawMessage(nil), line...)})
+		case "summary":
+			if !sawHeader {
+				return nil, fmt.Errorf("report: summary before header")
+			}
+			var s summary
+			if err := json.Unmarshal(line, &s); err != nil {
+				return nil, err
+			}
+			if s.Errors != rep.Errors || s.Warnings != rep.Warnings {
+				return nil, fmt.Errorf("report: summary counts %d/%d disagree with records %d/%d",
+					s.Errors, s.Warnings, rep.Errors, rep.Warnings)
+			}
+			if s.Files != rep.Files {
+				return nil, fmt.Errorf("report: summary files %d disagrees with header %d", s.Files, rep.Files)
+			}
+			sawSummary = true
+		default:
+			return nil, fmt.Errorf("report: unknown record kind %q", kind.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader || !sawSummary {
+		return nil, fmt.Errorf("report: truncated stream (header %v, summary %v)", sawHeader, sawSummary)
+	}
+	return rep, nil
+}
+
+// Encode re-emits a decoded report byte-identically: the raw
+// diagnostic lines verbatim between a regenerated header and summary.
+func (rep *Report) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(header{Schema: rep.Schema, Kind: "header", Files: rep.Files}); err != nil {
+		return err
+	}
+	for _, rec := range rep.Records {
+		if _, err := w.Write(append(rec.Raw, '\n')); err != nil {
+			return err
+		}
+	}
+	return enc.Encode(summary{Kind: "summary", Files: rep.Files, Errors: rep.Errors, Warnings: rep.Warnings})
+}

@@ -1,0 +1,108 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// payload mimics a tool diagnostic: severity plus tool-specific
+// fields whose order must survive the round trip.
+type payload struct {
+	Severity string `json:"severity"`
+	Code     string `json:"code"`
+	Message  string `json:"message"`
+	Line     int    `json:"line"`
+}
+
+func TestWriteReadEncodeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "provmark/test-report/v1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := []payload{
+		{Severity: "error", Code: "boom", Message: "first", Line: 3},
+		{Severity: "warning", Code: "meh", Message: "second", Line: 9},
+	}
+	for _, d := range diags {
+		if err := w.Diagnostic("a.go", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if errs, warns := w.Totals(); errs != 1 || warns != 1 {
+		t.Errorf("Totals = %d/%d", errs, warns)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "provmark/test-report/v1" || rep.Files != 2 {
+		t.Errorf("header = %q/%d", rep.Schema, rep.Files)
+	}
+	if rep.Errors != 1 || rep.Warnings != 1 || len(rep.Records) != 2 {
+		t.Errorf("decoded = %d errors, %d warnings, %d records", rep.Errors, rep.Warnings, len(rep.Records))
+	}
+	// Tool-specific fields re-decode from the raw record.
+	var back payload
+	if err := json.Unmarshal(rep.Records[0].Raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != diags[0] || rep.Records[0].File != "a.go" {
+		t.Errorf("record 0 = %+v (file %q)", back, rep.Records[0].File)
+	}
+
+	// Encode must reproduce the stream byte-identically.
+	var out bytes.Buffer
+	if err := rep.Encode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), buf.Bytes()) {
+		t.Errorf("Encode not byte-identical:\ngot:\n%s\nwant:\n%s", out.String(), buf.String())
+	}
+}
+
+func TestWriterRejectsBadPayloads(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "s", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Diagnostic("a.go", []int{1}); err == nil {
+		t.Error("non-object payload accepted")
+	}
+	if err := w.Diagnostic("a.go", payload{Severity: "fatal"}); err == nil {
+		t.Error("bad severity accepted")
+	}
+	if err := w.Diagnostic("a.go", struct{}{}); err == nil {
+		t.Error("payload without severity accepted")
+	}
+}
+
+func TestReadRejectsMalformedStreams(t *testing.T) {
+	header := `{"schema":"s","kind":"header","files":1}`
+	diag := `{"kind":"diagnostic","file":"a.go","severity":"error"}`
+	cases := map[string]string{
+		"diagnostic before header": diag,
+		"duplicate header":         header + "\n" + header,
+		"missing schema":           `{"schema":"","kind":"header","files":1}`,
+		"bad severity":             header + "\n" + `{"kind":"diagnostic","file":"a.go","severity":"fatal"}`,
+		"unknown kind":             header + "\n" + `{"kind":"mystery"}`,
+		"summary count lies":       header + "\n" + diag + "\n" + `{"kind":"summary","files":1,"errors":0,"warnings":0}`,
+		"summary files lies":       header + "\n" + `{"kind":"summary","files":7,"errors":0,"warnings":0}`,
+		"record after summary":     header + "\n" + `{"kind":"summary","files":1,"errors":0,"warnings":0}` + "\n" + diag,
+		"truncated (no summary)":   header + "\n" + diag,
+		"empty stream":             "",
+		"not json":                 "nope",
+	}
+	for name, stream := range cases {
+		if _, err := Read(strings.NewReader(stream)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+// Package broken fails to type-check: the loader must turn this into
+// a load-error diagnostic, never a panic.
+package broken
+
+func Boom() int {
+	return undefinedIdentifier
+}

@@ -1,0 +1,34 @@
+// Package ctxdisc is the contextdiscipline fixture.
+package ctxdisc
+
+import "context"
+
+// Bad takes its context second: a finding.
+func Bad(name string, ctx context.Context) error {
+	_ = name
+	return ctx.Err()
+}
+
+// Good threads the context first: no finding.
+func Good(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+// holder stores a context in a struct field: a finding.
+type holder struct {
+	ctx context.Context
+}
+
+// Mint invents a root context in library code: a finding.
+func Mint() context.Context {
+	return context.Background()
+}
+
+// Allowed documents a deliberate process-lifetime root.
+func Allowed() context.Context {
+	//provmark:allow ctx-background -- fixture: deliberate root context
+	return context.Background()
+}
+
+var _ = holder{}

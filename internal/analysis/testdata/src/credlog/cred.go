@@ -1,0 +1,25 @@
+// Package cred is the credlog fixture.
+package cred
+
+import "log/slog"
+
+// Leak logs a raw bearer token: a finding.
+func Leak(authToken string) {
+	slog.Info("authenticated", "token", authToken)
+}
+
+// Digest logs a derived form: no finding.
+func Digest(hashedToken string) {
+	slog.Info("authenticated", "token", hashedToken)
+}
+
+// Enabled logs only whether auth is configured: no finding.
+func Enabled(authToken string) {
+	slog.Info("auth", "enabled", authToken != "")
+}
+
+// Allowed documents a deliberate exception.
+func Allowed(demoToken string) {
+	//provmark:allow credlog -- fixture: demo credential, public by design
+	slog.Info("demo", "token", demoToken)
+}

@@ -1,0 +1,13 @@
+// Package plain is the determinism true-negative fixture: the same
+// map-range-append shape as the wire fixture, but the import path has
+// no determinism-critical segment, so it is out of scope.
+package plain
+
+// Collect is byte-for-byte the shape Leak has in the wire fixture.
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

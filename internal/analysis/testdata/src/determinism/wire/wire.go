@@ -1,0 +1,54 @@
+// Package wire is the determinism fixture whose import path carries a
+// critical segment, so map-range order leaks are findings here.
+package wire
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Leak appends map elements in iteration order: a finding.
+func Leak(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Print writes through an order-sensitive sink: a finding.
+func Print(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Sorted collects then sorts — the sanctioned shape: no finding.
+func Sorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum aggregates commutatively: no finding.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Allowed documents a deliberate exception.
+func Allowed(m map[string]int) []string {
+	var out []string
+	//provmark:allow map-order -- fixture: order genuinely irrelevant here
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+// Package leak is the goroutineleak fixture.
+package leak
+
+import (
+	"context"
+	"sync"
+)
+
+// Fire spawns a goroutine nothing can stop or join: a finding.
+func Fire(work func()) {
+	go func() {
+		work()
+	}()
+}
+
+// WithCtx passes a context into the closure: no finding.
+func WithCtx(ctx context.Context, work func()) {
+	go func() {
+		if ctx.Err() == nil {
+			work()
+		}
+	}()
+}
+
+// WithChan signals completion on a channel: no finding.
+func WithChan(work func()) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// WithGroup joins through a WaitGroup: no finding.
+func WithGroup(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// Allowed documents a deliberate fire-and-forget worker.
+func Allowed(work func()) {
+	//provmark:allow goroutine-leak -- fixture: deliberately unjoined
+	go func() {
+		work()
+	}()
+}

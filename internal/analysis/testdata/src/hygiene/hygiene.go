@@ -1,0 +1,19 @@
+// Package hygiene exercises the allow-directive validation paths:
+// unknown codes, stale directives, and empty directives.
+package hygiene
+
+// Unknown code: a bad-allow error.
+//
+//provmark:allow no-such-code -- typo of a real code
+func Unknown() {}
+
+// Valid code that suppresses nothing: an unused-allow warning (only
+// while the owning analyzer is enabled).
+//
+//provmark:allow map-order -- nothing here ranges over a map
+func Stale() {}
+
+// No codes at all: a bad-allow error.
+//
+//provmark:allow
+func Empty() {}

@@ -1,0 +1,55 @@
+// Package mworder is the mworder fixture: httpmw chain call sites
+// checked against the middleware class order at vet time.
+package mworder
+
+import "provmark/internal/httpmw"
+
+// Bad registers Auth before RequestID: a finding.
+func Bad() (*httpmw.Chain, error) {
+	return httpmw.NewChain(
+		httpmw.RecoverLayer(nil),
+		httpmw.AuthLayer("s3cr3t"),
+		httpmw.RequestIDLayer(),
+	)
+}
+
+// Dup registers the Recover class twice, once through a composite
+// literal: a finding.
+func Dup() *httpmw.Chain {
+	return httpmw.MustNewChain(
+		httpmw.RecoverLayer(nil),
+		httpmw.Layer{Name: "again", Class: httpmw.ClassRecover},
+	)
+}
+
+// Good is the canonical ascending order: no finding.
+func Good() (*httpmw.Chain, error) {
+	return httpmw.NewChain(
+		httpmw.RecoverLayer(nil),
+		httpmw.RequestIDLayer(),
+		httpmw.AuthLayer("s3cr3t"),
+		httpmw.BodyLimitLayer(1<<20),
+	)
+}
+
+// Spread builds the layer slice through conditional appends the way
+// jobs.NewServer does; the appends put BodyLimit ahead of Auth: a
+// finding at the second append.
+func Spread() (*httpmw.Chain, error) {
+	layers := []httpmw.Layer{
+		httpmw.RecoverLayer(nil),
+		httpmw.RequestIDLayer(),
+	}
+	layers = append(layers, httpmw.BodyLimitLayer(1<<20))
+	layers = append(layers, httpmw.AuthLayer("s3cr3t"))
+	return httpmw.NewChain(layers...)
+}
+
+// Allowed documents a deliberate inversion.
+func Allowed() (*httpmw.Chain, error) {
+	return httpmw.NewChain(
+		httpmw.RequestIDLayer(),
+		//provmark:allow mw-order -- fixture: inversion under test
+		httpmw.RecoverLayer(nil),
+	)
+}

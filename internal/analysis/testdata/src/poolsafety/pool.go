@@ -1,0 +1,52 @@
+// Package pool is the poolsafety fixture.
+package pool
+
+import (
+	"bytes"
+	"sync"
+)
+
+// bufPool's New fixes the pooled type: *bytes.Buffer.
+var bufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// slabPool pools byte slices.
+var slabPool = sync.Pool{
+	New: func() any { return make([]byte, 0, 1024) },
+}
+
+// BadGet asserts a type New never constructs: a finding (this
+// assertion panics at runtime).
+func BadGet() *bytes.Reader {
+	return bufPool.Get().(*bytes.Reader)
+}
+
+// BadPut returns the wrong type to the pool: a finding.
+func BadPut(s string) {
+	bufPool.Put(s)
+}
+
+// AliasPut returns a subslice whose backing array the caller still
+// holds: a finding.
+func AliasPut(buf []byte, n int) {
+	slabPool.Put(buf[:n])
+}
+
+// Good round-trips the pooled type: no finding.
+func Good() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+// Release matches the pool's type: no finding.
+func Release(b *bytes.Buffer) {
+	bufPool.Put(b)
+}
+
+// Allowed documents a Put whose ownership transfer is total.
+func Allowed(buf []byte, n int) {
+	//provmark:allow pool-alias -- fixture: ownership transfers wholly
+	slabPool.Put(buf[:n])
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -57,7 +58,7 @@ type FailureMatrixResult struct {
 // CamFlow with denied-check recording. Because two columns share the
 // recorder name "camflow", cells map back to their column through the
 // matrix grid index rather than the tool name.
-func (s *Suite) RunFailureMatrix() (*FailureMatrixResult, error) {
+func (s *Suite) RunFailureMatrix(ctx context.Context) (*FailureMatrixResult, error) {
 	recs, err := s.suiteRecorders([]string{"spade", "opus", "camflow"})
 	if err != nil {
 		return nil, err
@@ -71,7 +72,7 @@ func (s *Suite) RunFailureMatrix() (*FailureMatrixResult, error) {
 	recs = append(recs, denied)
 
 	progs := benchprog.FailureCases()
-	cells, err := s.matrix(recs, progs)
+	cells, err := s.matrix(ctx, recs, progs)
 	if err != nil {
 		return nil, fmt.Errorf("bench: failures: %w", err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 // Alice use-case analysis predicts across all four tool columns.
 func TestFailureMatrixAgreement(t *testing.T) {
 	s := NewSuite(true)
-	res, err := s.RunFailureMatrix()
+	res, err := s.RunFailureMatrix(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestFailureCasesActuallyFail(t *testing.T) {
 
 func TestRenderFailureMatrix(t *testing.T) {
 	s := NewSuite(true)
-	res, err := s.RunFailureMatrix()
+	res, err := s.RunFailureMatrix(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

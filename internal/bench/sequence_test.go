@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"provmark/internal/benchprog"
@@ -15,7 +16,7 @@ func TestSequenceOfTwentySyscalls(t *testing.T) {
 	s := NewSuite(true)
 	prog := benchprog.ScaleProgram(10)
 	for _, tool := range Tools {
-		res, err := s.RunProgram(tool, prog)
+		res, err := s.RunProgram(context.Background(), tool, prog)
 		if err != nil {
 			t.Fatalf("%s: %v", tool, err)
 		}
@@ -38,7 +39,7 @@ func TestSequenceResultGrowsLinearly(t *testing.T) {
 	s := NewSuite(true)
 	sizes := map[int]int{}
 	for _, n := range []int{2, 4, 8} {
-		res, err := s.RunProgram("spade", benchprog.ScaleProgram(n))
+		res, err := s.RunProgram(context.Background(), "spade", benchprog.ScaleProgram(n))
 		if err != nil {
 			t.Fatal(err)
 		}

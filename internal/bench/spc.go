@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -56,14 +57,14 @@ type SpcResult struct {
 }
 
 // RunSpcColumn benchmarks every syscall under the spc configuration.
-func (s *Suite) RunSpcColumn() (*SpcResult, error) {
+func (s *Suite) RunSpcColumn(ctx context.Context) (*SpcResult, error) {
 	rec, err := capture.Open("spade", capture.Options{
 		Params: map[string]string{"reporter": "camflow"},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("bench: spc: %w", err)
 	}
-	cells, err := s.matrix([]capture.Recorder{rec}, namedPrograms())
+	cells, err := s.matrix(ctx, []capture.Recorder{rec}, namedPrograms())
 	if err != nil {
 		return nil, fmt.Errorf("bench: spc: %w", err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 // first-principles expectation matrix across all 44 benchmarks.
 func TestSpcColumnAgreement(t *testing.T) {
 	s := NewSuite(true)
-	res, err := s.RunSpcColumn()
+	res, err := s.RunSpcColumn(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func containsName(list []string, want string) bool {
 
 func TestRenderSpcColumn(t *testing.T) {
 	s := NewSuite(true)
-	res, err := s.RunSpcColumn()
+	res, err := s.RunSpcColumn(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

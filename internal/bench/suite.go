@@ -69,7 +69,7 @@ func (s *Suite) Recorder(tool string) (capture.Recorder, error) {
 
 // matrix fans progs out across recorders on the suite's worker pool
 // and collects every cell, failing on the first cell error.
-func (s *Suite) matrix(recs []capture.Recorder, progs []benchprog.Program, opts ...provmark.Option) ([]provmark.MatrixResult, error) {
+func (s *Suite) matrix(ctx context.Context, recs []capture.Recorder, progs []benchprog.Program, opts ...provmark.Option) ([]provmark.MatrixResult, error) {
 	workers := s.Workers
 	if workers < 1 {
 		workers = 1
@@ -80,7 +80,7 @@ func (s *Suite) matrix(recs []capture.Recorder, progs []benchprog.Program, opts 
 		Workers:    workers,
 		Pipeline:   append([]provmark.Option{provmark.WithClassifier(s.classifier)}, opts...),
 	}
-	cells, err := m.Run(context.Background())
+	cells, err := m.Run(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("bench: matrix: %w", err)
 	}
@@ -106,7 +106,7 @@ func (s *Suite) suiteRecorders(tools []string) ([]capture.Recorder, error) {
 }
 
 // Run benchmarks one named syscall under one tool.
-func (s *Suite) Run(tool, benchName string) (*provmark.Result, error) {
+func (s *Suite) Run(ctx context.Context, tool, benchName string) (*provmark.Result, error) {
 	rec, err := s.Recorder(tool)
 	if err != nil {
 		return nil, err
@@ -115,17 +115,17 @@ func (s *Suite) Run(tool, benchName string) (*provmark.Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown benchmark %q", benchName)
 	}
-	return provmark.New(rec, provmark.WithClassifier(s.classifier)).RunContext(context.Background(), prog)
+	return provmark.New(rec, provmark.WithClassifier(s.classifier)).RunContext(ctx, prog)
 }
 
 // RunProgram benchmarks an arbitrary program (scalability, failure
 // cases) under one tool.
-func (s *Suite) RunProgram(tool string, prog benchprog.Program) (*provmark.Result, error) {
+func (s *Suite) RunProgram(ctx context.Context, tool string, prog benchprog.Program) (*provmark.Result, error) {
 	rec, err := s.Recorder(tool)
 	if err != nil {
 		return nil, err
 	}
-	return provmark.New(rec, provmark.WithClassifier(s.classifier)).RunContext(context.Background(), prog)
+	return provmark.New(rec, provmark.WithClassifier(s.classifier)).RunContext(ctx, prog)
 }
 
 // Table2Row is the outcome of one syscall across all tools.
@@ -147,13 +147,13 @@ type Table2Result struct {
 // RunTable2 reproduces Table 2: every benchmark under every tool —
 // one matrix run over the full (tools × syscalls) grid — compared
 // cell-by-cell against the paper's published matrix.
-func (s *Suite) RunTable2() (*Table2Result, error) {
+func (s *Suite) RunTable2(ctx context.Context) (*Table2Result, error) {
 	recs, err := s.suiteRecorders(Tools)
 	if err != nil {
 		return nil, err
 	}
 	progs := namedPrograms()
-	cells, err := s.matrix(recs, progs)
+	cells, err := s.matrix(ctx, recs, progs)
 	if err != nil {
 		return nil, fmt.Errorf("bench: table2: %w", err)
 	}
@@ -214,7 +214,7 @@ type Table3Cell struct {
 // RunTable3 reproduces Table 3: the example benchmark results for
 // open, read, write, dup, setuid and setresuid across the three tools,
 // reported as graph shapes (node/edge counts).
-func (s *Suite) RunTable3() (map[string]map[string]Table3Cell, error) {
+func (s *Suite) RunTable3(ctx context.Context) (map[string]map[string]Table3Cell, error) {
 	syscalls := []string{"open", "read", "write", "dup", "setuid", "setresuid"}
 	recs, err := s.suiteRecorders(Tools)
 	if err != nil {
@@ -228,7 +228,7 @@ func (s *Suite) RunTable3() (map[string]map[string]Table3Cell, error) {
 		}
 		progs = append(progs, prog)
 	}
-	cells, err := s.matrix(recs, progs)
+	cells, err := s.matrix(ctx, recs, progs)
 	if err != nil {
 		return nil, fmt.Errorf("bench: table3: %w", err)
 	}
@@ -251,13 +251,13 @@ type Fig1Result map[string]*provmark.Result
 
 // RunFig1 reproduces Figure 1: how the three tools represent a rename
 // — a one-row matrix across all tool columns.
-func (s *Suite) RunFig1() (Fig1Result, error) {
+func (s *Suite) RunFig1(ctx context.Context) (Fig1Result, error) {
 	recs, err := s.suiteRecorders(Tools)
 	if err != nil {
 		return nil, err
 	}
 	prog, _ := benchprog.ByName("rename")
-	cells, err := s.matrix(recs, []benchprog.Program{prog})
+	cells, err := s.matrix(ctx, recs, []benchprog.Program{prog})
 	if err != nil {
 		return nil, fmt.Errorf("bench: fig1: %w", err)
 	}
@@ -280,7 +280,7 @@ var TimingSyscalls = []string{"open", "execve", "fork", "setuid", "rename"}
 // RunTiming reproduces Figures 5–7: per-stage processing times for the
 // representative syscalls under one tool. Timings come from the
 // pipeline's stage-observer hooks, not the result structs.
-func (s *Suite) RunTiming(tool string) ([]TimingRow, error) {
+func (s *Suite) RunTiming(ctx context.Context, tool string) ([]TimingRow, error) {
 	progs := make([]benchprog.Program, 0, len(TimingSyscalls))
 	for _, sc := range TimingSyscalls {
 		prog, ok := benchprog.ByName(sc)
@@ -289,7 +289,7 @@ func (s *Suite) RunTiming(tool string) ([]TimingRow, error) {
 		}
 		progs = append(progs, prog)
 	}
-	rows, err := s.observedTiming(tool, progs)
+	rows, err := s.observedTiming(ctx, tool, progs)
 	if err != nil {
 		return nil, fmt.Errorf("bench: timing: %w", err)
 	}
@@ -301,12 +301,12 @@ var Scales = []int{1, 2, 4, 8}
 
 // RunScalability reproduces Figures 8–10: per-stage times as the target
 // action (create+unlink) is repeated 1, 2, 4 and 8 times.
-func (s *Suite) RunScalability(tool string) ([]TimingRow, error) {
+func (s *Suite) RunScalability(ctx context.Context, tool string) ([]TimingRow, error) {
 	progs := make([]benchprog.Program, 0, len(Scales))
 	for _, n := range Scales {
 		progs = append(progs, benchprog.ScaleProgram(n))
 	}
-	rows, err := s.observedTiming(tool, progs)
+	rows, err := s.observedTiming(ctx, tool, progs)
 	if err != nil {
 		return nil, fmt.Errorf("bench: scalability: %w", err)
 	}
@@ -316,7 +316,7 @@ func (s *Suite) RunScalability(tool string) ([]TimingRow, error) {
 // observedTiming runs one tool over progs through the matrix runner
 // and assembles per-stage times from StageObserver events, one row per
 // program in input order.
-func (s *Suite) observedTiming(tool string, progs []benchprog.Program) ([]TimingRow, error) {
+func (s *Suite) observedTiming(ctx context.Context, tool string, progs []benchprog.Program) ([]TimingRow, error) {
 	rec, err := s.Recorder(tool)
 	if err != nil {
 		return nil, err
@@ -345,7 +345,7 @@ func (s *Suite) observedTiming(tool string, progs []benchprog.Program) ([]Timing
 			t.Comparison = ev.Duration
 		}
 	}
-	if _, err := s.matrix([]capture.Recorder{rec}, progs, provmark.WithStageObserver(observer)); err != nil {
+	if _, err := s.matrix(ctx, []capture.Recorder{rec}, progs, provmark.WithStageObserver(observer)); err != nil {
 		return nil, err
 	}
 	out := make([]TimingRow, 0, len(progs))

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -21,7 +22,7 @@ func TestTable1GroupsComplete(t *testing.T) {
 
 func TestFig1RenameShapes(t *testing.T) {
 	s := NewSuite(true)
-	f, err := s.RunFig1()
+	f, err := s.RunFig1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestFig1RenameShapes(t *testing.T) {
 
 func TestTable3Cells(t *testing.T) {
 	s := NewSuite(true)
-	res, err := s.RunTable3()
+	res, err := s.RunTable3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestTable3Cells(t *testing.T) {
 
 func TestTimingRows(t *testing.T) {
 	s := NewSuite(true)
-	rows, err := s.RunTiming("spade")
+	rows, err := s.RunTiming(context.Background(), "spade")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestTimingRows(t *testing.T) {
 
 func TestScalabilityRows(t *testing.T) {
 	s := NewSuite(true)
-	rows, err := s.RunScalability("camflow")
+	rows, err := s.RunScalability(context.Background(), "camflow")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestSuiteUnknownTool(t *testing.T) {
 	if _, err := s.Recorder("pass"); err == nil {
 		t.Error("unknown tool accepted")
 	}
-	if _, err := s.Run("spade", "nope"); err == nil {
+	if _, err := s.Run(context.Background(), "spade", "nope"); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }

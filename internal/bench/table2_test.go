@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,7 @@ import (
 // published ok/empty status.
 func TestTable2FullAgreement(t *testing.T) {
 	s := NewSuite(true)
-	res, err := s.RunTable2()
+	res, err := s.RunTable2(context.Background())
 	if err != nil {
 		t.Fatalf("table2: %v", err)
 	}
@@ -43,7 +44,7 @@ func TestExpectedTable2CoversAllBenchmarks(t *testing.T) {
 
 func TestRenderTable2(t *testing.T) {
 	s := NewSuite(true)
-	res, err := s.RunTable2()
+	res, err := s.RunTable2(context.Background())
 	if err != nil {
 		t.Fatalf("table2: %v", err)
 	}

@@ -27,8 +27,9 @@ type Job struct {
 	m        *Manager
 	cells    []cell
 	pipeline []provmark.Option
-	ctx      context.Context
-	cancel   context.CancelFunc
+	//provmark:allow ctx-in-struct -- job lifetime context: cancellation must outlive the creating request
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu                sync.Mutex
 	results           []wire.MatrixResult // completion order

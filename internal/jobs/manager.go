@@ -66,6 +66,7 @@ type Manager struct {
 	tasks   chan task
 	queries queryCounters
 
+	//provmark:allow ctx-in-struct -- pool-lifetime root context, cancelled in Close
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
@@ -93,6 +94,7 @@ func NewManager(cfg Config) *Manager {
 	if cls == nil {
 		cls = provmark.NewClassifier()
 	}
+	//provmark:allow ctx-background -- the manager is the process-lifetime root; there is no caller context
 	ctx, cancel := context.WithCancel(context.Background())
 	maxJobs := cfg.MaxJobs
 	if maxJobs < 1 {
@@ -176,6 +178,7 @@ func (m *Manager) Close() {
 	}
 	m.closed = true
 	jobs := make([]*Job, 0, len(m.jobs))
+	//provmark:allow map-order -- collection order is irrelevant: Close only waits on every job
 	for _, j := range m.jobs {
 		jobs = append(jobs, j)
 	}

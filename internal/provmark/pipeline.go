@@ -187,8 +187,10 @@ func (r *Runner) observe(prog benchprog.Program, s Stage, d time.Duration, err e
 	})
 }
 
-// Run benchmarks one program: the full Figure 3 pipeline.
+// Run benchmarks one program: the full Figure 3 pipeline. It is the
+// context-free compatibility wrapper over RunContext.
 func (r *Runner) Run(prog benchprog.Program) (*Result, error) {
+	//provmark:allow ctx-background -- compatibility wrapper; callers that have a context use RunContext
 	return r.RunContext(context.Background(), prog)
 }
 
